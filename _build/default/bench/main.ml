@@ -1,0 +1,134 @@
+(* Regenerates every table and figure of the paper's evaluation, then runs
+   Bechamel micro-benchmarks of the tool's own algorithms.
+
+   Usage: main.exe [--quick] [table1] [fig2] [table2] [fig8] [fig9] [fig10]
+                   [hand] [ablate] [micro]
+   With no selection, everything runs in paper order. [--quick] switches to
+   small working sets and scaled-down caches (same shapes, seconds instead
+   of minutes). *)
+
+let ppf = Format.std_formatter
+
+let section title =
+  Format.fprintf ppf "@.==== %s ====@.@." title
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Format.fprintf ppf "@.[%.1fs]@." (Unix.gettimeofday () -. t0)
+
+(* ---- Bechamel micro-benchmarks of the tool's algorithms ---- *)
+
+let micro () =
+  let open Bechamel in
+  let mcf_prog = Ssp_workloads.(Workload.program (Suite.find "mcf") ~scale:2) in
+  let profile = Ssp_profiling.Collect.collect mcf_prog in
+  let regions = Ssp_analysis.Regions.compute mcf_prog in
+  let callgraph = Ssp_analysis.Callgraph.compute mcf_prog in
+  let delinquent = Ssp.Delinquent.identify mcf_prog profile in
+  let load = List.hd delinquent.Ssp.Delinquent.loads in
+  let region = Ssp_analysis.Regions.innermost_at regions load.Ssp.Delinquent.iref in
+  let slice =
+    match Ssp.Slicer.slice_region regions profile ~region load with
+    | Some s -> s
+    | None -> failwith "no slice"
+  in
+  let cfg = Ssp_machine.Config.in_order in
+  let small_cfg = Ssp_machine.Config.scale_caches cfg 64 in
+  let src = (Ssp_workloads.Suite.find "mcf").Ssp_workloads.Workload.source 1 in
+  let tiny = Ssp_workloads.(Workload.program (Suite.find "mcf") ~scale:1) in
+  let rng = Random.State.make [| 42 |] in
+  let random_graph =
+    let n = 256 in
+    Ssp_analysis.Digraph.make ~n
+      (List.init (n * 4) (fun _ ->
+           (Random.State.int rng n, Random.State.int rng n)))
+  in
+  let tests =
+    [
+      Test.make ~name:"frontend: compile mcf"
+        (Staged.stage (fun () -> Ssp_minic.Frontend.compile src));
+      Test.make ~name:"analysis: regions+depgraph"
+        (Staged.stage (fun () ->
+             let r = Ssp_analysis.Regions.compute mcf_prog in
+             Ssp_analysis.Regions.depgraph_of r "primal_bea_mpp"));
+      Test.make ~name:"analysis: tarjan scc 256n/1024e"
+        (Staged.stage (fun () -> Ssp_analysis.Digraph.tarjan_scc random_graph));
+      Test.make ~name:"tool: slice delinquent load"
+        (Staged.stage (fun () ->
+             Ssp.Slicer.slice_region regions profile ~region load));
+      Test.make ~name:"tool: schedule slice"
+        (Staged.stage (fun () ->
+             Ssp.Schedule.build regions profile cfg ~trips:1000 slice));
+      Test.make ~name:"tool: full adaptation"
+        (Staged.stage (fun () ->
+             Ssp.Select.choose regions callgraph profile cfg load));
+      Test.make ~name:"sim: functional (mcf scale 1)"
+        (Staged.stage (fun () -> Ssp_sim.Funcsim.run tiny));
+      Test.make ~name:"sim: in-order cycle (mcf scale 1)"
+        (Staged.stage (fun () -> Ssp_sim.Inorder.run small_cfg tiny));
+      Test.make ~name:"sim: ooo cycle (mcf scale 1)"
+        (Staged.stage (fun () ->
+             Ssp_sim.Ooo.run
+               (Ssp_machine.Config.scale_caches
+                  Ssp_machine.Config.out_of_order 64)
+               tiny));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg_b =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+    in
+    let raw = Benchmark.all cfg_b instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  section "Micro-benchmarks (Bechamel, monotonic clock)";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            let pretty =
+              if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+              else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+              else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+              else Printf.sprintf "%8.0f ns" est
+            in
+            Format.fprintf ppf "%-40s %s/run@." name pretty
+          | _ -> Format.fprintf ppf "%-40s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let setting =
+    if quick then Ssp_harness.Experiment.quick
+    else Ssp_harness.Experiment.reference
+  in
+  let run name f =
+    if wanted = [] || List.mem name wanted then begin
+      section name;
+      wall f
+    end
+  in
+  Format.fprintf ppf "SSP post-pass reproduction — %s setting (scale %d, caches /%d)@."
+    setting.Ssp_harness.Experiment.label setting.Ssp_harness.Experiment.scale
+    setting.Ssp_harness.Experiment.cache_divisor;
+  run "table1" (fun () -> Ssp_harness.Figures.table1 ppf ());
+  run "table2" (fun () -> Ssp_harness.Figures.table2 ~setting ppf ());
+  run "fig2" (fun () -> Ssp_harness.Figures.fig2 ~setting ppf ());
+  run "fig8" (fun () -> Ssp_harness.Figures.fig8 ~setting ppf ());
+  run "fig9" (fun () -> Ssp_harness.Figures.fig9 ~setting ppf ());
+  run "fig10" (fun () -> Ssp_harness.Figures.fig10 ~setting ppf ());
+  run "hand" (fun () -> Ssp_harness.Hand_vs_auto.print ~setting ppf ());
+  run "ablate" (fun () -> Ssp_harness.Ablation.print ~setting ppf ());
+  run "micro" micro;
+  Format.fprintf ppf "@."

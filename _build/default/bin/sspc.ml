@@ -1,0 +1,185 @@
+(* sspc: command-line driver for the SSP post-pass tool chain.
+
+   Subcommands:
+     compile    mini-C source -> ISA assembly listing
+     run        functional execution (outputs + instruction counts)
+     profile    profile a program and list the delinquent loads
+     adapt      run the SSP post-pass and show slices/triggers
+     sim        cycle simulation (in-order / ooo, with or without SSP)
+     bench      list workloads
+     table1     print the machine models *)
+
+open Cmdliner
+
+let read_source path_or_workload scale =
+  match Ssp_workloads.Suite.find path_or_workload with
+  | w -> w.Ssp_workloads.Workload.source scale
+  | exception Not_found ->
+    let ic = open_in path_or_workload in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+let src_arg =
+  let doc = "Workload name (em3d, health, mst, treeadd.df, treeadd.bf, mcf, vpr) or path to a mini-C file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale (working-set size knob)." in
+  Arg.(value & opt int Ssp_workloads.Suite.test_scale & info [ "scale" ] ~doc)
+
+let out_arg =
+  let doc = "Write output to this file instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc)
+
+let with_out out k =
+  match out with
+  | None -> k Format.std_formatter
+  | Some path ->
+    let oc = open_out path in
+    let ppf = Format.formatter_of_out_channel oc in
+    k ppf;
+    Format.pp_print_flush ppf ();
+    close_out oc
+
+let compile_cmd =
+  let run src scale out =
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    with_out out (fun ppf -> Format.fprintf ppf "%a@." Ssp_ir.Asm.print prog)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile mini-C and emit assembly (re-runnable via 'exec')")
+    Term.(const run $ src_arg $ scale_arg $ out_arg)
+
+let exec_cmd =
+  let run path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    let prog = Ssp_ir.Asm.parse text in
+    let r = Ssp_sim.Funcsim.run prog in
+    List.iter (fun v -> Format.printf "%Ld@." v) r.Ssp_sim.Funcsim.outputs
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.S"
+           ~doc:"Assembly file produced by 'compile' or 'adapt'.")
+  in
+  Cmd.v (Cmd.info "exec" ~doc:"Assemble and execute a saved binary")
+    Term.(const run $ path_arg)
+
+let run_cmd =
+  let run src scale =
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let t0 = Unix.gettimeofday () in
+    let r = Ssp_sim.Funcsim.run prog in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter (fun v -> Format.printf "%Ld@." v) r.Ssp_sim.Funcsim.outputs;
+    Format.printf "; %d instructions in %.2fs (%.1f Minstr/s)@."
+      r.Ssp_sim.Funcsim.instrs dt
+      (float_of_int r.Ssp_sim.Funcsim.instrs /. dt /. 1e6)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute functionally and print outputs")
+    Term.(const run $ src_arg $ scale_arg)
+
+let profile_cmd =
+  let run src scale =
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let profile = Ssp_profiling.Collect.collect prog in
+    let d = Ssp.Delinquent.identify ~coverage:0.9 prog profile in
+    Format.printf "%a@." Ssp.Delinquent.pp d
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile and print the delinquent loads")
+    Term.(const run $ src_arg $ scale_arg)
+
+let adapt_cmd =
+  let run src scale out =
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let profile = Ssp_profiling.Collect.collect prog in
+    let adapted =
+      Ssp.Adapt.run ~config:Ssp_machine.Config.in_order prog profile
+    in
+    Format.printf "%a@." Ssp.Report.pp adapted.Ssp.Adapt.report;
+    with_out out (fun ppf ->
+        Format.fprintf ppf "%a@." Ssp_ir.Asm.print adapted.Ssp.Adapt.prog)
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:"Run the SSP post-pass; emit the adapted binary as assembly")
+    Term.(const run $ src_arg $ scale_arg $ out_arg)
+
+let pipeline_arg =
+  let doc = "Pipeline model: inorder or ooo." in
+  Arg.(value & opt string "inorder" & info [ "pipeline" ] ~doc)
+
+let ssp_flag =
+  let doc = "Adapt the binary with the SSP post-pass before simulating." in
+  Arg.(value & flag & info [ "ssp" ] ~doc)
+
+let sim_cmd =
+  let run src scale pipeline ssp =
+    let config =
+      match pipeline with
+      | "ooo" -> Ssp_machine.Config.out_of_order
+      | _ -> Ssp_machine.Config.in_order
+    in
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let prog =
+      if ssp then begin
+        let profile = Ssp_profiling.Collect.collect prog in
+        (Ssp.Adapt.run ~config prog profile).Ssp.Adapt.prog
+      end
+      else prog
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      match config.Ssp_machine.Config.pipeline with
+      | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run config prog
+      | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." Ssp_sim.Stats.pp r;
+    Format.printf "; simulated in %.2fs (%.2f Mcycle/s)@." dt
+      (float_of_int r.Ssp_sim.Stats.cycles /. dt /. 1e6)
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
+    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag)
+
+let bench_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Format.printf "%-12s %s@." w.Ssp_workloads.Workload.name
+          w.Ssp_workloads.Workload.description)
+      Ssp_workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"List the benchmark workloads")
+    Term.(const run $ const ())
+
+let table1_cmd =
+  let run () =
+    Format.printf "== In-order model ==@.%a@.@.== Out-of-order model ==@.%a@."
+      Ssp_machine.Config.pp Ssp_machine.Config.in_order Ssp_machine.Config.pp
+      Ssp_machine.Config.out_of_order
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the Table 1 machine models")
+    Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "sspc" ~doc:"SSP post-pass binary adaptation tool" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd;
+            exec_cmd;
+            run_cmd;
+            profile_cmd;
+            adapt_cmd;
+            sim_cmd;
+            bench_cmd;
+            table1_cmd;
+          ]))

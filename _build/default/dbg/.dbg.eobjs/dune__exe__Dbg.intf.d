@@ -1,0 +1,1 @@
+dbg/dbg.mli:

@@ -1,0 +1,1 @@
+dbg/dbg3.ml: Format Ssp Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads Suite Workload

@@ -1,0 +1,1 @@
+dbg/dbg4.ml: Array Format Ssp_harness Ssp_sim Ssp_workloads Sys Unix

@@ -1,0 +1,1 @@
+dbg/dbg5.ml: Array Format Ssp Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads Suite Sys Workload

@@ -1,0 +1,1 @@
+dbg/dbg5.mli:

@@ -1,0 +1,1 @@
+dbg/dbg6.ml: Array Format Ssp Ssp_ir Ssp_isa Ssp_machine Ssp_profiling Ssp_workloads String Suite Workload

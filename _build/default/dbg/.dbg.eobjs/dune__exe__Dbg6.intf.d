@@ -1,0 +1,1 @@
+dbg/dbg6.mli:

@@ -1,0 +1,1 @@
+dbg/dbg7.ml: Format List Printf Ssp Ssp_analysis Ssp_machine Ssp_minic Ssp_profiling

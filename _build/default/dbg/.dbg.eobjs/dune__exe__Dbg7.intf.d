@@ -1,0 +1,1 @@
+dbg/dbg7.mli:

@@ -1,0 +1,16 @@
+let () =
+  let name = Sys.argv.(1) in
+  let scale = int_of_string Sys.argv.(2) in
+  let div = int_of_string Sys.argv.(3) in
+  let prog = Ssp_workloads.(Workload.program (Suite.find name) ~scale) in
+  let cfg = Ssp_machine.Config.scale_caches Ssp_machine.Config.in_order div in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let r = Ssp.Adapt.run ~config:cfg prog profile in
+  Format.printf "%a@." Ssp.Delinquent.pp r.Ssp.Adapt.delinquent;
+  Format.printf "%a@." Ssp.Report.pp r.Ssp.Adapt.report;
+  let base = Ssp_sim.Inorder.run cfg prog in
+  let ssp = Ssp_sim.Inorder.run cfg r.Ssp.Adapt.prog in
+  Format.printf "base %d ssp %d speedup %.3f spawns %d chk %d prefetch %d@."
+    base.Ssp_sim.Stats.cycles ssp.Ssp_sim.Stats.cycles
+    (float_of_int base.Ssp_sim.Stats.cycles /. float_of_int ssp.Ssp_sim.Stats.cycles)
+    ssp.Ssp_sim.Stats.spawns ssp.Ssp_sim.Stats.chk_fired ssp.Ssp_sim.Stats.prefetches

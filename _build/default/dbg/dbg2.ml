@@ -1,0 +1,15 @@
+let () =
+  let name = Sys.argv.(1) in
+  let scale = int_of_string Sys.argv.(2) in
+  let div = int_of_string Sys.argv.(3) in
+  let refractory = if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 64 in
+  let prog = Ssp_workloads.(Workload.program (Suite.find name) ~scale) in
+  let cfg = Ssp_machine.Config.scale_caches Ssp_machine.Config.out_of_order div in
+  let cfg = { cfg with Ssp_machine.Config.chk_refractory = refractory } in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let r = Ssp.Adapt.run ~config:cfg prog profile in
+  let base = Ssp_sim.Ooo.run cfg prog in
+  let ssp = Ssp_sim.Ooo.run cfg r.Ssp.Adapt.prog in
+  Format.printf "== base ==@.%a@.== ssp ==@.%a@.speedup %.3f@."
+    Ssp_sim.Stats.pp base Ssp_sim.Stats.pp ssp
+    (float_of_int base.Ssp_sim.Stats.cycles /. float_of_int ssp.Ssp_sim.Stats.cycles)

@@ -1,0 +1,16 @@
+let () =
+  let prog = Ssp_workloads.(Workload.program (Suite.find "mcf") ~scale:40) in
+  let cfg = Ssp_machine.Config.out_of_order in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let r = Ssp.Adapt.run ~config:cfg prog profile in
+  let base = Ssp_sim.Ooo.run cfg prog in
+  (* adapted binary but zero speculative contexts: chk.c never fires *)
+  let cfg1 = { cfg with Ssp_machine.Config.n_contexts = 1 } in
+  let ssp0 = Ssp_sim.Ooo.run cfg1 r.Ssp.Adapt.prog in
+  (* adapted with 2 contexts (1 spec), and full 4 *)
+  let cfg2 = { cfg with Ssp_machine.Config.n_contexts = 2 } in
+  let ssp1 = Ssp_sim.Ooo.run cfg2 r.Ssp.Adapt.prog in
+  let ssp3 = Ssp_sim.Ooo.run cfg r.Ssp.Adapt.prog in
+  Format.printf "base %d | adapted-0spec %d | 1spec %d | 3spec %d@."
+    base.Ssp_sim.Stats.cycles ssp0.Ssp_sim.Stats.cycles
+    ssp1.Ssp_sim.Stats.cycles ssp3.Ssp_sim.Stats.cycles

@@ -1,0 +1,13 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let name = Sys.argv.(1) in
+  let w = Ssp_workloads.Suite.find name in
+  let r = Ssp_harness.Experiment.run_benchmark w in
+  Format.printf "%s: base %d cycles; io+ssp %.2f ooo %.2f ooo+ssp %.2f pmem %.2f pdel %.2f [%.0fs]@."
+    name r.Ssp_harness.Experiment.io_base.Ssp_sim.Stats.cycles
+    (Ssp_harness.Experiment.speedup ~baseline:r.Ssp_harness.Experiment.io_base r.Ssp_harness.Experiment.io_ssp)
+    (Ssp_harness.Experiment.speedup ~baseline:r.Ssp_harness.Experiment.io_base r.Ssp_harness.Experiment.ooo_base)
+    (Ssp_harness.Experiment.speedup ~baseline:r.Ssp_harness.Experiment.io_base r.Ssp_harness.Experiment.ooo_ssp)
+    (Ssp_harness.Experiment.speedup ~baseline:r.Ssp_harness.Experiment.io_base r.Ssp_harness.Experiment.io_pmem)
+    (Ssp_harness.Experiment.speedup ~baseline:r.Ssp_harness.Experiment.io_base r.Ssp_harness.Experiment.io_pdel)
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,16 @@
+let () =
+  let name = Sys.argv.(1) in
+  let scale = int_of_string Sys.argv.(2) in
+  let refr = int_of_string Sys.argv.(3) in
+  let minfree = int_of_string Sys.argv.(4) in
+  let prog = Ssp_workloads.(Workload.program (Suite.find name) ~scale) in
+  let cfg = { Ssp_machine.Config.in_order with
+              Ssp_machine.Config.chk_refractory = refr; chk_min_free = minfree } in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let r = Ssp.Adapt.run ~config:cfg prog profile in
+  let base = Ssp_sim.Inorder.run cfg prog in
+  let ssp = Ssp_sim.Inorder.run cfg r.Ssp.Adapt.prog in
+  Format.printf "refr=%d minfree=%d speedup %.3f spawns %d chk %d@."
+    refr minfree
+    (float_of_int base.Ssp_sim.Stats.cycles /. float_of_int ssp.Ssp_sim.Stats.cycles)
+    ssp.Ssp_sim.Stats.spawns ssp.Ssp_sim.Stats.chk_fired

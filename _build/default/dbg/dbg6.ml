@@ -1,0 +1,11 @@
+let () =
+  let prog = Ssp_workloads.(Workload.program (Suite.find "health") ~scale:4) in
+  let cfg = Ssp_machine.Config.in_order in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let r = Ssp.Adapt.run ~config:cfg prog profile in
+  let f = Ssp_ir.Prog.find_func r.Ssp.Adapt.prog "simulate" in
+  Array.iter (fun (b : Ssp_ir.Prog.block) ->
+    if String.length b.Ssp_ir.Prog.label >= 4 && String.sub b.Ssp_ir.Prog.label 0 4 = "ssp_" then begin
+      Format.printf "%s:@." b.Ssp_ir.Prog.label;
+      Array.iter (fun op -> Format.printf "  %s@." (Ssp_isa.Op.to_string op)) b.Ssp_ir.Prog.ops
+    end) f.Ssp_ir.Prog.blocks

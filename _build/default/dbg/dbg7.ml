@@ -1,0 +1,33 @@
+let mcf_like scale =
+  Printf.sprintf
+    "struct node_t { int potential; int pad; }\n\
+     struct arc_t { int cost; node_t* tail; int ident; int pad; }\n\
+     arc_t* arcs;\n\
+     node_t* nodes;\n\
+     int main() {\n\
+    \  int narcs = %d;\n\
+    \  int nnodes = %d;\n\
+    \  nodes = newarray(node_t, nnodes);\n\
+    \  for (int i = 0; i < nnodes; i = i + 1) { node_t* n = nodes + i; n->potential = i; }\n\
+    \  arcs = newarray(arc_t, narcs);\n\
+    \  for (int i = 0; i < narcs; i = i + 1) { arc_t* a = arcs + i; a->cost = i; a->tail = nodes + rand() %% nnodes; a->ident = 1; }\n\
+    \  int s = 0;\n\
+    \  arc_t* arc = arcs;\n\
+    \  arc_t* stop = arcs + narcs;\n\
+    \  while (arc < stop) { s = s + arc->tail->potential; arc = arc + 1; }\n\
+    \  print_int(s);\n\
+    \  return 0;\n\
+     }"
+    (3000 * scale) (4000 * scale)
+let () =
+  let prog = Ssp_minic.Frontend.compile (mcf_like 2) in
+  let profile = Ssp_profiling.Collect.collect
+    ~config:(Ssp_machine.Config.scale_caches Ssp_machine.Config.in_order 32) prog in
+  let d = Ssp.Delinquent.identify prog profile in
+  Format.printf "%a@." Ssp.Delinquent.pp d;
+  let regions = Ssp_analysis.Regions.compute prog in
+  let load = List.hd d.Ssp.Delinquent.loads in
+  let region = Ssp_analysis.Regions.innermost_at regions load.Ssp.Delinquent.iref in
+  match Ssp.Slicer.slice_region regions profile ~region load with
+  | None -> print_endline "no slice"
+  | Some s -> Format.printf "%a@." (Ssp.Slice.pp prog) s

@@ -1,0 +1,1 @@
+examples/machine_explorer.ml: Format List Ssp Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads

@@ -1,0 +1,1 @@
+examples/pointer_chase.ml: Array Format List Printf Ssp Ssp_analysis Ssp_ir Ssp_isa Ssp_machine Ssp_profiling Ssp_workloads String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Ssp Ssp_ir Ssp_machine Ssp_minic Ssp_profiling Ssp_sim

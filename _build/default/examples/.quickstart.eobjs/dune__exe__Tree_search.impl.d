@@ -1,0 +1,1 @@
+examples/tree_search.ml: Format List Ssp Ssp_machine Ssp_minic Ssp_profiling Ssp_sim

@@ -1,0 +1,52 @@
+(* Machine-model exploration: how SSP's benefit depends on the hardware.
+
+     dune exec examples/machine_explorer.exe
+
+   Sweeps the parameters the paper's analysis hinges on — memory latency,
+   number of hardware thread contexts, and the spawn-flush assumption — on
+   the mcf kernel, and prints the resulting speedups. This reproduces the
+   qualitative claims of §4.3/§4.4: the longer the memory latency (the
+   in-order model stalls more), the bigger SSP's win; more contexts sustain
+   longer chains; the exception-like spawn flush is a real tax. *)
+
+let speedup config prog profile =
+  let result = Ssp.Adapt.run ~config prog profile in
+  let base = Ssp_sim.Inorder.run config prog in
+  let ssp = Ssp_sim.Inorder.run config result.Ssp.Adapt.prog in
+  ( float_of_int base.Ssp_sim.Stats.cycles
+    /. float_of_int ssp.Ssp_sim.Stats.cycles,
+    base.Ssp_sim.Stats.cycles )
+
+let () =
+  let w = Ssp_workloads.Suite.find "mcf" in
+  let prog = Ssp_workloads.Workload.program w ~scale:8 in
+  let base_cfg =
+    Ssp_machine.Config.scale_caches Ssp_machine.Config.in_order 8
+  in
+  let profile = Ssp_profiling.Collect.collect ~config:base_cfg prog in
+
+  Format.printf "memory latency sweep (in-order, 4 contexts):@.";
+  List.iter
+    (fun lat ->
+      let cfg = { base_cfg with Ssp_machine.Config.mem_latency = lat } in
+      let s, cycles = speedup cfg prog profile in
+      Format.printf "  %4d cycles to memory: baseline %9d cycles, SSP %.2fx@."
+        lat cycles s)
+    [ 60; 120; 230; 460 ];
+
+  Format.printf "@.hardware context sweep (230-cycle memory):@.";
+  List.iter
+    (fun n ->
+      let cfg = { base_cfg with Ssp_machine.Config.n_contexts = n } in
+      let s, _ = speedup cfg prog profile in
+      Format.printf "  %d contexts: SSP %.2fx%s@." n s
+        (if n = 1 then "  (no spare context: chk.c never fires)" else ""))
+    [ 1; 2; 4; 8 ];
+
+  Format.printf "@.spawn-flush assumption (4 contexts):@.";
+  List.iter
+    (fun flush ->
+      let cfg = { base_cfg with Ssp_machine.Config.spawn_flush = flush } in
+      let s, _ = speedup cfg prog profile in
+      Format.printf "  flush %-5b: SSP %.2fx@." flush s)
+    [ true; false ]

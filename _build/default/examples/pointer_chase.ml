@@ -1,0 +1,82 @@
+(* Anatomy of a chaining slice: the paper's Figure 3 / Figure 5 walkthrough
+   on the mcf arc-pricing loop.
+
+     dune exec examples/pointer_chase.exe
+
+   Shows the dependence analysis a human would read off the disassembly:
+   the slice of the delinquent load's address, its SCC partition into
+   critical and non-critical sub-slices, the spawn condition, the slack
+   arithmetic, and finally the generated do-across prefetching loop. *)
+
+let () =
+  let w = Ssp_workloads.Suite.find "mcf" in
+  let prog = Ssp_workloads.Workload.program w ~scale:8 in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let regions = Ssp_analysis.Regions.compute prog in
+  let config = Ssp_machine.Config.in_order in
+
+  (* The delinquent loads of the pricing loop. *)
+  let d = Ssp.Delinquent.identify prog profile in
+  Format.printf "%a@.@." Ssp.Delinquent.pp d;
+
+  let load = List.hd d.Ssp.Delinquent.loads in
+  let region = Ssp_analysis.Regions.innermost_at regions load.Ssp.Delinquent.iref in
+  Format.printf "innermost region of the hottest load: %a@.@."
+    Ssp_analysis.Regions.pp region;
+
+  (* Slice it (Figure 3b). *)
+  let slice =
+    match Ssp.Slicer.slice_region regions profile ~region load with
+    | Some s -> s
+    | None -> failwith "no slice"
+  in
+  Format.printf "%a@." (Ssp.Slice.pp prog) slice;
+
+  (* Schedule it (Figure 5). *)
+  let entries, trips =
+    Ssp.Select.trips_of regions profile region slice.Ssp.Slice.fn
+  in
+  let sched = Ssp.Schedule.build regions profile config ~trips slice in
+  Format.printf
+    "@.schedule: %d critical + %d non-critical instrs, rotation %d, %d \
+     loop-carried edges, available ILP %.2f@."
+    (List.length sched.Ssp.Schedule.order_critical)
+    (List.length sched.Ssp.Schedule.order_non_critical)
+    sched.Ssp.Schedule.rotation sched.Ssp.Schedule.loop_carried_edges
+    sched.Ssp.Schedule.available_ilp;
+  Format.printf "spawn condition: %s@."
+    (match sched.Ssp.Schedule.spawn_cond with
+    | Ssp.Schedule.Cond _ -> "computed from the loop-continue branch"
+    | Ssp.Schedule.Predicted { depth } ->
+      Printf.sprintf "predicted (chain depth bound %d)" depth);
+  Format.printf
+    "heights: region %d, critical %d, slice %d; copy+spawn %d@."
+    sched.Ssp.Schedule.height_region sched.Ssp.Schedule.height_critical
+    sched.Ssp.Schedule.height_slice sched.Ssp.Schedule.copy_spawn_latency;
+  Format.printf
+    "slack_csp(i) = (%d - %d - %d) * i: %d, %d, %d, ... for i = 1, 2, 3@."
+    sched.Ssp.Schedule.height_region sched.Ssp.Schedule.height_critical
+    sched.Ssp.Schedule.copy_spawn_latency
+    (Ssp.Schedule.slack_csp sched 1)
+    (Ssp.Schedule.slack_csp sched 2)
+    (Ssp.Schedule.slack_csp sched 3);
+  Format.printf "slack_bsp(1) = %d; trips ~ %d per entry (%d entries)@.@."
+    (Ssp.Schedule.slack_bsp sched 1)
+    trips entries;
+
+  (* Generate and show the speculative-thread code (Figure 5b). *)
+  let result = Ssp.Adapt.run ~config prog profile in
+  let f = Ssp_ir.Prog.find_func result.Ssp.Adapt.prog "primal_bea_mpp" in
+  Format.printf "generated blocks of primal_bea_mpp (stub, slice, resume):@.";
+  Array.iter
+    (fun (b : Ssp_ir.Prog.block) ->
+      if
+        String.length b.Ssp_ir.Prog.label >= 4
+        && String.sub b.Ssp_ir.Prog.label 0 4 = "ssp_"
+      then begin
+        Format.printf "%s:@." b.Ssp_ir.Prog.label;
+        Array.iter
+          (fun op -> Format.printf "  %s@." (Ssp_isa.Op.to_string op))
+          b.Ssp_ir.Prog.ops
+      end)
+    f.Ssp_ir.Prog.blocks

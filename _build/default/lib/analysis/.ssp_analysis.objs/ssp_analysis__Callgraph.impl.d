@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Digraph Hashtbl List Op Option Ssp_ir Ssp_isa

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Digraph Hashtbl List Op Ssp_ir Ssp_isa String

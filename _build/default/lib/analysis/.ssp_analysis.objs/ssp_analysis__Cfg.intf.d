@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Digraph Ssp_ir Ssp_isa

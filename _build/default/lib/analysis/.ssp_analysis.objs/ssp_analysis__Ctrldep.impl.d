@@ -1,0 +1,1 @@
+lib/analysis/ctrldep.ml: Array Cfg Dom List Ssp_ir

@@ -1,0 +1,1 @@
+lib/analysis/ctrldep.mli: Cfg Ssp_ir

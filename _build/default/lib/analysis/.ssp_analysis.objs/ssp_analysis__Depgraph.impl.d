@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Array Cfg Ctrldep List Loops Op Option Reaching Ssp_ir Ssp_isa

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Cfg Loops Reaching Ssp_ir

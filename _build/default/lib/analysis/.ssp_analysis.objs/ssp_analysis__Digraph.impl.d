@@ -1,0 +1,1 @@
+lib/analysis/digraph.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Cfg Dom Hashtbl Int List Op Reg Set Ssp_ir Ssp_isa

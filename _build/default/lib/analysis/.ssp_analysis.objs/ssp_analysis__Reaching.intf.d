@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Cfg Ssp_ir Ssp_isa

@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Cfg Depgraph Dom Format Fun Hashtbl List Loops Printf Reaching Ssp_ir

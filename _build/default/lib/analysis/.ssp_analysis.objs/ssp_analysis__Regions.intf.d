@@ -1,0 +1,1 @@
+lib/analysis/regions.mli: Cfg Depgraph Format Loops Reaching Ssp_ir

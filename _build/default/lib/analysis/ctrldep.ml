@@ -1,0 +1,38 @@
+type t = { deps : int list array }
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let pdom = Dom.compute_post cfg.Cfg.graph ~exits:cfg.Cfg.exits in
+  let vexit = n in
+  let deps = Array.make n [] in
+  for a = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        (* Walk the post-dominator tree from b up to (excluding) ipdom(a). *)
+        let stop =
+          match Dom.idom pdom a with Some d -> d | None -> vexit
+        in
+        let rec walk r =
+          if r <> stop && r <> vexit then begin
+            deps.(r) <- a :: deps.(r);
+            match Dom.idom pdom r with
+            | Some r' -> walk r'
+            | None -> ()
+          end
+        in
+        if not (Dom.dominates pdom b a) then walk b)
+      (Cfg.succ cfg a)
+  done;
+  Array.iteri (fun i l -> deps.(i) <- List.sort_uniq compare l) deps;
+  { deps }
+
+let controllers t b = t.deps.(b)
+
+let controller_instrs t cfg b =
+  List.filter_map
+    (fun a ->
+      let ops = cfg.Cfg.func.blocks.(a).ops in
+      let n = Array.length ops in
+      if n = 0 then None
+      else Some (Ssp_ir.Iref.make cfg.Cfg.func.name a (n - 1)))
+    (controllers t b)

@@ -1,0 +1,17 @@
+(** Control dependence (Ferrante–Ottenstein–Warren).
+
+    Block [b] is control dependent on block [a] when [a] has a successor
+    from which [b] is always reached (i.e. [b] post-dominates it) while [b]
+    does not post-dominate [a] itself — [a]'s branch decides whether [b]
+    executes. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val controllers : t -> int -> int list
+(** Blocks whose branch the given block is control dependent on. *)
+
+val controller_instrs : t -> Cfg.t -> int -> Ssp_ir.Iref.t list
+(** The terminator instructions of the controlling blocks (the branch
+    instructions a sliced instruction in this block depends on). *)

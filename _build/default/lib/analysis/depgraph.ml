@@ -1,0 +1,111 @@
+open Ssp_isa
+
+type kind = Data | Control
+
+type edge = {
+  src : Ssp_ir.Iref.t;
+  dst : Ssp_ir.Iref.t;
+  kind : kind;
+  loop_carried : bool;
+}
+
+type t = {
+  cfg : Cfg.t;
+  edges : edge list;
+  preds : edge list Ssp_ir.Iref.Tbl.t;
+  succs : edge list Ssp_ir.Iref.Tbl.t;
+}
+
+let index_edges cfg edges =
+  let preds = Ssp_ir.Iref.Tbl.create 64 in
+  let succs = Ssp_ir.Iref.Tbl.create 64 in
+  let push tbl key e =
+    Ssp_ir.Iref.Tbl.replace tbl key
+      (e :: Option.value ~default:[] (Ssp_ir.Iref.Tbl.find_opt tbl key))
+  in
+  List.iter
+    (fun e ->
+      push preds e.dst e;
+      push succs e.src e)
+    edges;
+  { cfg; edges; preds; succs }
+
+let of_func (cfg : Cfg.t) =
+  let f = cfg.Cfg.func in
+  let reach = Reaching.compute cfg in
+  let cd = Ctrldep.compute cfg in
+  let edges = ref [] in
+  Array.iteri
+    (fun bi (b : Ssp_ir.Prog.block) ->
+      let ctrl = Ctrldep.controller_instrs cd cfg bi in
+      Array.iteri
+        (fun ii op ->
+          let use = Ssp_ir.Iref.make f.name bi ii in
+          List.iter
+            (fun r ->
+              List.iter
+                (fun (d : Reaching.def) ->
+                  (* Parameter pseudo-defs have no source instruction. *)
+                  if d.Reaching.site.Ssp_ir.Iref.ins >= 0 then
+                    edges :=
+                      {
+                        src = d.Reaching.site;
+                        dst = use;
+                        kind = Data;
+                        loop_carried = false;
+                      }
+                      :: !edges)
+                (Reaching.reaching_defs reach ~use r))
+            (Op.uses op);
+          List.iter
+            (fun branch ->
+              if not (Ssp_ir.Iref.equal branch use) then
+                edges :=
+                  { src = branch; dst = use; kind = Control; loop_carried = false }
+                  :: !edges)
+            ctrl)
+        b.ops)
+    f.blocks;
+  index_edges cfg (List.rev !edges)
+
+let restrict_to_loop t loops loop reach =
+  let in_body (r : Ssp_ir.Iref.t) = Loops.in_loop loops loop r.blk in
+  let back_srcs = List.map fst loop.Loops.back_edges in
+  let classify e =
+    match e.kind with
+    | Control ->
+      (* A control dep from a back-edge branch governs the next iteration. *)
+      { e with loop_carried = List.mem e.src.Ssp_ir.Iref.blk back_srcs }
+    | Data ->
+      let op = t.cfg.Cfg.func.blocks.(e.dst.Ssp_ir.Iref.blk).ops.(e.dst.Ssp_ir.Iref.ins) in
+      (* Which register does this edge carry? The def site defines it; find
+         the registers used by dst that the src defines. *)
+      let src_op =
+        t.cfg.Cfg.func.blocks.(e.src.Ssp_ir.Iref.blk).ops.(e.src.Ssp_ir.Iref.ins)
+      in
+      let carried_regs =
+        List.filter (fun r -> List.mem r (Op.defs src_op)) (Op.uses op)
+      in
+      let intra_only r =
+        List.exists
+          (fun (d : Reaching.def) -> Ssp_ir.Iref.equal d.Reaching.site e.src)
+          (Reaching.defs_without_back_edges reach ~use:e.dst r)
+      in
+      (* Loop-carried iff the value flows only around a back edge for every
+         register the edge carries. *)
+      let lc = not (List.exists intra_only carried_regs) in
+      { e with loop_carried = lc }
+  in
+  let edges =
+    List.filter_map
+      (fun e ->
+        if in_body e.src && in_body e.dst then Some (classify e) else None)
+      t.edges
+  in
+  index_edges t.cfg edges
+
+let deps_of t i =
+  Option.value ~default:[] (Ssp_ir.Iref.Tbl.find_opt t.preds i)
+
+let uses_of t i =
+  Option.value ~default:[] (Ssp_ir.Iref.Tbl.find_opt t.succs i)

@@ -1,0 +1,41 @@
+(** The intra-procedural dependence graph over instructions: true (register)
+    data dependences from definitions to uses, and control dependences from
+    branch instructions to the instructions they control.
+
+    Edges are classified as intra-iteration or loop-carried with respect to
+    a given loop: a def that reaches a use only through the loop's back edge
+    is loop-carried. Loop-carried anti and output dependences are never
+    materialized — the tool ignores them (§3.1), and slice code generation
+    renames registers so they cannot bite. *)
+
+type kind = Data | Control
+
+type edge = {
+  src : Ssp_ir.Iref.t;  (** the def / the controlling branch *)
+  dst : Ssp_ir.Iref.t;  (** the use / the controlled instruction *)
+  kind : kind;
+  loop_carried : bool;
+      (** meaningful when both endpoints lie in the loop the graph was
+          restricted to; always false for whole-function graphs *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  edges : edge list;
+  preds : edge list Ssp_ir.Iref.Tbl.t;  (** incoming, keyed by [dst] *)
+  succs : edge list Ssp_ir.Iref.Tbl.t;  (** outgoing, keyed by [src] *)
+}
+
+val of_func : Cfg.t -> t
+(** Whole-function dependence graph (no loop-carried classification). *)
+
+val restrict_to_loop : t -> Loops.t -> Loops.loop -> Reaching.t -> t
+(** Keep only edges between instructions of the loop's body and classify
+    each data edge as loop-carried or intra-iteration. Control edges whose
+    source is a back-edge branch of the loop are loop-carried. *)
+
+val deps_of : t -> Ssp_ir.Iref.t -> edge list
+(** Incoming edges: what the instruction depends on. *)
+
+val uses_of : t -> Ssp_ir.Iref.t -> edge list
+(** Outgoing edges: what depends on the instruction. *)

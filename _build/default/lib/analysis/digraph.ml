@@ -1,0 +1,128 @@
+type t = { n : int; succ : int list array; pred : int list array }
+
+let make ~n edges =
+  let g = { n; succ = Array.make n []; pred = Array.make n [] } in
+  List.iter
+    (fun (a, b) ->
+      g.succ.(a) <- b :: g.succ.(a);
+      g.pred.(b) <- a :: g.pred.(b))
+    edges;
+  (* Restore insertion order; clients rely on deterministic traversals. *)
+  Array.iteri (fun i l -> g.succ.(i) <- List.rev l) g.succ;
+  Array.iteri (fun i l -> g.pred.(i) <- List.rev l) g.pred;
+  g
+
+let add_edge g a b =
+  g.succ.(a) <- g.succ.(a) @ [ b ];
+  g.pred.(b) <- g.pred.(b) @ [ a ]
+
+let rpo g ~entry =
+  let seen = Array.make g.n false in
+  let post = ref [] in
+  (* Iterative DFS with an explicit stack of (node, remaining successors). *)
+  let stack = ref [ (entry, ref g.succ.(entry)) ] in
+  seen.(entry) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (v, rest) :: tl -> (
+      match !rest with
+      | [] ->
+        post := v :: !post;
+        stack := tl
+      | s :: more ->
+        rest := more;
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          stack := (s, ref g.succ.(s)) :: !stack
+        end)
+  done;
+  Array.of_list !post
+
+let reachable g ~from =
+  let seen = Array.make g.n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go g.succ.(v)
+    end
+  in
+  go from;
+  seen
+
+let tarjan_scc g =
+  let index = Array.make g.n (-1) in
+  let lowlink = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = ref [] in
+  let next = ref 0 in
+  let comps = ref [] in
+  (* Iterative Tarjan to survive deep graphs. Frame: node, successor cursor. *)
+  let rec strongconnect v =
+    index.(v) <- !next;
+    lowlink.(v) <- !next;
+    incr next;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      g.succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: tl ->
+          stack := tl;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to g.n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order already when
+     collected in discovery order; we accumulated with [::] so reverse. *)
+  Array.of_list (List.rev !comps)
+
+let scc_of comps ~n =
+  let m = Array.make n (-1) in
+  Array.iteri (fun ci nodes -> List.iter (fun v -> m.(v) <- ci) nodes) comps;
+  m
+
+let topo_order g =
+  let indeg = Array.make g.n 0 in
+  Array.iter (List.iter (fun s -> indeg.(s) <- indeg.(s) + 1)) g.succ;
+  let q = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v q) indeg;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    incr count;
+    out := v :: !out;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s q)
+      g.succ.(v)
+  done;
+  if !count <> g.n then invalid_arg "Digraph.topo_order: graph has a cycle";
+  List.rev !out
+
+let longest_path g ~node_weight =
+  let order = topo_order g in
+  let h = Array.make g.n 0 in
+  (* Process in reverse topological order so successors are final. *)
+  List.iter
+    (fun v ->
+      let best = List.fold_left (fun acc s -> max acc h.(s)) 0 g.succ.(v) in
+      h.(v) <- node_weight v + best)
+    (List.rev order);
+  h

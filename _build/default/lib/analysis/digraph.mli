@@ -1,0 +1,33 @@
+(** Directed graphs over dense integer nodes, with the traversals the
+    analyses need: reverse postorder, Tarjan strongly connected components,
+    topological order, and longest (critical) paths on DAGs. *)
+
+type t = { n : int; succ : int list array; pred : int list array }
+
+val make : n:int -> (int * int) list -> t
+(** Build from an edge list. Duplicate edges are kept (harmless for the
+    clients here). *)
+
+val add_edge : t -> int -> int -> unit
+
+val rpo : t -> entry:int -> int array
+(** Reverse postorder of the nodes reachable from [entry] (entry first). *)
+
+val reachable : t -> from:int -> bool array
+
+val tarjan_scc : t -> int list array
+(** Strongly connected components in reverse topological order of the
+    condensation (i.e. a component appears before any component that can
+    reach it). Every node appears in exactly one component. *)
+
+val scc_of : int list array -> n:int -> int array
+(** [scc_of comps ~n] maps each node to its component index. *)
+
+val topo_order : t -> int list
+(** Topological order of a DAG. Raises [Invalid_argument] on a cycle. *)
+
+val longest_path :
+  t -> node_weight:(int -> int) -> int array
+(** For a DAG: [h.(v)] = maximum over paths starting at [v] of the sum of
+    node weights along the path (including [v] itself) — the dependence
+    height used by the scheduling heuristics. Raises on cycles. *)

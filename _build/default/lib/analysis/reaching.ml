@@ -1,0 +1,147 @@
+open Ssp_isa
+
+type def = { site : Ssp_ir.Iref.t; reg : Reg.t }
+
+module IS = Set.Make (Int)
+
+(* Per variant (with and without back edges) we store, per block, the set of
+   def indices reaching block entry. Defs are numbered densely. *)
+type variant = { in_sets : IS.t array }
+
+type t = {
+  cfg : Cfg.t;
+  defs : def array;  (* numbered def sites *)
+  defs_of_reg : int list array;  (* reg -> def indices *)
+  full : variant;
+  no_back : variant;
+}
+
+let number_defs (cfg : Cfg.t) =
+  let f = cfg.Cfg.func in
+  let defs = ref [] in
+  let count = ref 0 in
+  (* Parameters are defined "at entry": pseudo-site blk 0, ins -1. *)
+  for i = 0 to f.nparams - 1 do
+    defs := { site = Ssp_ir.Iref.make f.name 0 (-1); reg = Reg.arg i } :: !defs;
+    incr count
+  done;
+  Array.iteri
+    (fun bi (b : Ssp_ir.Prog.block) ->
+      Array.iteri
+        (fun ii op ->
+          List.iter
+            (fun r ->
+              defs :=
+                { site = Ssp_ir.Iref.make f.name bi ii; reg = r } :: !defs;
+              incr count)
+            (Op.defs op))
+        b.ops)
+    f.blocks;
+  Array.of_list (List.rev !defs)
+
+let solve (cfg : Cfg.t) defs defs_of_reg ~drop_edges =
+  let f = cfg.Cfg.func in
+  let n = Cfg.n_blocks cfg in
+  (* gen/kill per block. gen = last def of each register in the block;
+     kill = all other defs of registers defined in the block. *)
+  let def_index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i d -> Hashtbl.replace def_index (d.site, d.reg) i)
+    defs;
+  let gen = Array.make n IS.empty and kill = Array.make n IS.empty in
+  for bi = 0 to n - 1 do
+    let b = f.blocks.(bi) in
+    let last_def = Hashtbl.create 8 in
+    Array.iteri
+      (fun ii op ->
+        List.iter
+          (fun r ->
+            Hashtbl.replace last_def r (Ssp_ir.Iref.make f.name bi ii))
+          (Op.defs op))
+      b.ops;
+    Hashtbl.iter
+      (fun r site ->
+        let di = Hashtbl.find def_index (site, r) in
+        gen.(bi) <- IS.add di gen.(bi);
+        List.iter
+          (fun other -> if other <> di then kill.(bi) <- IS.add other kill.(bi))
+          defs_of_reg.(r))
+      last_def
+  done;
+  let pred bi =
+    List.filter
+      (fun p -> not (List.mem (p, bi) drop_edges))
+      (Cfg.pred cfg bi)
+  in
+  (* Parameter pseudo-defs (site ins = -1) are live-in to the entry block. *)
+  let param_defs = ref IS.empty in
+  Array.iteri
+    (fun i (d : def) ->
+      if d.site.Ssp_ir.Iref.ins = -1 then param_defs := IS.add i !param_defs)
+    defs;
+  let in_sets = Array.make n IS.empty in
+  let out_sets = Array.make n IS.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = 0 to n - 1 do
+      let inb =
+        List.fold_left (fun acc p -> IS.union acc out_sets.(p))
+          (if bi = 0 then !param_defs else IS.empty)
+          (pred bi)
+      in
+      let outb = IS.union gen.(bi) (IS.diff inb kill.(bi)) in
+      if not (IS.equal inb in_sets.(bi)) || not (IS.equal outb out_sets.(bi))
+      then begin
+        in_sets.(bi) <- inb;
+        out_sets.(bi) <- outb;
+        changed := true
+      end
+    done
+  done;
+  { in_sets }
+
+let back_edges_of (cfg : Cfg.t) =
+  let dom = Dom.compute cfg.Cfg.graph ~entry:0 in
+  let edges = ref [] in
+  for v = 0 to Cfg.n_blocks cfg - 1 do
+    List.iter
+      (fun s -> if Dom.dominates dom s v then edges := (v, s) :: !edges)
+      (Cfg.succ cfg v)
+  done;
+  !edges
+
+let compute cfg =
+  let defs = number_defs cfg in
+  let defs_of_reg = Array.make Reg.count [] in
+  Array.iteri
+    (fun i d -> defs_of_reg.(d.reg) <- i :: defs_of_reg.(d.reg))
+    defs;
+  Array.iteri (fun r l -> defs_of_reg.(r) <- List.rev l) defs_of_reg;
+  let full = solve cfg defs defs_of_reg ~drop_edges:[] in
+  let no_back = solve cfg defs defs_of_reg ~drop_edges:(back_edges_of cfg) in
+  { cfg; defs; defs_of_reg; full; no_back }
+
+let query t variant ~(use : Ssp_ir.Iref.t) reg =
+  let f = t.cfg.Cfg.func in
+  let bi = use.Ssp_ir.Iref.blk in
+  (* Walk the block from its entry, updating the last def of [reg], to find
+     what reaches this instruction locally; otherwise fall back to IN. *)
+  let local = ref None in
+  let b = f.blocks.(bi) in
+  for ii = 0 to use.Ssp_ir.Iref.ins - 1 do
+    if List.mem reg (Op.defs b.ops.(ii)) then
+      local := Some (Ssp_ir.Iref.make f.name bi ii)
+  done;
+  match !local with
+  | Some site -> [ { site; reg } ]
+  | None ->
+    IS.fold
+      (fun di acc ->
+        let d = t.defs.(di) in
+        if d.reg = reg then d :: acc else acc)
+      variant.in_sets.(bi) []
+    |> List.rev
+
+let reaching_defs t ~use reg = query t t.full ~use reg
+let defs_without_back_edges t ~use reg = query t t.no_back ~use reg

@@ -1,0 +1,23 @@
+(** Reaching definitions at register granularity, and the def–use chains the
+    dependence graph is built from.
+
+    Definition sites are register-writing instructions plus two implicit
+    kinds: function parameters (defined at entry) and call-site clobbers
+    (already explicit in {!Ssp_isa.Op.defs}). *)
+
+type def = { site : Ssp_ir.Iref.t; reg : Ssp_isa.Reg.t }
+
+type t
+
+val compute : Cfg.t -> t
+
+val reaching_defs : t -> use:Ssp_ir.Iref.t -> Ssp_isa.Reg.t -> def list
+(** Definitions of the register that may reach the given instruction
+    (before it executes). A parameter register live-in to the function is
+    reported as a def at the entry instruction position with [ins = -1]. *)
+
+val defs_without_back_edges : t -> use:Ssp_ir.Iref.t -> Ssp_isa.Reg.t -> def list
+(** Same, but computed on the CFG with loop back edges removed: reaching
+    definitions within the current iteration only. A def that reaches a use
+    in [reaching_defs] but not here flows only around a back edge — a
+    loop-carried dependence. *)

@@ -1,0 +1,1 @@
+lib/core/adapt.ml: Callgraph Codegen Delinquent Format List Regions Report Schedule Select Slice Ssp_analysis Ssp_ir String Trigger

@@ -1,0 +1,1 @@
+lib/core/adapt.mli: Delinquent Report Select Ssp_ir Ssp_machine Ssp_profiling

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Format Hashtbl Int64 List Op Printf Reg Schedule Select Slice Ssp_analysis Ssp_ir Ssp_isa Ssp_sim String Trigger

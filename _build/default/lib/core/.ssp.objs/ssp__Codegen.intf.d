@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Select Ssp_ir Ssp_isa Ssp_machine

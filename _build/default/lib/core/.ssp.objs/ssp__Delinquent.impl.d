@@ -1,0 +1,1 @@
+lib/core/delinquent.ml: Format List Op Reg Ssp_ir Ssp_isa Ssp_profiling

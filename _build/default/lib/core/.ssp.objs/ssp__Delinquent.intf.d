@@ -1,0 +1,1 @@
+lib/core/delinquent.mli: Format Ssp_ir Ssp_isa Ssp_profiling

@@ -1,0 +1,1 @@
+lib/core/hand.ml: Adapt Codegen Hashtbl List Op Reg Select Ssp_analysis Ssp_ir Ssp_isa

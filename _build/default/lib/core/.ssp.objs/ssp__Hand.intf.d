@@ -1,0 +1,1 @@
+lib/core/hand.mli: Adapt Ssp_ir Ssp_machine Ssp_profiling

@@ -1,0 +1,1 @@
+lib/core/mincut.ml: Array Cfg Hashtbl List Option Queue Ssp_analysis Ssp_ir Ssp_isa Ssp_profiling Trigger

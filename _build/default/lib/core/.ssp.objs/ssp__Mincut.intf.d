@@ -1,0 +1,1 @@
+lib/core/mincut.mli: Ssp_analysis Ssp_profiling Trigger

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Cfg Digraph Fun Hashtbl List Loops Op Reaching Reg Regions Slice Ssp_analysis Ssp_ir Ssp_isa Ssp_machine Ssp_profiling String

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Slice Ssp_analysis Ssp_ir Ssp_isa Ssp_machine Ssp_profiling

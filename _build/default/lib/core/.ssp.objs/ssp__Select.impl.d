@@ -1,0 +1,1 @@
+lib/core/select.ml: Delinquent List Loops Regions Schedule Slice Slicer Ssp_analysis Ssp_ir Ssp_machine Ssp_profiling String Trigger

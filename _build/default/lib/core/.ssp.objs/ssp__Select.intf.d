@@ -1,0 +1,1 @@
+lib/core/select.mli: Delinquent Schedule Ssp_analysis Ssp_machine Ssp_profiling Trigger

@@ -1,0 +1,1 @@
+lib/core/slice.ml: Format List Ssp_analysis Ssp_ir Ssp_isa

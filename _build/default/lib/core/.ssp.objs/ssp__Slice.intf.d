@@ -1,0 +1,1 @@
+lib/core/slice.mli: Format Ssp_analysis Ssp_ir Ssp_isa

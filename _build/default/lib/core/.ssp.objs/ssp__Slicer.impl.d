@@ -1,0 +1,1 @@
+lib/core/slicer.ml: Callgraph Delinquent Hashtbl Int List Op Option Reaching Reg Regions Set Slice Ssp_analysis Ssp_ir Ssp_isa Ssp_profiling Ssp_sim String

@@ -1,0 +1,1 @@
+lib/core/slicer.mli: Delinquent Slice Ssp_analysis Ssp_ir Ssp_profiling

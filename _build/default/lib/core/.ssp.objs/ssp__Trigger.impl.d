@@ -1,0 +1,1 @@
+lib/core/trigger.ml: Cfg Dom List Loops Regions Slice Ssp_analysis Ssp_ir String

@@ -1,0 +1,1 @@
+lib/core/trigger.mli: Slice Ssp_analysis Ssp_ir

@@ -1,0 +1,137 @@
+open Ssp_analysis
+
+type result = {
+  prog : Ssp_ir.Prog.t;
+  report : Report.t;
+  delinquent : Delinquent.t;
+  choices : Select.choice list;
+}
+
+let region_string r = Format.asprintf "%a" Regions.pp r
+
+let report_of (d : Delinquent.t) (choices : Select.choice list) =
+  let slices =
+    List.map
+      (fun (c : Select.choice) ->
+        let sched = c.Select.schedule in
+        let slice = sched.Schedule.slice in
+        {
+          Report.fn = slice.Slice.fn;
+          region = region_string slice.Slice.region;
+          model =
+            (match c.Select.model with
+            | Select.Chaining -> "chaining"
+            | Select.Basic -> "basic");
+          size = Slice.size slice;
+          live_ins = List.length slice.Slice.live_ins;
+          interprocedural = slice.Slice.interprocedural;
+          targets = List.length slice.Slice.targets;
+          triggers = List.length c.Select.triggers;
+          trips = c.Select.trips;
+          slack1 =
+            (match c.Select.model with
+            | Select.Chaining -> Schedule.slack_csp sched 1
+            | Select.Basic -> Schedule.slack_bsp sched 1);
+          available_ilp = sched.Schedule.available_ilp;
+          spawn_condition =
+            (match sched.Schedule.spawn_cond with
+            | Schedule.Cond _ -> "computed"
+            | Schedule.Predicted _ -> "predicted");
+        })
+      choices
+  in
+  {
+    Report.slices;
+    n_delinquent = List.length d.Delinquent.loads;
+    coverage = d.Delinquent.covered;
+  }
+
+(* Combine choices over the same region whose slices share dependence-graph
+   nodes (§3.4.1): merge targets and live-ins, rebuild the schedule over
+   the merged slice and re-decide the model and triggers (the combined
+   slice shifts the basic/chaining trade-off — typically toward chaining,
+   with one set of triggers instead of several). *)
+let combine regions callgraph profile config (choices : Select.choice list) =
+  let rec fold acc = function
+    | [] -> List.rev acc
+    | (c : Select.choice) :: rest -> (
+      let slice_of (x : Select.choice) = x.Select.schedule.Schedule.slice in
+      (* Slices over the same region always combine: they share the region's
+         induction/recurrence structure even when a degenerate slice (an
+         address that is directly a live-in) has no instructions to share. *)
+      let mergeable (a : Select.choice) =
+        (slice_of a).Slice.region = (slice_of c).Slice.region
+        && String.equal (slice_of a).Slice.fn (slice_of c).Slice.fn
+        && ((slice_of a).Slice.interprocedural
+            = (slice_of c).Slice.interprocedural)
+      in
+      match List.partition mergeable acc with
+      | [], _ -> fold (c :: acc) rest
+      | host :: others, keep ->
+        let merged_slice = Slice.merge (slice_of host) (slice_of c) in
+        let sched =
+          Schedule.build regions profile config ~trips:host.Select.trips
+            merged_slice
+        in
+        let merged =
+          Select.refine regions callgraph profile config
+            { host with Select.schedule = sched }
+        in
+        fold (merged :: (others @ keep)) rest)
+  in
+  fold [] choices
+
+let apply_choices prog ~config choices delinquent =
+  let adapted = Ssp_ir.Prog.copy prog in
+  Codegen.apply adapted config choices;
+  {
+    prog = adapted;
+    report = report_of delinquent choices;
+    delinquent;
+    choices;
+  }
+
+let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
+    ?(force_predict = false) ?(unroll = 1) ~config prog profile =
+  let delinquent = Delinquent.identify ~coverage prog profile in
+  let regions = Regions.compute prog in
+  let callgraph = Callgraph.compute prog in
+  let choices =
+    List.filter_map
+      (fun load -> Select.choose regions callgraph profile config load)
+      delinquent.Delinquent.loads
+  in
+  let choices =
+    if combining then combine regions callgraph profile config choices
+    else choices
+  in
+  (* Ablation knobs (never taken by the normal pipeline). *)
+  let choices =
+    List.map
+      (fun (c : Select.choice) ->
+        let c =
+          if force_basic && c.Select.model = Select.Chaining then begin
+            let slice = c.Select.schedule.Schedule.slice in
+            let triggers = Trigger.for_basic regions slice in
+            { c with Select.model = Select.Basic; triggers }
+          end
+          else c
+        in
+        let c =
+          if force_predict then
+            let sched = c.Select.schedule in
+            {
+              c with
+              Select.schedule =
+                {
+                  sched with
+                  Schedule.spawn_cond =
+                    Schedule.Predicted { depth = max 1 c.Select.trips };
+                };
+            }
+          else c
+        in
+        { c with Select.unroll = max 1 unroll })
+      choices
+  in
+  apply_choices prog ~config choices delinquent

@@ -1,0 +1,39 @@
+(** The post-pass tool: the whole Figure 1 second pass.
+
+    [run] takes the original binary and its profile and produces the
+    SSP-enhanced binary: delinquent loads are identified, a region and a
+    precomputation model are selected for each (slicing, scheduling, slack
+    estimation), slices sharing dependence-graph nodes are combined, and
+    the rewritten binary has the trigger [chk.c]s inserted and the stub /
+    slice blocks attached. The input program is not modified. *)
+
+type result = {
+  prog : Ssp_ir.Prog.t;  (** the adapted binary *)
+  report : Report.t;
+  delinquent : Delinquent.t;
+  choices : Select.choice list;
+}
+
+val run :
+  ?coverage:float ->
+  ?combining:bool ->
+  ?force_basic:bool ->
+  ?force_predict:bool ->
+  ?unroll:int ->
+  config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  result
+(** The optional flags are ablation knobs (defaults reproduce the paper's
+    tool): [combining:false] keeps one slice per delinquent load;
+    [force_basic] disables chaining SP; [force_predict] replaces computed
+    spawn conditions with the chain-depth bound; [unroll] sets per-thread
+    iteration lookahead. *)
+
+val apply_choices :
+  Ssp_ir.Prog.t ->
+  config:Ssp_machine.Config.t ->
+  Select.choice list ->
+  Delinquent.t ->
+  result
+(** Code generation only, for pre-built (e.g. hand-written) choices. *)

@@ -1,0 +1,377 @@
+open Ssp_isa
+
+let depth_slot = Ssp_sim.Thread.lib_slots - 1
+
+let fresh_counter = ref 0
+
+let fresh_name stem =
+  incr fresh_counter;
+  Printf.sprintf "ssp_%s_%d" stem !fresh_counter
+
+(* Renaming state for slice emission: original register -> slice register.
+   Fresh registers come from the stacked partition of the (clean)
+   speculative context. *)
+type rename = {
+  mutable map : (Reg.t * Reg.t) list;
+  mutable next : Reg.t;
+  by_site : Reg.t Ssp_ir.Iref.Tbl.t;
+      (* renamed destination of each emitted slice instruction, so targets
+         whose original registers were reused (temporaries) can resolve
+         their address through the defining instruction *)
+}
+
+let rename_create () =
+  { map = []; next = Reg.first_stacked; by_site = Ssp_ir.Iref.Tbl.create 16 }
+
+let rename_fresh rn =
+  if rn.next >= Reg.count then failwith "Codegen: slice out of registers";
+  let r = rn.next in
+  rn.next <- r + 1;
+  r
+
+let rename_use rn r =
+  if r = Reg.zero then Reg.zero
+  else
+    match List.assoc_opt r rn.map with
+    | Some r' -> r'
+    | None ->
+      (* An unexpected external value: speculative contexts start zeroed, so
+         reading a fresh register yields 0 — harmless for prefetching. *)
+      let r' = rename_fresh rn in
+      rn.map <- (r, r') :: rn.map;
+      r'
+
+let rename_def rn r =
+  if r = Reg.zero then Reg.zero
+  else begin
+    let r' = rename_fresh rn in
+    rn.map <- (r, r') :: List.remove_assoc r rn.map;
+    r'
+  end
+
+let rename_instr ?site rn op =
+  let record d =
+    (match site with
+    | Some i -> Ssp_ir.Iref.Tbl.replace rn.by_site i d
+    | None -> ());
+    d
+  in
+  match op with
+  | Op.Movi (d, i) -> Op.Movi (record (rename_def rn d), i)
+  | Op.Mov (d, s) ->
+    let s' = rename_use rn s in
+    Op.Mov (record (rename_def rn d), s')
+  | Op.Alu (o, d, a, b) ->
+    let a' = rename_use rn a and b' = rename_use rn b in
+    Op.Alu (o, record (rename_def rn d), a', b')
+  | Op.Alui (o, d, a, i) ->
+    let a' = rename_use rn a in
+    Op.Alui (o, record (rename_def rn d), a', i)
+  | Op.Cmp (o, d, a, b) ->
+    let a' = rename_use rn a and b' = rename_use rn b in
+    Op.Cmp (o, record (rename_def rn d), a', b')
+  | Op.Cmpi (o, d, a, i) ->
+    let a' = rename_use rn a in
+    Op.Cmpi (o, record (rename_def rn d), a', i)
+  | Op.Load (w, d, b, off) ->
+    let b' = rename_use rn b in
+    Op.Load (w, record (rename_def rn d), b', off)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Codegen: non-replayable instruction in slice: %s"
+         (Op.to_string op))
+
+let append_blocks (f : Ssp_ir.Prog.func) blocks =
+  f.Ssp_ir.Prog.blocks <-
+    Array.append f.Ssp_ir.Prog.blocks (Array.of_list blocks)
+
+(* Emit the speculative-thread code of one scheduled slice; returns the
+   label of its first block.
+
+   With [unroll] = K > 1 one speculative thread precomputes K consecutive
+   iterations: the critical sub-slice is replicated K times (advancing the
+   recurrences K steps) before the chained spawn, and the non-critical
+   sub-slice runs once per step using that step's register versions. *)
+let emit_slice prog (choice : Select.choice) =
+  let sched = choice.Select.schedule in
+  let slice = sched.Schedule.slice in
+  let unroll = max 1 choice.Select.unroll in
+  let f = Ssp_ir.Prog.find_func prog slice.Slice.fn in
+  let l_slice = fresh_name "slice" in
+  let l_skip = fresh_name "skip" in
+  let rn = rename_create () in
+  let body = ref [] in
+  let emit op = body := op :: !body in
+  (* Live-in loads. *)
+  List.iteri
+    (fun slot (l : Slice.live_in) ->
+      let r = rename_fresh rn in
+      rn.map <- (l.Slice.orig_reg, r) :: rn.map;
+      emit (Op.Lib_ld (r, slot)))
+    slice.Slice.live_ins;
+  let depth_reg =
+    match (choice.Select.model, sched.Schedule.spawn_cond) with
+    | Select.Chaining, Schedule.Predicted _ ->
+      let d = rename_fresh rn in
+      emit (Op.Lib_ld (d, depth_slot));
+      Some d
+    | _ -> None
+  in
+  let instr_of i = Ssp_ir.Prog.instr prog i in
+  (* Reaching definitions of the (not yet rewritten) host function: targets
+     resolve their address through the definition that reaches the load, so
+     reused temporaries do not alias different targets to one register. *)
+  let reach = Ssp_analysis.Reaching.compute (Ssp_analysis.Cfg.of_func f) in
+  let target_base_via (t : Slice.target) =
+    (* The renamed register holding a target's address: through the slice
+       member whose definition reaches the load (reused temporaries would
+       otherwise alias different targets), else the current map. *)
+    let candidates =
+      Ssp_analysis.Reaching.reaching_defs reach ~use:t.Slice.load
+        t.Slice.addr_reg
+    in
+    match
+      List.find_map
+        (fun (d : Ssp_analysis.Reaching.def) ->
+          Ssp_ir.Iref.Tbl.find_opt rn.by_site d.Ssp_analysis.Reaching.site)
+        candidates
+    with
+    | Some r -> r
+    | None -> rename_use rn t.Slice.addr_reg
+  in
+  let emit_prefetches () =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (t : Slice.target) ->
+        if not t.Slice.value_used then begin
+          let base = target_base_via t in
+          if not (Hashtbl.mem seen (base, t.Slice.offset)) then begin
+            Hashtbl.replace seen (base, t.Slice.offset) ();
+            emit (Op.Lfetch (base, t.Slice.offset))
+          end
+        end)
+      slice.Slice.targets
+  in
+  (* --- Inner-loop slices (basic SP): keep the loop, so one speculative
+     thread prefetches the whole traversal (the paper's interprocedural
+     health slice). Loop-carried registers get fixed homes; every round
+     copies the new versions back before the back edge. --- *)
+  match (choice.Select.model, sched.Schedule.inner) with
+  | Select.Basic, Some inner ->
+    let l_loop = fresh_name "sloop" in
+    let l_done = fresh_name "sdone" in
+    List.iter
+      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      inner.Schedule.pre;
+    let homes =
+      List.map
+        (fun r ->
+          let home = rename_fresh rn in
+          emit (Op.Mov (home, rename_use rn r));
+          rn.map <- (r, home) :: List.remove_assoc r rn.map;
+          (r, home))
+        inner.Schedule.carried
+    in
+    (* Bounded even when the condition is predicted: a countdown. *)
+    let counter = rename_fresh rn in
+    let bound =
+      match inner.Schedule.cond with
+      | Schedule.Predicted { depth } -> max 1 depth
+      | Schedule.Cond _ -> 4 * max 1 inner.Schedule.trips
+    in
+    emit (Op.Movi (counter, Int64.of_int bound));
+    let pre_ops = List.rev !body in
+    body := [];
+    List.iter
+      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      inner.Schedule.body;
+    emit_prefetches ();
+    (match inner.Schedule.cond with
+    | Schedule.Cond { extra; reg; spawn_if_nonzero } ->
+      List.iter (fun i -> emit (rename_instr ~site:i rn (instr_of i))) extra;
+      let c = rename_use rn reg in
+      if spawn_if_nonzero then emit (Op.Brz (c, l_done))
+      else emit (Op.Brnz (c, l_done))
+    | Schedule.Predicted _ -> ());
+    List.iter
+      (fun (r, home) ->
+        let cur = rename_use rn r in
+        if cur <> home then emit (Op.Mov (home, cur));
+        rn.map <- (r, home) :: List.remove_assoc r rn.map)
+      homes;
+    let counter' = rename_fresh rn in
+    emit (Op.Alui (Op.Sub, counter', counter, 1L));
+    emit (Op.Mov (counter, counter'));
+    emit (Op.Brnz (counter, l_loop));
+    let loop_ops = List.rev !body in
+    append_blocks f
+      [
+        { Ssp_ir.Prog.label = l_slice; ops = Array.of_list pre_ops };
+        { Ssp_ir.Prog.label = l_loop; ops = Array.of_list loop_ops };
+        { Ssp_ir.Prog.label = l_done; ops = [| Op.Kill |] };
+      ];
+    l_slice
+  | _ ->
+  (* Critical sub-slice, replicated per unrolled step; snapshot the
+     register versions after each step for its non-critical twin. *)
+  let snapshots = ref [] in
+  for _step = 1 to unroll do
+    List.iter
+      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      sched.Schedule.order_critical;
+    snapshots := rn.map :: !snapshots
+  done;
+  let snapshots = List.rev !snapshots in
+  (* Spawn sequence (chaining only). *)
+  (match choice.Select.model with
+  | Select.Basic -> ()
+  | Select.Chaining ->
+    (match sched.Schedule.spawn_cond with
+    | Schedule.Cond { extra; reg; spawn_if_nonzero } ->
+      List.iter (fun i -> emit (rename_instr ~site:i rn (instr_of i))) extra;
+      let c = rename_use rn reg in
+      if spawn_if_nonzero then emit (Op.Brz (c, l_skip))
+      else emit (Op.Brnz (c, l_skip))
+    | Schedule.Predicted _ -> (
+      match depth_reg with
+      | Some d ->
+        let t = rename_fresh rn in
+        emit (Op.Cmpi (Op.Le, t, d, 0L));
+        emit (Op.Brnz (t, l_skip))
+      | None -> ()));
+    (* Copy the next thread's live-ins into the buffer. *)
+    List.iteri
+      (fun slot (l : Slice.live_in) ->
+        emit (Op.Lib_st (slot, rename_use rn l.Slice.orig_reg)))
+      slice.Slice.live_ins;
+    (match depth_reg with
+    | Some d ->
+      let d' = rename_fresh rn in
+      emit (Op.Alui (Op.Sub, d', d, Int64.of_int unroll));
+      emit (Op.Lib_st (depth_slot, d'))
+    | None -> ());
+    emit (Op.Spawn (slice.Slice.fn, l_slice)));
+  let head = List.rev !body in
+  (* Non-critical sub-slice + prefetches + kill, in the skip block — once
+     per unrolled step, reading that step's register versions. *)
+  let tail = ref [] in
+  let emit op = tail := op :: !tail in
+  List.iter
+    (fun snapshot ->
+      rn.map <- snapshot;
+      List.iter
+        (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+        sched.Schedule.order_non_critical;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (t : Slice.target) ->
+          if not t.Slice.value_used then begin
+            let base = target_base_via t in
+            if not (Hashtbl.mem seen (base, t.Slice.offset)) then begin
+              Hashtbl.replace seen (base, t.Slice.offset) ();
+              emit (Op.Lfetch (base, t.Slice.offset))
+            end
+          end)
+        slice.Slice.targets)
+    snapshots;
+  emit Op.Kill;
+  append_blocks f
+    [
+      { Ssp_ir.Prog.label = l_slice; ops = Array.of_list head };
+      { Ssp_ir.Prog.label = l_skip; ops = Array.of_list (List.rev !tail) };
+    ];
+  l_slice
+
+(* Insert a chk.c at a trigger point by splitting the block, appending the
+   given stub body (without its final resume branch) as the recovery code. *)
+let insert_chk prog ~fn ~blk ~pos ~stub_ops =
+  let f = Ssp_ir.Prog.find_func prog fn in
+  let b = f.Ssp_ir.Prog.blocks.(blk) in
+  let ops = b.Ssp_ir.Prog.ops in
+  let n = Array.length ops in
+  let pos = min pos n in
+  let l_stub = fresh_name "stub" in
+  let l_resume = fresh_name "resume" in
+  let head = Array.sub ops 0 pos in
+  let tail = Array.sub ops pos (n - pos) in
+  (* The moved tail must not fall through past the resume block. *)
+  let tail =
+    let needs_br =
+      n - pos = 0 || not (Op.is_terminator tail.(Array.length tail - 1))
+    in
+    if needs_br then begin
+      if blk + 1 >= Array.length f.Ssp_ir.Prog.blocks then
+        invalid_arg "Codegen: fallthrough at function end";
+      let next = f.Ssp_ir.Prog.blocks.(blk + 1).Ssp_ir.Prog.label in
+      Array.append tail [| Op.Br next |]
+    end
+    else tail
+  in
+  b.Ssp_ir.Prog.ops <- Array.append head [| Op.Chk_c l_stub; Op.Br l_resume |];
+  append_blocks f
+    [
+      {
+        Ssp_ir.Prog.label = l_stub;
+        ops = Array.of_list (stub_ops @ [ Op.Br l_resume ]);
+      };
+      { Ssp_ir.Prog.label = l_resume; ops = tail };
+    ]
+
+let append_raw_blocks prog ~fn blocks =
+  let f = Ssp_ir.Prog.find_func prog fn in
+  append_blocks f
+    (List.map
+       (fun (label, ops) -> { Ssp_ir.Prog.label; ops = Array.of_list ops })
+       blocks)
+
+let insert_trigger prog (choice : Select.choice) ~slice_label (t : Trigger.t) =
+  let sched = choice.Select.schedule in
+  let slice = sched.Schedule.slice in
+  (* Stub: copy live-ins (main-thread registers) to the buffer, seed the
+     chain depth, spawn. Scratch r2 is free by convention. *)
+  let stub = ref [] in
+  let emit op = stub := op :: !stub in
+  List.iteri
+    (fun slot (l : Slice.live_in) ->
+      emit (Op.Lib_st (slot, l.Slice.orig_reg)))
+    slice.Slice.live_ins;
+  (match (choice.Select.model, sched.Schedule.spawn_cond) with
+  | Select.Chaining, Schedule.Predicted { depth } ->
+    emit (Op.Movi (2, Int64.of_int depth));
+    emit (Op.Lib_st (depth_slot, 2))
+  | _ -> ());
+  emit (Op.Spawn (slice.Slice.fn, slice_label));
+  insert_chk prog ~fn:t.Trigger.fn ~blk:t.Trigger.blk ~pos:t.Trigger.pos
+    ~stub_ops:(List.rev !stub)
+
+let apply prog cfg (choices : Select.choice list) =
+  ignore cfg;
+  (* Emit every slice first: appends never move existing instructions, so
+     the position-based slice references of later choices stay valid. Then
+     insert all triggers, globally ordered from the highest position down
+     within each block, so splits never invalidate a pending position. *)
+  let pending =
+    List.concat_map
+      (fun (choice : Select.choice) ->
+        let slice_label = emit_slice prog choice in
+        List.map (fun t -> (choice, slice_label, t)) choice.Select.triggers)
+      choices
+  in
+  let pending =
+    List.sort
+      (fun (_, _, (a : Trigger.t)) (_, _, (b : Trigger.t)) ->
+        compare (b.Trigger.fn, b.Trigger.blk, b.Trigger.pos)
+          (a.Trigger.fn, a.Trigger.blk, a.Trigger.pos))
+      pending
+  in
+  List.iter
+    (fun (choice, slice_label, t) -> insert_trigger prog choice ~slice_label t)
+    pending;
+  match Ssp_ir.Validate.check prog with
+  | Ok () -> ()
+  | Error es ->
+    let msg =
+      String.concat "; "
+        (List.map (fun e -> Format.asprintf "%a" Ssp_ir.Validate.pp_error e) es)
+    in
+    invalid_arg ("Codegen.apply: invalid program after rewriting: " ^ msg)

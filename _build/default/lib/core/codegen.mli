@@ -1,0 +1,53 @@
+(** SSP-enabled code generation (§3.4.2, Figure 7).
+
+    For every selected slice the program is rewritten in place:
+    - the p-slice is appended to its host function as {e slice blocks}: the
+      speculative thread copies its live-ins out of the live-in buffer,
+      runs the scheduled critical sub-slice, conditionally spawns the next
+      chaining thread (copying the updated live-ins into the buffer first),
+      runs the non-critical sub-slice, issues the prefetches and kills
+      itself;
+    - each trigger site gets a {e stub block} appended to the triggering
+      function: the main thread reaches it as the recovery code of the new
+      [chk.c] instruction, copies the live-in values into the buffer,
+      spawns the speculative thread and resumes;
+    - the [chk.c] is inserted by splitting the trigger's block: the
+      instructions after the trigger point move to a {e resume block}, so
+      all original instruction positions before the split stay valid (the
+      paper replaces an existing nop; our generator has no nops to spare).
+
+    Slice registers are freshly renamed (speculative contexts start from a
+    clean register file), which also disposes of all anti and output
+    dependences, and slice code never contains stores, allocations or
+    calls — validated structurally after rewriting. *)
+
+val depth_slot : int
+(** Live-in buffer slot carrying the chain-depth bound of predicted spawn
+    conditions (the last slot). *)
+
+val apply :
+  Ssp_ir.Prog.t -> Ssp_machine.Config.t -> Select.choice list -> unit
+(** Mutates the program. Raises [Invalid_argument] if the rewritten
+    program fails validation or a slice contains a non-replayable
+    instruction. *)
+
+(** {2 Raw rewriting (hand adaptation)}
+
+    The §4.5 hand-adapted binaries are built with the same low-level
+    rewriting used by the automatic tool. *)
+
+val insert_chk :
+  Ssp_ir.Prog.t ->
+  fn:string ->
+  blk:int ->
+  pos:int ->
+  stub_ops:Ssp_isa.Op.t list ->
+  unit
+(** Split the block at [pos], insert a [chk.c], append the stub (the final
+    resume branch is added automatically). *)
+
+val append_raw_blocks :
+  Ssp_ir.Prog.t -> fn:string -> (string * Ssp_isa.Op.t list) list -> unit
+
+val fresh_name : string -> string
+(** A program-unique label with the given stem. *)

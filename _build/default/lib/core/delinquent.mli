@@ -1,0 +1,27 @@
+(** Delinquent-load identification (§2.2, §3.1).
+
+    For many programs a small number of static loads causes the vast
+    majority of cache misses. Using the cache profile, loads are ranked by
+    total miss cycles and the smallest prefix covering at least the
+    requested fraction (the paper uses 90 %) is selected. Loads whose
+    misses are negligible in absolute terms are never selected. *)
+
+type load = {
+  iref : Ssp_ir.Iref.t;
+  addr_reg : Ssp_isa.Reg.t;  (** base register of the address *)
+  offset : int;
+  miss_cycles : int;
+  accesses : int;
+  miss_ratio : float;  (** fraction of accesses missing L1 *)
+}
+
+type t = { loads : load list; covered : float; total_miss_cycles : int }
+
+val identify :
+  ?coverage:float -> Ssp_ir.Prog.t -> Ssp_profiling.Profile.t -> t
+(** [coverage] defaults to 0.9. *)
+
+val set : t -> Ssp_ir.Iref.Set.t
+(** The selected loads as a set (for [Perfect_delinquent] runs). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Hand adaptation (§4.5).
+
+    Wang et al. hand-adapted mcf and health for speculative precomputation;
+    the paper compares the automatic tool against those binaries on the
+    same simulator. These are our renditions of the hand-tuned versions,
+    built with the same low-level rewriting as the tool but using the
+    tricks the tool does not attempt:
+
+    - {b mcf}: each chaining thread precomputes {e four} consecutive arc
+      iterations (the tool targets one iteration per thread, §3.2.1), so a
+      chain of the same number of hardware contexts covers four times the
+      prefetch distance with a quarter of the spawn overhead;
+    - {b health}: an additional interprocedural slice with one level of the
+      recursion inlined by hand — at every call site of [simulate] a
+      speculative thread prefetches the four child villages and the heads
+      of their patient lists, on top of the tool's own list-walk slices
+      (the paper attributes the hand version's advantage exactly to this
+      inlining, §4.4.1/§4.5). *)
+
+val adapt :
+  workload:string ->
+  config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  Adapt.result option
+(** [None] for workloads without a hand-adapted version. *)

@@ -1,0 +1,129 @@
+open Ssp_analysis
+
+type cut_edge = { src : int; dst : int; freq : int }
+
+(* Profiled frequency of a CFG edge, reconstructed from block frequencies
+   and branch direction counts. *)
+let edge_freq (cfg : Cfg.t) profile ~src ~dst =
+  let fn = cfg.Cfg.func.Ssp_ir.Prog.name in
+  let bfreq b = Ssp_profiling.Profile.block_freq profile fn b in
+  let ops = cfg.Cfg.func.Ssp_ir.Prog.blocks.(src).Ssp_ir.Prog.ops in
+  let n = Array.length ops in
+  if n = 0 then bfreq src
+  else
+    let last = Ssp_ir.Iref.make fn src (n - 1) in
+    match ops.(n - 1) with
+    | Ssp_isa.Op.Br _ -> bfreq src
+    | Ssp_isa.Op.Brnz (_, l) | Ssp_isa.Op.Brz (_, l) -> (
+      let target = Cfg.block_of_label cfg l in
+      match Ssp_profiling.Profile.branch_bias profile last with
+      | Some b ->
+        if target = dst && dst <> src + 1 then b.Ssp_profiling.Profile.taken
+        else if dst = src + 1 && target <> dst then
+          b.Ssp_profiling.Profile.not_taken
+        else bfreq src (* degenerate: both successors coincide *)
+      | None -> 0)
+    | _ -> bfreq src (* fall-through *)
+
+(* Edmonds–Karp max flow on the block graph. Capacities are edge
+   frequencies (+1 so zero-frequency edges on the frequent subgraph still
+   carry unit capacity). *)
+let min_cut (cfg : Cfg.t) profile ?(min_freq = 1) ~sink () =
+  let n = Cfg.n_blocks cfg in
+  let cap = Hashtbl.create 64 in
+  let adj = Array.make n [] in
+  let add_edge u v c =
+    if not (Hashtbl.mem cap (u, v)) then begin
+      Hashtbl.replace cap (u, v) c;
+      if not (Hashtbl.mem cap (v, u)) then Hashtbl.replace cap (v, u) 0;
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v)
+    end
+  in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        let f = edge_freq cfg profile ~src:u ~dst:v in
+        if f >= min_freq then add_edge u v f)
+      (Cfg.succ cfg u)
+  done;
+  if sink = 0 then []
+  else begin
+    let residual u v = Option.value ~default:0 (Hashtbl.find_opt cap (u, v)) in
+    let bfs () =
+      let parent = Array.make n (-1) in
+      parent.(0) <- 0;
+      let q = Queue.create () in
+      Queue.add 0 q;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if parent.(v) = -1 && residual u v > 0 then begin
+              parent.(v) <- u;
+              if v = sink then found := true else Queue.add v q
+            end)
+          adj.(u)
+      done;
+      if !found then Some parent else None
+    in
+    let rec loop () =
+      match bfs () with
+      | None -> ()
+      | Some parent ->
+        (* bottleneck along the path *)
+        let rec path v acc =
+          if v = 0 then acc else path parent.(v) ((parent.(v), v) :: acc)
+        in
+        let p = path sink [] in
+        let bottleneck =
+          List.fold_left (fun acc (u, v) -> min acc (residual u v)) max_int p
+        in
+        List.iter
+          (fun (u, v) ->
+            Hashtbl.replace cap (u, v) (residual u v - bottleneck);
+            Hashtbl.replace cap (v, u) (residual v u + bottleneck))
+          p;
+        loop ()
+    in
+    loop ();
+    (* Min cut: edges from the source-reachable side to the rest. *)
+    let reach = Array.make n false in
+    reach.(0) <- true;
+    let q = Queue.create () in
+    Queue.add 0 q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if (not reach.(v)) && residual u v > 0 then begin
+            reach.(v) <- true;
+            Queue.add v q
+          end)
+        adj.(u)
+    done;
+    let cut = ref [] in
+    for u = 0 to n - 1 do
+      if reach.(u) then
+        List.iter
+          (fun v ->
+            let f = edge_freq cfg profile ~src:u ~dst:v in
+            if f >= min_freq && not reach.(v) then
+              cut := { src = u; dst = v; freq = f } :: !cut)
+          (Cfg.succ cfg u)
+    done;
+    List.rev !cut
+  end
+
+let triggers_of_cut fn cut =
+  List.map
+    (fun e -> { Trigger.fn; blk = e.dst; pos = 0; kind = Trigger.Preheader })
+    cut
+  |> List.sort_uniq compare
+
+let dynamic_cost profile fn triggers =
+  List.fold_left
+    (fun acc (t : Trigger.t) ->
+      acc + Ssp_profiling.Profile.block_freq profile fn t.Trigger.blk)
+    0 triggers

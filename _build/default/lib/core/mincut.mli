@@ -1,0 +1,38 @@
+(** Optimal trigger placement as a minimum cut (§3.3).
+
+    The paper observes that, with infrequent edges filtered out, the optimal
+    trigger set minimizes Σᵢ fᵢ·cᵢ over cut sets of the CFG separating the
+    function entry from the delinquent load — a max-flow/min-cut problem
+    with frequency-weighted capacities [12]. The production placement is
+    the conservative dominator walk of {!Trigger}; this module implements
+    the optimal formulation (Edmonds–Karp, fine for CFG-sized graphs) so
+    the two can be compared (the ablation benches report the dynamic
+    trigger counts of both).
+
+    Edges executed fewer than [min_freq] times are filtered out before the
+    cut is computed, as in the paper; paths through them never trigger. *)
+
+type cut_edge = {
+  src : int;  (** block index *)
+  dst : int;
+  freq : int;  (** profiled executions of the edge *)
+}
+
+val min_cut :
+  Ssp_analysis.Cfg.t ->
+  Ssp_profiling.Profile.t ->
+  ?min_freq:int ->
+  sink:int ->
+  unit ->
+  cut_edge list
+(** Minimum-weight edge cut between block 0 and [sink] under profiled edge
+    frequencies. Returns [] when the sink is unreachable through frequent
+    edges. *)
+
+val triggers_of_cut : string -> cut_edge list -> Trigger.t list
+(** A trigger at the head of each cut edge's destination block. *)
+
+val dynamic_cost :
+  Ssp_profiling.Profile.t -> string -> Trigger.t list -> int
+(** Σ block frequency over the trigger blocks: how often the main thread
+    executes the trigger instructions. *)

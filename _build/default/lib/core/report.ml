@@ -1,0 +1,47 @@
+type slice_info = {
+  fn : string;
+  region : string;
+  model : string;
+  size : int;
+  live_ins : int;
+  interprocedural : bool;
+  targets : int;
+  triggers : int;
+  trips : int;
+  slack1 : int;
+  available_ilp : float;
+  spawn_condition : string;
+}
+
+type t = { slices : slice_info list; n_delinquent : int; coverage : float }
+
+let table2_row t =
+  let n = List.length t.slices in
+  let interproc =
+    List.length (List.filter (fun s -> s.interprocedural) t.slices)
+  in
+  let avg f =
+    if n = 0 then 0.0
+    else List.fold_left (fun acc s -> acc +. f s) 0.0 t.slices /. float_of_int n
+  in
+  ( n,
+    interproc,
+    avg (fun s -> float_of_int s.size),
+    avg (fun s -> float_of_int s.live_ins) )
+
+let pp ppf t =
+  let n, ip, sz, li = table2_row t in
+  Format.fprintf ppf
+    "@[<v>%d delinquent loads (%.1f%% of miss cycles) -> %d slices (%d \
+     interprocedural), avg size %.1f, avg live-ins %.1f@,"
+    t.n_delinquent (100.0 *. t.coverage) n ip sz li;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  %s %s: %s SP, %d instrs, %d live-ins, %d targets, %d triggers, \
+         trips~%d, slack1=%d, ilp=%.2f, cond=%s%s@,"
+        s.fn s.region s.model s.size s.live_ins s.targets s.triggers s.trips
+        s.slack1 s.available_ilp s.spawn_condition
+        (if s.interprocedural then ", interprocedural" else ""))
+    t.slices;
+  Format.fprintf ppf "@]"

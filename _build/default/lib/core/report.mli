@@ -1,0 +1,28 @@
+(** Adaptation report: the per-slice data behind Table 2 plus the
+    scheduling diagnostics the paper discusses (§3.2, §4.2). *)
+
+type slice_info = {
+  fn : string;
+  region : string;
+  model : string;  (** "chaining" or "basic" *)
+  size : int;  (** slice instructions *)
+  live_ins : int;
+  interprocedural : bool;
+  targets : int;  (** delinquent loads covered *)
+  triggers : int;
+  trips : int;
+  slack1 : int;  (** slack of the first iteration under the chosen model *)
+  available_ilp : float;
+  spawn_condition : string;  (** "computed" or "predicted" *)
+}
+
+type t = {
+  slices : slice_info list;
+  n_delinquent : int;
+  coverage : float;  (** miss-cycle coverage of the selected loads *)
+}
+
+val table2_row : t -> int * int * float * float
+(** (slices, interprocedural slices, average size, average live-ins). *)
+
+val pp : Format.formatter -> t -> unit

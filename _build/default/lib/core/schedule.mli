@@ -1,0 +1,77 @@
+(** Scheduling the slice into an execution slice (§3.2).
+
+    For a loop region the slice is turned into the do-across prefetching
+    loop of Figure 5:
+
+    - {b dependence reduction} (§3.2.1.1): loop rotation picks the iteration
+      boundary that converts the most backward loop-carried dependences into
+      intra-iteration ones without creating new ones; condition prediction
+      replaces a spawn condition that is expensive to precompute with a
+      profile-derived chain-depth bound (over-spawning is safe: requests
+      without a free context are ignored);
+    - {b graph partitioning} (§3.2.1.2.1): Tarjan SCCs over the slice's
+      dependence graph; the {e critical sub-slice} is the backward
+      intra-iteration closure of the values the next chaining thread needs
+      (the non-degenerate SCCs and their feeders) and is scheduled before
+      the spawn point; the remaining degenerate SCCs form the
+      {e non-critical sub-slice} after it;
+    - {b list scheduling} (§3.2.1.2.2): forward cycle scheduling with
+      maximum cumulative cost (dependence height with profiled load
+      latencies); ties broken by lower original instruction address.
+
+    The module also computes the heights the slack formulas of §3.2.1.2.2 /
+    §3.2.2 need, and the available-ILP diagnostic of Cooper et al. that
+    justifies the height heuristic. *)
+
+type spawn_condition =
+  | Cond of {
+      extra : Ssp_ir.Iref.t list;  (** condition instrs not already in slice *)
+      reg : Ssp_isa.Reg.t;  (** continue-condition register *)
+      spawn_if_nonzero : bool;
+    }
+  | Predicted of { depth : int }  (** chain-depth bound *)
+
+type inner_loop = {
+  loop_id : int;  (** a loop strictly inside the slice's region *)
+  body : Ssp_ir.Iref.t list;  (** slice instrs of the loop, scheduled *)
+  pre : Ssp_ir.Iref.t list;  (** slice instrs outside it, scheduled *)
+  carried : Ssp_isa.Reg.t list;
+      (** registers carried around the inner loop's back edge by the slice *)
+  cond : spawn_condition;  (** the inner loop's continue condition *)
+  trips : int;  (** profiled iterations per entry *)
+}
+(** A slice that spans an inner loop of its region (the health pattern:
+    a whole-procedure slice containing the patient-list walk). Code
+    generation preserves the loop so one speculative thread prefetches the
+    entire traversal, which is what the paper's interprocedural slices do. *)
+
+type t = {
+  slice : Slice.t;
+  order_critical : Ssp_ir.Iref.t list;  (** scheduled order *)
+  order_non_critical : Ssp_ir.Iref.t list;
+  spawn_cond : spawn_condition;
+  recurrence_regs : Ssp_isa.Reg.t list;
+  height_region : int;  (** dependence height of one region iteration *)
+  height_critical : int;
+  height_slice : int;
+  copy_spawn_latency : int;
+  rotation : int;  (** chosen boundary offset in the slice's layout order *)
+  loop_carried_edges : int;  (** after rotation *)
+  available_ilp : float;
+  inner : inner_loop option;
+}
+
+val build :
+  Ssp_analysis.Regions.t ->
+  Ssp_profiling.Profile.t ->
+  Ssp_machine.Config.t ->
+  trips:int ->
+  Slice.t ->
+  t
+
+val slack_csp : t -> int -> int
+(** [slack_csp t i] = (height(region) − height(critical) − copy/spawn) · i,
+    clamped at 0. *)
+
+val slack_bsp : t -> int -> int
+(** [slack_bsp t i] = (height(region) − height(slice)) · i, clamped. *)

@@ -1,0 +1,71 @@
+open Ssp_analysis
+
+type kind = Preheader | Body | Call_site
+
+type t = { fn : string; blk : int; pos : int; kind : kind }
+
+let for_chaining regions (s : Slice.t) =
+  (* The chaining trigger sits at the loop header: while chained threads
+     occupy every context the check is a nop; when the chain dies (a spawn
+     found no free context) the next main-thread iteration re-seeds it from
+     the current live-in values. A preheader-only trigger would seed one
+     chain per loop entry and prefetching would stop with the first failed
+     chained spawn. *)
+  match Regions.loop_of regions s.Slice.region with
+  | None -> []
+  | Some loop ->
+    [ { fn = s.Slice.fn; blk = loop.Loops.header; pos = 0; kind = Preheader } ]
+
+let for_basic regions (s : Slice.t) =
+  match Regions.loop_of regions s.Slice.region with
+  | None ->
+    (* Procedure region: at function entry, after the last live-in
+       producer (parameters are defined at entry, so position 0 barring
+       in-body cut points). *)
+    let in_body_cuts =
+      List.concat_map (fun (l : Slice.live_in) -> l.Slice.def_sites)
+        s.Slice.live_ins
+      |> List.filter (fun (i : Ssp_ir.Iref.t) -> String.equal i.fn s.Slice.fn)
+    in
+    (match
+       List.sort (fun a b -> Ssp_ir.Iref.compare b a) in_body_cuts
+     with
+    | [] -> [ { fn = s.Slice.fn; blk = 0; pos = 0; kind = Body } ]
+    | last :: _ ->
+      [
+        { fn = s.Slice.fn; blk = last.Ssp_ir.Iref.blk;
+          pos = last.Ssp_ir.Iref.ins + 1; kind = Body };
+      ])
+  | Some loop ->
+    (* After the last in-loop live-in producer; otherwise the loop body
+       entry (the header's first non-terminator slot). *)
+    let in_loop_cuts =
+      List.concat_map (fun (l : Slice.live_in) -> l.Slice.def_sites)
+        s.Slice.live_ins
+      |> List.filter (fun (i : Ssp_ir.Iref.t) ->
+             String.equal i.fn s.Slice.fn && List.mem i.blk loop.Loops.body)
+    in
+    (match List.sort (fun a b -> Ssp_ir.Iref.compare b a) in_loop_cuts with
+    | last :: _ ->
+      [
+        { fn = s.Slice.fn; blk = last.Ssp_ir.Iref.blk;
+          pos = last.Ssp_ir.Iref.ins + 1; kind = Body };
+      ]
+    | [] -> [ { fn = s.Slice.fn; blk = loop.Loops.header; pos = 0; kind = Body } ])
+
+let for_call_sites sites =
+  List.map
+    (fun (i : Ssp_ir.Iref.t) ->
+      { fn = i.fn; blk = i.blk; pos = i.ins; kind = Call_site })
+    sites
+
+let dominates_load regions t (load : Ssp_ir.Iref.t) =
+  if not (String.equal t.fn load.fn) then t.kind = Call_site
+  else begin
+    let cfg = Regions.cfg_of regions t.fn in
+    let dom = Dom.compute cfg.Cfg.graph ~entry:0 in
+    Dom.dominates dom t.blk load.blk
+    || (* a preheader does not dominate loads of loops with several
+          preheaders; accept any preheader of the load's loop *)
+    t.kind = Preheader || t.kind = Call_site
+  end

@@ -1,0 +1,31 @@
+(** Trigger placement (§3.3).
+
+    Triggers form a cut set on the CFG over the paths reaching the
+    delinquent loads. Placement is the paper's conservative dominator-based
+    strategy: the trigger goes right after the instruction producing the
+    last live-in; with no in-region producer it rises to the region
+    boundary — the loop preheaders for chaining SP (which dominate the
+    loads), the loop body entry for basic SP, or the call sites of the host
+    function for interprocedural slices. The optimal max-flow min-cut
+    formulation is in {!Mincut} and compared as an ablation. *)
+
+type kind = Preheader | Body | Call_site
+
+type t = { fn : string; blk : int; pos : int; kind : kind }
+(** Insert the [chk.c] in function [fn], block [blk], before the
+    instruction currently at [pos]. *)
+
+val for_chaining :
+  Ssp_analysis.Regions.t -> Slice.t -> t list
+(** One trigger per preheader of the slice's loop. *)
+
+val for_basic : Ssp_analysis.Regions.t -> Slice.t -> t list
+(** One trigger inside the loop body (or at function entry for procedure
+    regions), after the last in-region live-in producer. *)
+
+val for_call_sites : Ssp_ir.Iref.t list -> t list
+
+val dominates_load :
+  Ssp_analysis.Regions.t -> t -> Ssp_ir.Iref.t -> bool
+(** Sanity check used by tests: the trigger's block control-dominates the
+    delinquent load's block (or is a call site of its function). *)

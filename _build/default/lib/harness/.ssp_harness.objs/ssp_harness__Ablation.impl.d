@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Experiment Format List Render Ssp Ssp_analysis Ssp_ir Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Config Hashtbl List Printf Ssp Ssp_ir Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads

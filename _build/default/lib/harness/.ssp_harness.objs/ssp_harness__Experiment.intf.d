@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Ssp Ssp_ir Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Experiment Format List Printf Render Ssp Ssp_ir Ssp_machine Ssp_sim Ssp_workloads

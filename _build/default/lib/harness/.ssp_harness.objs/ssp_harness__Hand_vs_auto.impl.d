@@ -1,0 +1,1 @@
+lib/harness/hand_vs_auto.ml: Config Experiment Format List Render Ssp Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads

@@ -1,0 +1,1 @@
+lib/harness/hand_vs_auto.mli: Experiment Format

@@ -1,0 +1,1 @@
+lib/harness/render.ml: Float Format List Option Printf String

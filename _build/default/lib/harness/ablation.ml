@@ -1,0 +1,88 @@
+type row = { variant : string; speedup : float; spawns : int; prefetches : int }
+
+let run ?(setting = Experiment.reference) () =
+  let w = Ssp_workloads.Suite.find "mcf" in
+  let prog = Ssp_workloads.Workload.program w ~scale:setting.Experiment.scale in
+  let cfg = Experiment.config_for setting Ssp_machine.Config.In_order in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let base = Ssp_sim.Inorder.run cfg prog in
+  let variant name adapt =
+    let result = adapt () in
+    let s = Ssp_sim.Inorder.run cfg result.Ssp.Adapt.prog in
+    {
+      variant = name;
+      speedup = Experiment.speedup ~baseline:base s;
+      spawns = s.Ssp_sim.Stats.spawns;
+      prefetches = s.Ssp_sim.Stats.prefetches;
+    }
+  in
+  [
+    variant "tool (chaining, combined, computed cond)" (fun () ->
+        Ssp.Adapt.run ~config:cfg prog profile);
+    variant "basic SP only" (fun () ->
+        Ssp.Adapt.run ~force_basic:true ~config:cfg prog profile);
+    variant "condition prediction forced" (fun () ->
+        Ssp.Adapt.run ~force_predict:true ~config:cfg prog profile);
+    variant "no slice combining" (fun () ->
+        Ssp.Adapt.run ~combining:false ~config:cfg prog profile);
+    variant "unroll 4 (hand-style lookahead)" (fun () ->
+        Ssp.Adapt.run ~unroll:4 ~config:cfg prog profile);
+  ]
+
+(* Dominator-walk vs max-flow min-cut trigger placement (§3.3): both must
+   cut every frequent path to the delinquent load; the comparison is how
+   often the main thread executes a trigger instruction. *)
+let trigger_placement ?(setting = Experiment.reference) () =
+  let w = Ssp_workloads.Suite.find "mcf" in
+  let prog = Ssp_workloads.Workload.program w ~scale:setting.Experiment.scale in
+  let cfg_m = Experiment.config_for setting Ssp_machine.Config.In_order in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg_m prog in
+  let regions = Ssp_analysis.Regions.compute prog in
+  let callgraph = Ssp_analysis.Callgraph.compute prog in
+  let d = Ssp.Delinquent.identify prog profile in
+  List.filter_map
+    (fun (load : Ssp.Delinquent.load) ->
+      match Ssp.Select.choose regions callgraph profile cfg_m load with
+      | None -> None
+      | Some c ->
+        let fn = load.Ssp.Delinquent.iref.Ssp_ir.Iref.fn in
+        let cfg_f = Ssp_analysis.Regions.cfg_of regions fn in
+        let cut =
+          Ssp.Mincut.min_cut cfg_f profile
+            ~sink:load.Ssp.Delinquent.iref.Ssp_ir.Iref.blk ()
+        in
+        let mincut_triggers = Ssp.Mincut.triggers_of_cut fn cut in
+        Some
+          ( Format.asprintf "%a" Ssp_ir.Iref.pp load.Ssp.Delinquent.iref,
+            List.length c.Ssp.Select.triggers,
+            Ssp.Mincut.dynamic_cost profile fn c.Ssp.Select.triggers,
+            List.length mincut_triggers,
+            Ssp.Mincut.dynamic_cost profile fn mincut_triggers ))
+    d.Ssp.Delinquent.loads
+
+let print ?setting ppf () =
+  let rows = run ?setting () in
+  Format.fprintf ppf
+    "@[<v>Ablations on mcf (in-order model, speedup over baseline)@,@,";
+  Render.table ppf
+    ~header:[ "variant"; "speedup"; "spawns"; "prefetches" ]
+    (List.map
+       (fun r ->
+         [
+           r.variant;
+           Render.f2 r.speedup;
+           string_of_int r.spawns;
+           string_of_int r.prefetches;
+         ])
+       rows);
+  Format.fprintf ppf "@,@,Trigger placement: dominator walk vs max-flow min-cut@,@,";
+  Render.table ppf
+    ~header:
+      [ "delinquent load"; "dom triggers"; "dom dyn count"; "cut triggers";
+        "cut dyn count" ]
+    (List.map
+       (fun (l, dt, dd, ct, cd) ->
+         [ l; string_of_int dt; string_of_int dd; string_of_int ct;
+           string_of_int cd ])
+       (trigger_placement ?setting ()));
+  Format.fprintf ppf "@]"

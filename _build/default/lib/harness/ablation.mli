@@ -1,0 +1,18 @@
+(** Ablations of the §3 design choices, on mcf (the paper's running
+    example):
+
+    - {b basic-only}: force basic SP everywhere — quantifies what chaining
+      (long-range prefetching) buys, the paper's central claim;
+    - {b no-prediction}: force condition prediction off is not expressible
+      (the spawn condition is computed when cheap), so instead force
+      prediction {e on} — quantifies what the computed spawn condition
+      buys over a depth bound;
+    - {b no-combining}: keep one slice per delinquent load — quantifies
+      §3.4.1's slice combining;
+    - {b unroll-4}: the hand adaptation's per-thread lookahead on top of
+      the automatic tool. *)
+
+type row = { variant : string; speedup : float; spawns : int; prefetches : int }
+
+val run : ?setting:Experiment.setting -> unit -> row list
+val print : ?setting:Experiment.setting -> Format.formatter -> unit -> unit

@@ -1,0 +1,87 @@
+open Ssp_machine
+
+type setting = { scale : int; cache_divisor : int; label : string }
+
+let reference = { scale = 32; cache_divisor = 1; label = "reference" }
+let quick = { scale = 3; cache_divisor = 16; label = "quick" }
+
+type runs = {
+  name : string;
+  io_base : Ssp_sim.Stats.t;
+  io_ssp : Ssp_sim.Stats.t;
+  io_pmem : Ssp_sim.Stats.t;
+  io_pdel : Ssp_sim.Stats.t;
+  ooo_base : Ssp_sim.Stats.t;
+  ooo_ssp : Ssp_sim.Stats.t;
+  ooo_pmem : Ssp_sim.Stats.t;
+  ooo_pdel : Ssp_sim.Stats.t;
+  report : Ssp.Report.t;
+  delinquent : Ssp_ir.Iref.Set.t;
+}
+
+let config_for setting pipeline =
+  let base =
+    match pipeline with
+    | Config.In_order -> Config.in_order
+    | Config.Out_of_order -> Config.out_of_order
+  in
+  if setting.cache_divisor = 1 then base
+  else Config.scale_caches base setting.cache_divisor
+
+let simulate (cfg : Config.t) prog =
+  match cfg.Config.pipeline with
+  | Config.In_order -> Ssp_sim.Inorder.run cfg prog
+  | Config.Out_of_order -> Ssp_sim.Ooo.run cfg prog
+
+let adapt_and_run setting ~pipeline prog profile =
+  let cfg = config_for setting pipeline in
+  let result = Ssp.Adapt.run ~config:cfg prog profile in
+  (result, simulate cfg result.Ssp.Adapt.prog)
+
+let cache : (string * string, runs) Hashtbl.t = Hashtbl.create 16
+
+let run_benchmark ?(setting = reference) (w : Ssp_workloads.Workload.t) =
+  let key = (w.Ssp_workloads.Workload.name, setting.label) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let prog = Ssp_workloads.Workload.program w ~scale:setting.scale in
+    let io_cfg = config_for setting Config.In_order in
+    let ooo_cfg = config_for setting Config.Out_of_order in
+    let profile = Ssp_profiling.Collect.collect ~config:io_cfg prog in
+    let d = Ssp.Delinquent.identify prog profile in
+    let delinquent = Ssp.Delinquent.set d in
+    let adapted_io = Ssp.Adapt.run ~config:io_cfg prog profile in
+    let adapted_ooo = Ssp.Adapt.run ~config:ooo_cfg prog profile in
+    let mode m cfg = Config.with_memory_mode cfg m in
+    let r =
+      {
+        name = w.Ssp_workloads.Workload.name;
+        io_base = simulate io_cfg prog;
+        io_ssp = simulate io_cfg adapted_io.Ssp.Adapt.prog;
+        io_pmem = simulate (mode Config.Perfect_memory io_cfg) prog;
+        io_pdel = simulate (mode (Config.Perfect_delinquent delinquent) io_cfg) prog;
+        ooo_base = simulate ooo_cfg prog;
+        ooo_ssp = simulate ooo_cfg adapted_ooo.Ssp.Adapt.prog;
+        ooo_pmem = simulate (mode Config.Perfect_memory ooo_cfg) prog;
+        ooo_pdel =
+          simulate (mode (Config.Perfect_delinquent delinquent) ooo_cfg) prog;
+        report = adapted_io.Ssp.Adapt.report;
+        delinquent;
+      }
+    in
+    (* Sanity: every configuration must compute the same outputs. *)
+    List.iter
+      (fun (s : Ssp_sim.Stats.t) ->
+        if s.Ssp_sim.Stats.outputs <> r.io_base.Ssp_sim.Stats.outputs then
+          failwith
+            (Printf.sprintf "Experiment.run_benchmark: %s outputs diverge"
+               w.Ssp_workloads.Workload.name))
+      [ r.io_ssp; r.io_pmem; r.io_pdel; r.ooo_base; r.ooo_ssp; r.ooo_pmem;
+        r.ooo_pdel ];
+    Hashtbl.replace cache key r;
+    r
+
+let speedup ~baseline x =
+  float_of_int baseline.Ssp_sim.Stats.cycles
+  /. float_of_int x.Ssp_sim.Stats.cycles

@@ -1,0 +1,49 @@
+(** Experiment driver: compile → profile → adapt → simulate each benchmark
+    under every configuration the paper's evaluation needs, once, and share
+    the runs across figures.
+
+    A {!setting} scales the working sets and (optionally) the caches so the
+    whole evaluation can also run as a quick smoke test with the same
+    shape. The reference setting uses the Table 1 geometry unmodified with
+    working sets beyond the L3. *)
+
+type setting = {
+  scale : int;  (** workload size knob *)
+  cache_divisor : int;  (** 1 = the paper's Table 1 geometry *)
+  label : string;
+}
+
+val reference : setting
+val quick : setting
+
+type runs = {
+  name : string;
+  io_base : Ssp_sim.Stats.t;
+  io_ssp : Ssp_sim.Stats.t;
+  io_pmem : Ssp_sim.Stats.t;
+  io_pdel : Ssp_sim.Stats.t;
+  ooo_base : Ssp_sim.Stats.t;
+  ooo_ssp : Ssp_sim.Stats.t;
+  ooo_pmem : Ssp_sim.Stats.t;
+  ooo_pdel : Ssp_sim.Stats.t;
+  report : Ssp.Report.t;
+  delinquent : Ssp_ir.Iref.Set.t;
+}
+
+val run_benchmark :
+  ?setting:setting -> Ssp_workloads.Workload.t -> runs
+(** Memoized per (benchmark, setting) within the process. *)
+
+val speedup : baseline:Ssp_sim.Stats.t -> Ssp_sim.Stats.t -> float
+(** cycles(baseline) / cycles(x). *)
+
+val adapt_and_run :
+  setting ->
+  pipeline:Ssp_machine.Config.pipeline ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  Ssp.Adapt.result * Ssp_sim.Stats.t
+(** Building block for the hand-vs-auto and ablation experiments. *)
+
+val config_for :
+  setting -> Ssp_machine.Config.pipeline -> Ssp_machine.Config.t

@@ -1,0 +1,18 @@
+(** §4.5: automatic vs. hand adaptation on mcf and health, both pipelines.
+
+    The paper reports (in-order / OOO speedup over the same baseline):
+    mcf hand 73 % vs tool 37 % (both ≈ flat on OOO); health hand 130 % vs
+    tool 103 % in-order, hand 200 % vs tool 120 % on OOO — the tool loses
+    12–27 % of the hand version's win. *)
+
+type row = {
+  benchmark : string;
+  pipeline : string;
+  auto_speedup : float;
+  hand_speedup : float;
+  retained : float;  (** auto gain as a fraction of hand gain *)
+}
+
+val run : ?setting:Experiment.setting -> unit -> row list
+
+val print : ?setting:Experiment.setting -> Format.formatter -> unit -> unit

@@ -1,0 +1,43 @@
+let table ppf ~header rows =
+  let all = header :: rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun c w ->
+        let s = Option.value ~default:"" (List.nth_opt row c) in
+        if c = 0 then Format.fprintf ppf "%-*s" w s
+        else Format.fprintf ppf "  %*s" w s)
+      widths;
+    Format.fprintf ppf "@,"
+  in
+  Format.fprintf ppf "@[<v>";
+  print_row header;
+  List.iteri
+    (fun c w ->
+      if c = 0 then Format.fprintf ppf "%s" (String.make w '-')
+      else Format.fprintf ppf "  %s" (String.make w '-'))
+    widths;
+  Format.fprintf ppf "@,";
+  List.iter print_row rows;
+  Format.fprintf ppf "@]"
+
+let bar v ~max:m ~width =
+  let n =
+    if m <= 0.0 then 0
+    else int_of_float (Float.round (v /. m *. float_of_int width))
+  in
+  String.make (max 0 (min width n)) '#'
+
+let f2 v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the regenerated figures. *)
+
+val table :
+  Format.formatter -> header:string list -> string list list -> unit
+(** Column-aligned table with a separator under the header. *)
+
+val bar : float -> max:float -> width:int -> string
+(** An ASCII bar proportional to the value (for figure-like output). *)
+
+val f2 : float -> string
+val pct : float -> string

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Format Int64 List Op Prog Reg Ssp_isa String Validate

@@ -1,0 +1,1 @@
+lib/ir/iref.ml: Format Hashtbl Int Map Set String

@@ -1,0 +1,1 @@
+lib/ir/iref.mli: Format Hashtbl Map Set

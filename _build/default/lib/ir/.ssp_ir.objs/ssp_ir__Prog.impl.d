@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Format Hashtbl Iref List Printf Ssp_isa String

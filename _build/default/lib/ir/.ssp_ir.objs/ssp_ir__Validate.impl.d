@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Hashtbl Iref List Op Prog Reg Ssp_isa

@@ -1,0 +1,31 @@
+type t = { fn : string; blk : int; ins : int }
+
+let make fn blk ins = { fn; blk; ins }
+
+let compare a b =
+  let c = String.compare a.fn b.fn in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.blk b.blk in
+    if c <> 0 then c else Int.compare a.ins b.ins
+
+let equal a b = compare a b = 0
+let hash a = Hashtbl.hash (a.fn, a.blk, a.ins)
+let pp ppf a = Format.fprintf ppf "%s.%d.%d" a.fn a.blk a.ins
+let to_string a = Format.asprintf "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,22 @@
+(** Stable references to individual instructions.
+
+    An instruction is identified by its position: function name, block index
+    in layout order, instruction index within the block. All analyses and the
+    post-pass tool key dependence-graph nodes, profile records and slice
+    members on these references, so the program must not be restructured
+    between analysis and use (the tool only appends blocks and replaces
+    single instructions in place, preserving positions — exactly the paper's
+    "replace a nop with chk.c and append the slice after the function"). *)
+
+type t = { fn : string; blk : int; ins : int }
+
+val make : string -> int -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,103 @@
+type block = { label : Ssp_isa.Op.label; mutable ops : Ssp_isa.Op.t array }
+
+type func = {
+  name : string;
+  nparams : int;
+  mutable blocks : block array;
+  code_id : int;
+}
+
+type t = {
+  funcs : (string, func) Hashtbl.t;
+  mutable func_order : string list;
+  entry : string;
+  mutable data_bytes : int;
+}
+
+let data_base = 0x0010_0000L
+let heap_base = 0x1000_0000L
+let stack_base = 0x7fff_0000L
+
+let create ~entry =
+  { funcs = Hashtbl.create 16; func_order = []; entry; data_bytes = 0 }
+
+let add_func t f =
+  if Hashtbl.mem t.funcs f.name then
+    invalid_arg (Printf.sprintf "Prog.add_func: duplicate function %s" f.name);
+  Hashtbl.replace t.funcs f.name f;
+  t.func_order <- t.func_order @ [ f.name ]
+
+let find_func t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Prog.find_func: no function %s" name)
+
+let func_by_code_id t id =
+  Hashtbl.fold
+    (fun _ f acc -> if f.code_id = id then Some f else acc)
+    t.funcs None
+
+let funcs_in_order t = List.map (find_func t) t.func_order
+
+let block_index f label =
+  let n = Array.length f.blocks in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal f.blocks.(i).label label then i
+    else go (i + 1)
+  in
+  go 0
+
+let instr t (r : Iref.t) =
+  let f = find_func t r.fn in
+  f.blocks.(r.blk).ops.(r.ins)
+
+let iter_instrs t k =
+  List.iter
+    (fun f ->
+      Array.iteri
+        (fun bi b ->
+          Array.iteri (fun ii op -> k (Iref.make f.name bi ii) op) b.ops)
+        f.blocks)
+    (funcs_in_order t)
+
+let instr_count t =
+  let n = ref 0 in
+  iter_instrs t (fun _ _ -> incr n);
+  !n
+
+let addr_of f (r : Iref.t) =
+  let a = ref 0 in
+  for b = 0 to r.blk - 1 do
+    a := !a + Array.length f.blocks.(b).ops
+  done;
+  !a + r.ins
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>func %s(%d):@," f.name f.nparams;
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "%s:@," b.label;
+      Array.iter (fun op -> Format.fprintf ppf "  %a@," Ssp_isa.Op.pp op) b.ops)
+    f.blocks;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>;; entry %s, data %d bytes@," t.entry t.data_bytes;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_func f) (funcs_in_order t);
+  Format.fprintf ppf "@]"
+
+let copy t =
+  let funcs = Hashtbl.create (Hashtbl.length t.funcs) in
+  Hashtbl.iter
+    (fun name f ->
+      Hashtbl.replace funcs name
+        {
+          f with
+          blocks =
+            Array.map
+              (fun b -> { b with ops = Array.copy b.ops })
+              f.blocks;
+        })
+    t.funcs;
+  { t with funcs }

@@ -1,0 +1,1 @@
+lib/isa/bundle.ml: Array List Op

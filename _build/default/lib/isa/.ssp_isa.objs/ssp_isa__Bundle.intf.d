@@ -1,0 +1,1 @@
+lib/isa/bundle.mli: Op

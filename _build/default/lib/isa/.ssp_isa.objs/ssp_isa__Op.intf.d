@@ -1,0 +1,1 @@
+lib/isa/op.mli: Format Reg

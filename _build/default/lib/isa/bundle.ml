@@ -1,0 +1,20 @@
+type t = { start : int; len : int }
+
+let capacity = 3
+
+let of_block ops =
+  let n = Array.length ops in
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else
+      let rec extent i =
+        if i - start >= capacity || i >= n then i
+        else if Op.is_control ops.(i) then i + 1
+        else extent (i + 1)
+      in
+      let stop = extent start in
+      go stop ({ start; len = stop - start } :: acc)
+  in
+  go 0 []
+
+let count_of_block ops = List.length (of_block ops)

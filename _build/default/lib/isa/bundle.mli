@@ -1,0 +1,21 @@
+(** Instruction bundles.
+
+    Like Itanium, the fetch and issue units of the modeled machine operate on
+    bundles of up to three instructions. Bundle boundaries are purely a
+    front-end bandwidth notion here (no template restrictions): the layout
+    pass chops each basic block into maximal bundles, ending a bundle early
+    at control-transfer instructions. *)
+
+type t = { start : int; len : int }
+(** A bundle covering instructions [start .. start+len-1] of its block, with
+    [1 <= len <= capacity]. *)
+
+val capacity : int
+(** Maximum instructions per bundle (3). *)
+
+val of_block : Op.t array -> t list
+(** Chop a block's instruction sequence into bundles. Control instructions
+    terminate their bundle. An empty block yields no bundles. *)
+
+val count_of_block : Op.t array -> int
+(** [List.length (of_block ops)] without building the list. *)

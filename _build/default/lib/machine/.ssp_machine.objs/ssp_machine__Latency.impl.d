@@ -1,0 +1,1 @@
+lib/machine/latency.ml: Config Op Ssp_isa

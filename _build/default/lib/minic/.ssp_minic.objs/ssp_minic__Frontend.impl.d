@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Ast Format Lexer List Lower Parser Printf Ssp_ir String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Ast Format Int64 List Printf String

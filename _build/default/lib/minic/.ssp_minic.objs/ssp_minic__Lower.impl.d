@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Format Hashtbl Int64 List Op Option Reg Ssp_ir Ssp_isa String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lower.mli: Ast Ssp_ir Typecheck

@@ -1,0 +1,74 @@
+type pos = { line : int; col : int }
+
+type ty = Tint | Tptr of ty | Tstruct of string | Tfnptr | Tnull
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int64
+  | Null
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Field of expr * string
+  | Index of expr * expr
+  | Deref of expr
+  | Addr_of_func of string
+  | Addr_of_global of string
+  | Call of string * expr list
+  | Call_ptr of expr * expr list
+  | New of string
+  | New_array of ty * expr
+  | Sizeof of string
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+  | Lderef of expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+  | Block of stmt list
+
+type struct_def = { sname : string; fields : (string * ty) list }
+type global_def = { gname : string; gty : ty; gsize : int }
+
+type func_def = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+  fpos : pos;
+}
+
+type program = {
+  structs : struct_def list;
+  globals : global_def list;
+  funcs : func_def list;
+}
+
+let rec pp_ty ppf = function
+  | Tint -> Format.pp_print_string ppf "int"
+  | Tptr t -> Format.fprintf ppf "%a*" pp_ty t
+  | Tstruct s -> Format.pp_print_string ppf s
+  | Tfnptr -> Format.pp_print_string ppf "fnptr"
+  | Tnull -> Format.pp_print_string ppf "null"

@@ -1,0 +1,89 @@
+(** Abstract syntax of mini-C, the source language the benchmark kernels are
+    written in.
+
+    The language is a small C subset tailored to pointer-intensive kernels:
+    64-bit integers, pointers to named structs / to int / to function
+    ([fnptr]), heap allocation ([new S], [newarray(T, n)]), global scalars
+    and arrays, recursion, short-circuit logic, and the intrinsics
+    [print_int] and [rand]. Every scalar, field and array element occupies
+    8 bytes, so [sizeof(struct s)] = 8 × field count. *)
+
+type pos = { line : int; col : int }
+
+type ty =
+  | Tint
+  | Tptr of ty  (** [T*]; the element type governs pointer arithmetic *)
+  | Tstruct of string  (** only ever appears under [Tptr] *)
+  | Tfnptr
+  | Tnull  (** type of the [null] literal, compatible with any pointer *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuit *)
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int64
+  | Null
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Field of expr * string  (** [p->f] *)
+  | Index of expr * expr  (** [a[i]] *)
+  | Deref of expr  (** [*p] *)
+  | Addr_of_func of string  (** [&f] *)
+  | Addr_of_global of string  (** [&g]; also how global arrays decay *)
+  | Call of string * expr list  (** direct call or intrinsic *)
+  | Call_ptr of expr * expr list  (** call through an fnptr expression *)
+  | New of string  (** [new S] *)
+  | New_array of ty * expr  (** [newarray(T, n)] *)
+  | Sizeof of string  (** [sizeof(S)], in bytes *)
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lindex of expr * expr
+  | Lderef of expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+  | Block of stmt list
+
+type struct_def = { sname : string; fields : (string * ty) list }
+
+type global_def = {
+  gname : string;
+  gty : ty;
+  gsize : int;  (** element count; 1 for scalars, N for [int g[N]] *)
+}
+
+type func_def = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty option;  (** [None] = void *)
+  body : stmt list;
+  fpos : pos;
+}
+
+type program = {
+  structs : struct_def list;
+  globals : global_def list;
+  funcs : func_def list;
+}
+
+val pp_ty : Format.formatter -> ty -> unit

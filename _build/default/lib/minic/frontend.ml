@@ -1,0 +1,26 @@
+exception Error of string
+
+let render msg (pos : Ast.pos) =
+  Printf.sprintf "%d:%d: %s" pos.Ast.line pos.Ast.col msg
+
+let compile_checked src =
+  try
+    let ast = Parser.parse src in
+    let env = Typecheck.check_program ast in
+    let prog = Lower.program env ast in
+    (match Ssp_ir.Validate.check prog with
+    | Ok () -> ()
+    | Error es ->
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> Format.asprintf "%a" Ssp_ir.Validate.pp_error e) es)
+      in
+      raise (Error ("lowered program invalid: " ^ msg)));
+    (env, prog)
+  with
+  | Lexer.Error (m, p) -> raise (Error (render ("lexical error: " ^ m) p))
+  | Parser.Error (m, p) -> raise (Error (render ("syntax error: " ^ m) p))
+  | Typecheck.Error (m, p) -> raise (Error (render ("type error: " ^ m) p))
+  | Lower.Error (m, p) -> raise (Error (render ("lowering error: " ^ m) p))
+
+let compile src = snd (compile_checked src)

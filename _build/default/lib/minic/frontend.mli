@@ -1,0 +1,11 @@
+(** One-call frontend: source text → validated ISA program. *)
+
+exception Error of string
+(** Any frontend failure (lexing, parsing, typing, lowering, validation),
+    with a rendered position. *)
+
+val compile : string -> Ssp_ir.Prog.t
+(** Parse, typecheck, lower and validate. *)
+
+val compile_checked : string -> Typecheck.env * Ssp_ir.Prog.t
+(** Same, also returning the typing environment. *)

@@ -1,0 +1,120 @@
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    "int"; "struct"; "fnptr"; "if"; "else"; "while"; "for"; "return";
+    "break"; "continue"; "new"; "newarray"; "null"; "sizeof"; "void";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let out = ref [] in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance () =
+    if !i < n then begin
+      if src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let cur () = peek 0 in
+  let emit tok p = out := { tok; pos = p } :: !out in
+  let rec skip_ws () =
+    match cur () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance ();
+      skip_ws ()
+    | Some '/' when peek 1 = Some '/' ->
+      while cur () <> None && cur () <> Some '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | Some '/' when peek 1 = Some '*' ->
+      let p = pos () in
+      advance ();
+      advance ();
+      let rec close () =
+        match cur () with
+        | None -> raise (Error ("unterminated comment", p))
+        | Some '*' when peek 1 = Some '/' ->
+          advance ();
+          advance ()
+        | Some _ ->
+          advance ();
+          close ()
+      in
+      close ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let two_char = [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "->" ] in
+  while
+    skip_ws ();
+    !i < n
+  do
+    let p = pos () in
+    match cur () with
+    | None -> ()
+    | Some c when is_digit c ->
+      let start = !i in
+      while (match cur () with Some c -> is_digit c | None -> false) do
+        advance ()
+      done;
+      let s = String.sub src start (!i - start) in
+      emit (INT (Int64.of_string s)) p
+    | Some c when is_ident_start c ->
+      let start = !i in
+      while (match cur () with Some c -> is_ident_char c | None -> false) do
+        advance ()
+      done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then emit (KW s) p else emit (IDENT s) p
+    | Some c -> (
+      let pair =
+        match peek 1 with
+        | Some c2 ->
+          let s = Printf.sprintf "%c%c" c c2 in
+          if List.mem s two_char then Some s else None
+        | None -> None
+      in
+      match pair with
+      | Some s ->
+        advance ();
+        advance ();
+        emit (PUNCT s) p
+      | None -> (
+        match c with
+        | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '='
+        | '!' | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '.' ->
+          advance ();
+          emit (PUNCT (String.make 1 c)) p
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p))))
+  done;
+  emit EOF (pos ());
+  List.rev !out
+
+let pp_token ppf = function
+  | INT i -> Format.fprintf ppf "%Ld" i
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | KW s -> Format.fprintf ppf "keyword %s" s
+  | PUNCT s -> Format.fprintf ppf "'%s'" s
+  | EOF -> Format.fprintf ppf "end of input"

@@ -1,0 +1,19 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int64
+  | IDENT of string
+  | KW of string  (** keywords: int, struct, fnptr, if, else, while, for,
+      return, break, continue, new, newarray, null, sizeof *)
+  | PUNCT of string  (** operators and delimiters *)
+  | EOF
+
+type lexed = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> lexed list
+(** Raises {!Error} on malformed input (bad characters, unterminated
+    comments). Comments are [// ...] and [/* ... */]. *)
+
+val pp_token : Format.formatter -> token -> unit

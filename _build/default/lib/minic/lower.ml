@@ -1,0 +1,464 @@
+open Ssp_isa
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun m -> raise (Error (m, pos))) fmt
+let word = 8
+
+type ctx = {
+  env : Typecheck.env;
+  b : Ssp_ir.Builder.t;
+  mutable vars : (string * (Reg.t * Ast.ty)) list;
+  mutable temps : Reg.t list;  (* free pool *)
+  mutable loop_stack : (string * string) list;  (* (continue, break) labels *)
+  is_main : bool;
+  code_ids : (string, int) Hashtbl.t;
+}
+
+let alloc_temp c =
+  match c.temps with
+  | r :: rest ->
+    c.temps <- rest;
+    r
+  | [] -> Ssp_ir.Builder.fresh_reg c.b
+
+let free_temp c r = c.temps <- r :: c.temps
+let free_if c (r, owned) = if owned then free_temp c r
+
+let var_types c name =
+  match List.assoc_opt name c.vars with Some (_, t) -> Some t | None -> None
+
+let type_of c e = Typecheck.type_of_expr c.env ~vars:(var_types c) e
+
+(* Compile [e] into a register. The boolean says whether the caller owns the
+   register (a temp to free) or not (a variable's home register). *)
+let rec compile_expr c (e : Ast.expr) : Reg.t * bool =
+  let pos = e.Ast.pos in
+  let emit = Ssp_ir.Builder.emit c.b in
+  match e.Ast.desc with
+  | Ast.Int i ->
+    let t = alloc_temp c in
+    emit (Op.Movi (t, i));
+    (t, true)
+  | Ast.Null ->
+    let t = alloc_temp c in
+    emit (Op.Movi (t, 0L));
+    (t, true)
+  | Ast.Var name -> (
+    match List.assoc_opt name c.vars with
+    | Some (r, _) -> (r, false)
+    | None -> (
+      match Typecheck.find_global c.env name with
+      | Some g ->
+        let addr =
+          Int64.add Ssp_ir.Prog.data_base
+            (Int64.of_int (Typecheck.global_offset c.env name))
+        in
+        let t = alloc_temp c in
+        if g.Ast.gsize > 1 then emit (Op.Movi (t, addr)) (* array decays *)
+        else begin
+          let a = alloc_temp c in
+          emit (Op.Movi (a, addr));
+          emit (Op.Load (Op.W8, t, a, 0));
+          free_temp c a
+        end;
+        (t, true)
+      | None -> err pos "unbound variable %s" name))
+  | Ast.Unary (Ast.Neg, a) ->
+    let ra, oa = compile_expr c a in
+    let t = alloc_temp c in
+    emit (Op.Alu (Op.Sub, t, Reg.zero, ra));
+    free_if c (ra, oa);
+    (t, true)
+  | Ast.Unary (Ast.Not, a) ->
+    let ra, oa = compile_expr c a in
+    let t = alloc_temp c in
+    emit (Op.Cmpi (Op.Eq, t, ra, 0L));
+    free_if c (ra, oa);
+    (t, true)
+  | Ast.Binary ((Ast.Land | Ast.Lor) as op, a, b) ->
+    (* Short circuit: t = a; if (t decides) skip b. *)
+    let t = alloc_temp c in
+    let skip = Ssp_ir.Builder.fresh_label c.b "sc" in
+    let ra, oa = compile_expr c a in
+    emit (Op.Cmpi (Op.Ne, t, ra, 0L));
+    free_if c (ra, oa);
+    (match op with
+    | Ast.Land -> emit (Op.Brz (t, skip))
+    | Ast.Lor -> emit (Op.Brnz (t, skip))
+    | _ -> assert false);
+    let rb, ob = compile_expr c b in
+    emit (Op.Cmpi (Op.Ne, t, rb, 0L));
+    free_if c (rb, ob);
+    Ssp_ir.Builder.start_block c.b skip;
+    (t, true)
+  | Ast.Binary (op, a, b) -> (
+    let ta = type_of c a and tb = type_of c b in
+    let scaled_int ptr_ty (r, owned) =
+      (* Scale an integer operand of pointer arithmetic by element size. *)
+      let s = Typecheck.elem_size c.env ptr_ty in
+      let t = alloc_temp c in
+      if s = word then emit (Op.Alui (Op.Shl, t, r, 3L))
+      else begin
+        emit (Op.Alui (Op.Mul, t, r, Int64.of_int s))
+      end;
+      free_if c (r, owned);
+      (t, true)
+    in
+    let alu kind =
+      let (ra, oa), (rb, ob) =
+        match (op, ta, tb) with
+        | (Ast.Add | Ast.Sub), Ast.Tptr _, Ast.Tint ->
+          let a' = compile_expr c a in
+          let b' = scaled_int ta (compile_expr c b) in
+          (a', b')
+        | Ast.Add, Ast.Tint, Ast.Tptr _ ->
+          let a' = scaled_int tb (compile_expr c a) in
+          let b' = compile_expr c b in
+          (a', b')
+        | _ -> (compile_expr c a, compile_expr c b)
+      in
+      let t = alloc_temp c in
+      emit (Op.Alu (kind, t, ra, rb));
+      free_if c (ra, oa);
+      free_if c (rb, ob);
+      (t, true)
+    in
+    let cmp kind =
+      let ra, oa = compile_expr c a in
+      let rb, ob = compile_expr c b in
+      let t = alloc_temp c in
+      emit (Op.Cmp (kind, t, ra, rb));
+      free_if c (ra, oa);
+      free_if c (rb, ob);
+      (t, true)
+    in
+    match op with
+    | Ast.Add -> alu Op.Add
+    | Ast.Sub -> alu Op.Sub
+    | Ast.Mul -> alu Op.Mul
+    | Ast.Div -> alu Op.Div
+    | Ast.Rem -> alu Op.Rem
+    | Ast.Band -> alu Op.And
+    | Ast.Bor -> alu Op.Or
+    | Ast.Bxor -> alu Op.Xor
+    | Ast.Shl -> alu Op.Shl
+    | Ast.Shr -> alu Op.Shr
+    | Ast.Eq -> cmp Op.Eq
+    | Ast.Ne -> cmp Op.Ne
+    | Ast.Lt -> cmp Op.Lt
+    | Ast.Le -> cmp Op.Le
+    | Ast.Gt -> cmp Op.Gt
+    | Ast.Ge -> cmp Op.Ge
+    | Ast.Land | Ast.Lor -> assert false)
+  | Ast.Field (b, f) -> (
+    match type_of c b with
+    | Ast.Tptr (Ast.Tstruct s) ->
+      let off, _ = Typecheck.field_offset c.env s f in
+      let rb, ob = compile_expr c b in
+      let t = alloc_temp c in
+      emit (Op.Load (Op.W8, t, rb, off));
+      free_if c (rb, ob);
+      (t, true)
+    | t -> err pos "-> on %a" Ast.pp_ty t)
+  | Ast.Index (b, i) ->
+    let addr, owned = compile_addr_index c b i in
+    let t = alloc_temp c in
+    emit (Op.Load (Op.W8, t, addr, 0));
+    free_if c (addr, owned);
+    (t, true)
+  | Ast.Deref b ->
+    let rb, ob = compile_expr c b in
+    let t = alloc_temp c in
+    emit (Op.Load (Op.W8, t, rb, 0));
+    free_if c (rb, ob);
+    (t, true)
+  | Ast.Addr_of_func name | Ast.Addr_of_global name -> (
+    match Hashtbl.find_opt c.code_ids name with
+    | Some id ->
+      let t = alloc_temp c in
+      emit (Op.Movi (t, Int64.of_int id));
+      (t, true)
+    | None -> (
+      match Typecheck.find_global c.env name with
+      | Some _ ->
+        let addr =
+          Int64.add Ssp_ir.Prog.data_base
+            (Int64.of_int (Typecheck.global_offset c.env name))
+        in
+        let t = alloc_temp c in
+        emit (Op.Movi (t, addr));
+        (t, true)
+      | None -> err pos "&%s unresolved" name))
+  | Ast.Call ("rand", []) ->
+    let t = alloc_temp c in
+    emit (Op.Rand t);
+    (t, true)
+  | Ast.Call (name, args) -> (
+    match var_types c name with
+    | Some Ast.Tfnptr ->
+      compile_expr c
+        { e with Ast.desc = Ast.Call_ptr ({ e with Ast.desc = Ast.Var name }, args) }
+    | _ ->
+      compile_call c ~callee:(`Direct name) args)
+  | Ast.Call_ptr (fe, args) ->
+    let rf, of_ = compile_expr c fe in
+    let res = compile_call c ~callee:(`Indirect rf) args in
+    free_if c (rf, of_);
+    res
+  | Ast.New s ->
+    let size = Typecheck.sizeof_struct c.env s in
+    let sz = alloc_temp c in
+    emit (Op.Movi (sz, Int64.of_int size));
+    let t = alloc_temp c in
+    emit (Op.Alloc (t, sz));
+    free_temp c sz;
+    (t, true)
+  | Ast.New_array (ty, n) ->
+    let es =
+      match ty with
+      | Ast.Tstruct s -> Typecheck.sizeof_struct c.env s
+      | _ -> word
+    in
+    let rn, on = compile_expr c n in
+    let sz = alloc_temp c in
+    emit (Op.Alui (Op.Mul, sz, rn, Int64.of_int es));
+    free_if c (rn, on);
+    let t = alloc_temp c in
+    emit (Op.Alloc (t, sz));
+    free_temp c sz;
+    (t, true)
+  | Ast.Sizeof s ->
+    let t = alloc_temp c in
+    emit (Op.Movi (t, Int64.of_int (Typecheck.sizeof_struct c.env s)));
+    (t, true)
+
+and compile_addr_index c b i =
+  (* Address of b[i] where elements are scalars (8 bytes). *)
+  let emit = Ssp_ir.Builder.emit c.b in
+  let rb, ob = compile_expr c b in
+  match i.Ast.desc with
+  | Ast.Int k ->
+    (* Constant index folds into the load/store offset... but offsets are
+       ints in instructions; compute an addressed temp anyway for uniform
+       handling, folding the scaling. *)
+    let t = alloc_temp c in
+    emit (Op.Alui (Op.Add, t, rb, Int64.mul k 8L));
+    free_if c (rb, ob);
+    (t, true)
+  | _ ->
+    let ri, oi = compile_expr c i in
+    let off = alloc_temp c in
+    emit (Op.Alui (Op.Shl, off, ri, 3L));
+    free_if c (ri, oi);
+    let t = alloc_temp c in
+    emit (Op.Alu (Op.Add, t, rb, off));
+    free_temp c off;
+    free_if c (rb, ob);
+    (t, true)
+
+and compile_call c ~callee args =
+  let emit = Ssp_ir.Builder.emit c.b in
+  let n = List.length args in
+  (* Evaluate all arguments into temporaries first: argument expressions may
+     themselves contain calls that clobber r8-r15. *)
+  let temps = List.map (fun a -> compile_expr c a) args in
+  List.iteri (fun i (r, _) -> emit (Op.Mov (Reg.arg i, r))) temps;
+  List.iter (free_if c) temps;
+  (match callee with
+  | `Direct name -> emit (Op.Call (name, n))
+  | `Indirect r -> emit (Op.Icall (r, n)));
+  let t = alloc_temp c in
+  emit (Op.Mov (t, Reg.ret));
+  (t, true)
+
+let compile_cond_branch c e ~if_false =
+  let r, o = compile_expr c e in
+  Ssp_ir.Builder.emit c.b (Op.Brz (r, if_false));
+  free_if c (r, o)
+
+let rec compile_stmt c (s : Ast.stmt) =
+  let emit = Ssp_ir.Builder.emit c.b in
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Decl (t, name, init) ->
+    let home = Ssp_ir.Builder.fresh_reg c.b in
+    (match init with
+    | None -> emit (Op.Movi (home, 0L))
+    | Some e ->
+      let r, o = compile_expr c e in
+      emit (Op.Mov (home, r));
+      free_if c (r, o));
+    c.vars <- (name, (home, t)) :: c.vars
+  | Ast.Assign (lv, e) -> (
+    match lv with
+    | Ast.Lvar name -> (
+      match List.assoc_opt name c.vars with
+      | Some (home, _) ->
+        let r, o = compile_expr c e in
+        emit (Op.Mov (home, r));
+        free_if c (r, o)
+      | None -> (
+        match Typecheck.find_global c.env name with
+        | Some _ ->
+          let addr =
+            Int64.add Ssp_ir.Prog.data_base
+              (Int64.of_int (Typecheck.global_offset c.env name))
+          in
+          let r, o = compile_expr c e in
+          let a = alloc_temp c in
+          emit (Op.Movi (a, addr));
+          emit (Op.Store (Op.W8, r, a, 0));
+          free_temp c a;
+          free_if c (r, o)
+        | None -> err pos "unbound variable %s" name))
+    | Ast.Lfield (b, f) -> (
+      match type_of c b with
+      | Ast.Tptr (Ast.Tstruct sname) ->
+        let off, _ = Typecheck.field_offset c.env sname f in
+        let r, o = compile_expr c e in
+        let rb, ob = compile_expr c b in
+        emit (Op.Store (Op.W8, r, rb, off));
+        free_if c (rb, ob);
+        free_if c (r, o)
+      | t -> err pos "-> on %a" Ast.pp_ty t)
+    | Ast.Lindex (b, i) ->
+      let r, o = compile_expr c e in
+      let addr, oa = compile_addr_index c b i in
+      emit (Op.Store (Op.W8, r, addr, 0));
+      free_if c (addr, oa);
+      free_if c (r, o)
+    | Ast.Lderef b ->
+      let r, o = compile_expr c e in
+      let rb, ob = compile_expr c b in
+      emit (Op.Store (Op.W8, r, rb, 0));
+      free_if c (rb, ob);
+      free_if c (r, o))
+  | Ast.If (cond, then_, else_) ->
+    let lelse = Ssp_ir.Builder.fresh_label c.b "else" in
+    let lend = Ssp_ir.Builder.fresh_label c.b "endif" in
+    compile_cond_branch c cond ~if_false:lelse;
+    compile_block c then_;
+    emit (Op.Br lend);
+    Ssp_ir.Builder.start_block c.b lelse;
+    compile_block c else_;
+    Ssp_ir.Builder.start_block c.b lend
+  | Ast.While (cond, body) ->
+    let lhead = Ssp_ir.Builder.fresh_label c.b "while" in
+    let lend = Ssp_ir.Builder.fresh_label c.b "wend" in
+    emit (Op.Br lhead);
+    Ssp_ir.Builder.start_block c.b lhead;
+    compile_cond_branch c cond ~if_false:lend;
+    c.loop_stack <- (lhead, lend) :: c.loop_stack;
+    compile_block c body;
+    c.loop_stack <- List.tl c.loop_stack;
+    emit (Op.Br lhead);
+    Ssp_ir.Builder.start_block c.b lend
+  | Ast.For (init, cond, step, body) ->
+    let saved_vars = c.vars in
+    Option.iter (compile_stmt c) init;
+    let lhead = Ssp_ir.Builder.fresh_label c.b "for" in
+    let lstep = Ssp_ir.Builder.fresh_label c.b "fstep" in
+    let lend = Ssp_ir.Builder.fresh_label c.b "fend" in
+    emit (Op.Br lhead);
+    Ssp_ir.Builder.start_block c.b lhead;
+    compile_cond_branch c cond ~if_false:lend;
+    c.loop_stack <- (lstep, lend) :: c.loop_stack;
+    compile_block c body;
+    c.loop_stack <- List.tl c.loop_stack;
+    emit (Op.Br lstep);
+    Ssp_ir.Builder.start_block c.b lstep;
+    Option.iter (compile_stmt c) step;
+    emit (Op.Br lhead);
+    Ssp_ir.Builder.start_block c.b lend;
+    c.vars <- saved_vars
+  | Ast.Return None ->
+    if c.is_main then emit Op.Halt else emit Op.Ret;
+    let dead = Ssp_ir.Builder.fresh_label c.b "dead" in
+    Ssp_ir.Builder.start_block c.b dead
+  | Ast.Return (Some e) ->
+    let r, o = compile_expr c e in
+    emit (Op.Mov (Reg.ret, r));
+    free_if c (r, o);
+    if c.is_main then emit Op.Halt else emit Op.Ret;
+    let dead = Ssp_ir.Builder.fresh_label c.b "dead" in
+    Ssp_ir.Builder.start_block c.b dead
+  | Ast.Break -> (
+    match c.loop_stack with
+    | (_, brk) :: _ ->
+      emit (Op.Br brk);
+      Ssp_ir.Builder.start_block c.b (Ssp_ir.Builder.fresh_label c.b "dead")
+    | [] -> err pos "break outside loop")
+  | Ast.Continue -> (
+    match c.loop_stack with
+    | (cont, _) :: _ ->
+      emit (Op.Br cont);
+      Ssp_ir.Builder.start_block c.b (Ssp_ir.Builder.fresh_label c.b "dead")
+    | [] -> err pos "continue outside loop")
+  | Ast.Expr e -> (
+    match e.Ast.desc with
+    | Ast.Call ("print_int", [ a ]) ->
+      let r, o = compile_expr c a in
+      emit (Op.Print r);
+      free_if c (r, o)
+    | Ast.Call (name, args) when var_types c name = None
+                                 && Typecheck.find_func c.env name <> None
+                                 && (Typecheck.find_func c.env name
+                                     |> Option.get)
+                                      .Ast.ret
+                                    = None ->
+      (* Void call: no result temp. *)
+      let temps = List.map (fun a -> compile_expr c a) args in
+      List.iteri (fun i (r, _) -> emit (Op.Mov (Reg.arg i, r))) temps;
+      List.iter (free_if c) temps;
+      emit (Op.Call (name, List.length args))
+    | _ ->
+      let r, o = compile_expr c e in
+      free_if c (r, o))
+  | Ast.Block body -> compile_block c body
+
+and compile_block c body =
+  let saved = c.vars in
+  List.iter (compile_stmt c) body;
+  c.vars <- saved
+
+let lower_func env code_ids (f : Ast.func_def) =
+  let is_main = String.equal f.Ast.fname "main" in
+  let b =
+    Ssp_ir.Builder.create
+      ~code_id:(Hashtbl.find code_ids f.Ast.fname)
+      ~name:f.Ast.fname
+      ~nparams:(List.length f.Ast.params)
+      ()
+  in
+  let c =
+    { env; b; vars = []; temps = []; loop_stack = []; is_main; code_ids }
+  in
+  Ssp_ir.Builder.start_block b "entry";
+  (* Copy parameters out of the argument registers into stacked homes. *)
+  List.iteri
+    (fun i (name, ty) ->
+      let home = Ssp_ir.Builder.fresh_reg b in
+      Ssp_ir.Builder.emit b (Op.Mov (home, Reg.arg i));
+      c.vars <- (name, (home, ty)) :: c.vars)
+    f.Ast.params;
+  compile_block c f.Ast.body;
+  (* Seal the function: falling off the end returns/halts. *)
+  (if is_main then Ssp_ir.Builder.emit b Op.Halt
+   else begin
+     Ssp_ir.Builder.emit b (Op.Movi (Reg.ret, 0L));
+     Ssp_ir.Builder.emit b Op.Ret
+   end);
+  Ssp_ir.Builder.finish b
+
+let program env (p : Ast.program) =
+  let prog = Ssp_ir.Prog.create ~entry:"main" in
+  let code_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ast.func_def) -> Hashtbl.replace code_ids f.Ast.fname (i + 1))
+    p.Ast.funcs;
+  List.iter
+    (fun f -> Ssp_ir.Prog.add_func prog (lower_func env code_ids f))
+    p.Ast.funcs;
+  prog.Ssp_ir.Prog.data_bytes <- Typecheck.data_segment_bytes env;
+  prog

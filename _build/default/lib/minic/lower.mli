@@ -1,0 +1,15 @@
+(** Lowering mini-C to the virtual ISA.
+
+    Conventions produced:
+    - each named local (and each parameter, copied out of r8..) lives in a
+      dedicated stacked register for the whole function;
+    - expression temporaries come from a recycled stacked-register pool;
+    - arguments are fully evaluated into temporaries before being moved
+      into the argument registers (calls clobber r8–r15);
+    - [main] is the entry function and terminates with [Halt];
+    - globals live in the data segment at {!Ssp_ir.Prog.data_base}. *)
+
+exception Error of string * Ast.pos
+
+val program : Typecheck.env -> Ast.program -> Ssp_ir.Prog.t
+(** Lower a checked program. The result passes {!Ssp_ir.Validate.check}. *)

@@ -1,0 +1,1 @@
+lib/profiling/collect.ml: Array Hashtbl List Op Option Profile Ssp_ir Ssp_isa Ssp_machine Ssp_sim

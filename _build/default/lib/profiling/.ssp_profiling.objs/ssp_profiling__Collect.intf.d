@@ -1,0 +1,1 @@
+lib/profiling/collect.mli: Profile Ssp_ir Ssp_machine

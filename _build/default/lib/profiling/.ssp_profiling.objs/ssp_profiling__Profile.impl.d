@@ -1,0 +1,1 @@
+lib/profiling/profile.ml: Array Hashtbl List Option Ssp_ir Ssp_machine

@@ -1,0 +1,1 @@
+lib/profiling/profile.mli: Hashtbl Ssp_ir Ssp_machine

@@ -1,0 +1,1 @@
+lib/sim/bpred.ml: Array Bool Ssp_machine

@@ -1,0 +1,1 @@
+lib/sim/bpred.mli: Ssp_machine

@@ -1,0 +1,1 @@
+lib/sim/cache.ml: Array Float Int64 Option Ssp_machine

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Int64 Memory Op Printf Reg Ssp_ir Ssp_isa Thread

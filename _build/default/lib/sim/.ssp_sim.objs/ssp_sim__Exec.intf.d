@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Memory Ssp_ir Ssp_isa Thread

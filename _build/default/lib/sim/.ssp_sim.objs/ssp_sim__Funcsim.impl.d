@@ -1,0 +1,1 @@
+lib/sim/funcsim.ml: Array Exec List Memory Option Ssp_ir Ssp_isa Thread

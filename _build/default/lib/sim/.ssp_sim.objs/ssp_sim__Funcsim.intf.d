@@ -1,0 +1,1 @@
+lib/sim/funcsim.mli: Exec Ssp_ir Ssp_isa Thread

@@ -1,0 +1,1 @@
+lib/sim/hierarchy.ml: Cache Config Format Int64 List Ssp_machine

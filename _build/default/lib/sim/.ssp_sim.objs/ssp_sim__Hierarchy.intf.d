@@ -1,0 +1,1 @@
+lib/sim/hierarchy.mli: Format Ssp_machine

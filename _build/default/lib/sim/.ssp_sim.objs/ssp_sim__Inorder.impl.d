@@ -1,0 +1,1 @@
+lib/sim/inorder.ml: Array Bpred Bundle Config Exec Hashtbl Hierarchy Latency List Op Smt Ssp_ir Ssp_isa Ssp_machine Stats Thread

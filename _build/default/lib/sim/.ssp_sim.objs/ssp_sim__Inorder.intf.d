@@ -1,0 +1,1 @@
+lib/sim/inorder.mli: Ssp_ir Ssp_machine Stats

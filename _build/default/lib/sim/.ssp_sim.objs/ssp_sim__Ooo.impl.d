@@ -1,0 +1,1 @@
+lib/sim/ooo.ml: Array Bpred Config Exec Hierarchy Latency List Op Queue Smt Ssp_ir Ssp_isa Ssp_machine Stats Thread

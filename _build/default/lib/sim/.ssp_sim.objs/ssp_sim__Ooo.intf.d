@@ -1,0 +1,1 @@
+lib/sim/ooo.mli: Ssp_ir Ssp_machine Stats

@@ -1,0 +1,1 @@
+lib/sim/smt.ml: Array Bpred Config Hashtbl Hierarchy Int64 List Memory Ssp_ir Ssp_isa Ssp_machine Stats Thread

@@ -1,0 +1,1 @@
+lib/sim/smt.mli: Bpred Hierarchy Memory Ssp_ir Ssp_machine Stats Thread

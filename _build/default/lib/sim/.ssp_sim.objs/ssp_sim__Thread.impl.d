@@ -1,0 +1,1 @@
+lib/sim/thread.ml: Array Ssp_isa

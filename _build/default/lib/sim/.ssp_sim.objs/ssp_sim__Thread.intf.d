@@ -1,0 +1,1 @@
+lib/sim/thread.mli: Ssp_isa

@@ -1,0 +1,77 @@
+type t = {
+  counters : int array;  (* 2-bit saturating *)
+  mask : int;
+  history : int array;  (* per thread *)
+  btb_tags : int array;  (* sets * ways, -1 invalid *)
+  btb_lru : int array;
+  btb_sets : int;
+  btb_ways : int;
+  mutable clock : int;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let create (cfg : Ssp_machine.Config.t) =
+  let n = cfg.gshare_entries in
+  let sets = cfg.btb_entries / cfg.btb_ways in
+  {
+    counters = Array.make n 2;
+    mask = n - 1;
+    history = Array.make cfg.n_contexts 0;
+    btb_tags = Array.make (sets * cfg.btb_ways) (-1);
+    btb_lru = Array.make (sets * cfg.btb_ways) 0;
+    btb_sets = sets;
+    btb_ways = cfg.btb_ways;
+    clock = 0;
+    lookups = 0;
+    mispredicts = 0;
+  }
+
+let index t ~thread ~pc = (pc lxor t.history.(thread)) land t.mask
+
+let predict t ~thread ~pc =
+  t.lookups <- t.lookups + 1;
+  t.counters.(index t ~thread ~pc) >= 2
+
+let update t ~thread ~pc ~taken =
+  let i = index t ~thread ~pc in
+  let c = t.counters.(i) in
+  let predicted = c >= 2 in
+  if predicted <> taken then t.mispredicts <- t.mispredicts + 1;
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  t.history.(thread) <- ((t.history.(thread) lsl 1) lor Bool.to_int taken) land t.mask
+
+let btb_find t ~pc =
+  let s = pc mod t.btb_sets in
+  let base = s * t.btb_ways in
+  let rec go w =
+    if w >= t.btb_ways then None
+    else if t.btb_tags.(base + w) = pc then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let btb_lookup t ~pc =
+  match btb_find t ~pc with
+  | Some i ->
+    t.clock <- t.clock + 1;
+    t.btb_lru.(i) <- t.clock;
+    true
+  | None -> false
+
+let btb_insert t ~pc =
+  match btb_find t ~pc with
+  | Some _ -> ()
+  | None ->
+    let s = pc mod t.btb_sets in
+    let base = s * t.btb_ways in
+    let victim = ref base in
+    for w = 1 to t.btb_ways - 1 do
+      if t.btb_lru.(base + w) < t.btb_lru.(!victim) then victim := base + w
+    done;
+    t.clock <- t.clock + 1;
+    t.btb_tags.(!victim) <- pc;
+    t.btb_lru.(!victim) <- t.clock
+
+let mispredicts t = t.mispredicts
+let lookups t = t.lookups

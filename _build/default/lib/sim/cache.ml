@@ -1,0 +1,90 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_bits : int;
+  tags : int64 array;  (* sets * ways, -1 = invalid *)
+  lru : int array;  (* higher = more recent *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create (g : Ssp_machine.Config.cache_geom) =
+  let line_bits =
+    int_of_float (Float.round (Float.log2 (float_of_int g.line_bytes)))
+  in
+  let lines = g.size_bytes / g.line_bytes in
+  let sets = max 1 (lines / g.ways) in
+  {
+    sets;
+    ways = g.ways;
+    line_bits;
+    tags = Array.make (sets * g.ways) (-1L);
+    lru = Array.make (sets * g.ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let line_of t addr = Int64.shift_right_logical addr t.line_bits
+
+let set_of t line =
+  (Int64.to_int line land max_int) mod t.sets
+
+let find t addr =
+  let line = line_of t addr in
+  let s = set_of t line in
+  let base = s * t.ways in
+  let rec go w =
+    if w >= t.ways then None
+    else if Int64.equal t.tags.(base + w) line then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+let probe t addr = Option.is_some (find t addr)
+
+let touch t addr =
+  match find t addr with
+  | Some i ->
+    t.clock <- t.clock + 1;
+    t.lru.(i) <- t.clock
+  | None -> ()
+
+let install t addr =
+  match find t addr with
+  | Some i ->
+    t.clock <- t.clock + 1;
+    t.lru.(i) <- t.clock
+  | None ->
+    let line = line_of t addr in
+    let s = set_of t line in
+    let base = s * t.ways in
+    let victim = ref base in
+    for w = 1 to t.ways - 1 do
+      if t.lru.(base + w) < t.lru.(!victim) then victim := base + w
+    done;
+    t.clock <- t.clock + 1;
+    t.tags.(!victim) <- line;
+    t.lru.(!victim) <- t.clock
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  match find t addr with
+  | Some i ->
+    t.clock <- t.clock + 1;
+    t.lru.(i) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    false
+
+let line_addr t addr =
+  Int64.shift_left (line_of t addr) t.line_bits
+
+let stats_accesses t = t.accesses
+let stats_misses t = t.misses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

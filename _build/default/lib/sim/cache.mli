@@ -1,0 +1,25 @@
+(** A single set-associative cache level with LRU replacement.
+
+    Only tags are modeled (data comes from {!Memory}); that is all the
+    timing model needs. *)
+
+type t
+
+val create : Ssp_machine.Config.cache_geom -> t
+
+val probe : t -> int64 -> bool
+(** Whether the line containing the address is present (no state change). *)
+
+val touch : t -> int64 -> unit
+(** Mark the line most recently used (on a hit). *)
+
+val install : t -> int64 -> unit
+(** Fill the line, evicting the LRU way of its set. *)
+
+val access : t -> int64 -> bool
+(** [probe]; on hit also [touch]. Returns whether it hit. *)
+
+val line_addr : t -> int64 -> int64
+val stats_accesses : t -> int
+val stats_misses : t -> int
+val reset_stats : t -> unit

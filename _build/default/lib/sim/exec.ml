@@ -1,0 +1,207 @@
+open Ssp_isa
+
+type env = {
+  mem : Memory.t;
+  prog : Ssp_ir.Prog.t;
+  chk_free : unit -> bool;
+  spawn : fn:string -> blk:int -> live_in:int64 array -> bool;
+  output : int64 -> unit;
+}
+
+type event =
+  | Ev_plain
+  | Ev_load of { addr : int64; width : int }
+  | Ev_store of { addr : int64; width : int }
+  | Ev_prefetch of int64
+  | Ev_branch of { taken : bool }
+  | Ev_call
+  | Ev_ret
+  | Ev_halt
+  | Ev_kill
+  | Ev_chk of { fired : bool }
+  | Ev_spawn of { accepted : bool }
+  | Ev_lib
+
+let normalize_pc prog (t : Thread.t) =
+  let rec go () =
+    let f = Ssp_ir.Prog.find_func prog t.fn in
+    if t.blk < Array.length f.blocks
+       && t.ins >= Array.length f.blocks.(t.blk).ops
+    then begin
+      t.blk <- t.blk + 1;
+      t.ins <- 0;
+      go ()
+    end
+  in
+  go ()
+
+let instr_at prog (t : Thread.t) =
+  normalize_pc prog t;
+  let f = Ssp_ir.Prog.find_func prog t.fn in
+  f.blocks.(t.blk).ops.(t.ins)
+
+let sign_extend v width =
+  match width with
+  | 8 -> v
+  | _ ->
+    (* Loads zero-extend (documented in Op); value already masked. *)
+    v
+
+let step env (t : Thread.t) =
+  normalize_pc env.prog t;
+  let f = Ssp_ir.Prog.find_func env.prog t.fn in
+  let op = f.blocks.(t.blk).ops.(t.ins) in
+  t.instrs <- t.instrs + 1;
+  let next () = t.ins <- t.ins + 1 in
+  let jump label =
+    t.blk <- Ssp_ir.Prog.block_index f label;
+    t.ins <- 0
+  in
+  let get = Thread.get t and set = Thread.set t in
+  match op with
+  | Op.Nop ->
+    next ();
+    Ev_plain
+  | Op.Movi (d, i) ->
+    set d i;
+    next ();
+    Ev_plain
+  | Op.Mov (d, s) ->
+    set d (get s);
+    next ();
+    Ev_plain
+  | Op.Alu (o, d, a, b) ->
+    set d (Op.alu_eval o (get a) (get b));
+    next ();
+    Ev_plain
+  | Op.Alui (o, d, a, i) ->
+    set d (Op.alu_eval o (get a) i);
+    next ();
+    Ev_plain
+  | Op.Cmp (o, d, a, b) ->
+    set d (if Op.cmp_eval o (get a) (get b) then 1L else 0L);
+    next ();
+    Ev_plain
+  | Op.Cmpi (o, d, a, i) ->
+    set d (if Op.cmp_eval o (get a) i then 1L else 0L);
+    next ();
+    Ev_plain
+  | Op.Load (w, d, b, off) ->
+    let addr = Int64.add (get b) (Int64.of_int off) in
+    let width = Op.width_bytes w in
+    set d (sign_extend (Memory.read env.mem addr width) width);
+    next ();
+    Ev_load { addr; width }
+  | Op.Store (w, s, b, off) ->
+    let addr = Int64.add (get b) (Int64.of_int off) in
+    let width = Op.width_bytes w in
+    if not t.speculative then Memory.write env.mem addr width (get s);
+    next ();
+    Ev_store { addr; width }
+  | Op.Lfetch (b, off) ->
+    let addr = Int64.add (get b) (Int64.of_int off) in
+    next ();
+    Ev_prefetch addr
+  | Op.Br l ->
+    jump l;
+    Ev_branch { taken = true }
+  | Op.Brnz (s, l) ->
+    let taken = not (Int64.equal (get s) 0L) in
+    if taken then jump l else next ();
+    Ev_branch { taken }
+  | Op.Brz (s, l) ->
+    let taken = Int64.equal (get s) 0L in
+    if taken then jump l else next ();
+    Ev_branch { taken }
+  | Op.Call (callee, _) ->
+    let saved =
+      Array.sub t.regs Reg.first_stacked (Reg.count - Reg.first_stacked)
+    in
+    t.frames <-
+      { Thread.saved_stacked = saved; ret_blk = t.blk; ret_ins = t.ins + 1;
+        ret_fn = t.fn }
+      :: t.frames;
+    t.fn <- callee;
+    t.blk <- 0;
+    t.ins <- 0;
+    Ev_call
+  | Op.Icall (r, _) -> (
+    let id = Int64.to_int (get r) in
+    match Ssp_ir.Prog.func_by_code_id env.prog id with
+    | None ->
+      (* An indirect call through garbage: speculative threads tolerate it
+         (treated as a nop); the main thread must not do this. *)
+      if not t.speculative then
+        failwith
+          (Printf.sprintf "Exec: indirect call to unknown code id %d" id);
+      next ();
+      Ev_plain
+    | Some callee ->
+      let saved =
+        Array.sub t.regs Reg.first_stacked (Reg.count - Reg.first_stacked)
+      in
+      t.frames <-
+        { Thread.saved_stacked = saved; ret_blk = t.blk; ret_ins = t.ins + 1;
+          ret_fn = t.fn }
+        :: t.frames;
+      t.fn <- callee.Ssp_ir.Prog.name;
+      t.blk <- 0;
+      t.ins <- 0;
+      Ev_call)
+  | Op.Ret -> (
+    match t.frames with
+    | [] ->
+      (* Returning from the outermost frame ends the thread. *)
+      t.active <- false;
+      if t.speculative then Ev_kill else Ev_halt
+    | fr :: rest ->
+      Array.blit fr.Thread.saved_stacked 0 t.regs Reg.first_stacked
+        (Reg.count - Reg.first_stacked);
+      t.fn <- fr.Thread.ret_fn;
+      t.blk <- fr.Thread.ret_blk;
+      t.ins <- fr.Thread.ret_ins;
+      t.frames <- rest;
+      Ev_ret)
+  | Op.Halt ->
+    t.active <- false;
+    Ev_halt
+  | Op.Kill ->
+    t.active <- false;
+    Ev_kill
+  | Op.Chk_c stub ->
+    let fired = env.chk_free () in
+    if fired then jump stub else next ();
+    Ev_chk { fired }
+  | Op.Spawn (fn, label) ->
+    let target = Ssp_ir.Prog.find_func env.prog fn in
+    let blk = Ssp_ir.Prog.block_index target label in
+    let accepted = env.spawn ~fn ~blk ~live_in:t.lib_out in
+    next ();
+    Ev_spawn { accepted }
+  | Op.Lib_st (slot, s) ->
+    if slot >= 0 && slot < Thread.lib_slots then t.lib_out.(slot) <- get s;
+    next ();
+    Ev_lib
+  | Op.Lib_ld (d, slot) ->
+    if slot >= 0 && slot < Thread.lib_slots then set d t.live_in.(slot)
+    else set d 0L;
+    next ();
+    Ev_lib
+  | Op.Alloc (d, s) ->
+    if t.speculative then set d 0L else set d (Memory.alloc env.mem (get s));
+    next ();
+    Ev_plain
+  | Op.Print s ->
+    if not t.speculative then env.output (get s);
+    next ();
+    Ev_plain
+  | Op.Rand d ->
+    (* xorshift64*; deterministic per thread. *)
+    let x = t.rand_state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    t.rand_state <- x;
+    set d (Int64.shift_right_logical x 1);
+    next ();
+    Ev_plain

@@ -1,0 +1,51 @@
+(** Functional semantics of a single instruction.
+
+    [step] performs all architectural effects (registers, memory, program
+    counter, frames) and reports what happened so the timing models can
+    account latency. Timing-directed decisions — whether [Chk_c] finds a
+    free context, whether [Spawn] succeeds — are delegated to the [env]
+    callbacks; the functional simulator and the cycle simulators plug in
+    different policies.
+
+    Speculative threads never write memory or allocate: stores and [Alloc]
+    in a speculative context are executed as nops (the tool excludes them
+    from slices anyway; the machine enforces it, §2). Loads in speculative
+    threads never fault (unmapped memory reads as zero, as everywhere). *)
+
+type env = {
+  mem : Memory.t;
+  prog : Ssp_ir.Prog.t;
+  chk_free : unit -> bool;
+      (** does a free hardware context exist right now? *)
+  spawn : fn:string -> blk:int -> live_in:int64 array -> bool;
+      (** try to bind a free context; false = ignored *)
+  output : int64 -> unit;  (** observable output of [Print] *)
+}
+
+type event =
+  | Ev_plain
+  | Ev_load of { addr : int64; width : int }
+  | Ev_store of { addr : int64; width : int }
+  | Ev_prefetch of int64
+  | Ev_branch of { taken : bool }
+  | Ev_call
+  | Ev_ret
+  | Ev_halt
+  | Ev_kill
+  | Ev_chk of { fired : bool }
+  | Ev_spawn of { accepted : bool }
+  | Ev_lib  (** live-in buffer access *)
+
+val step : env -> Thread.t -> event
+(** Execute the instruction at the thread's pc and advance the pc. The
+    thread must be active and its pc valid ([blk]/[ins] in range); a pc one
+    past the last instruction of a block falls through to the next block
+    first. *)
+
+val instr_at : Ssp_ir.Prog.t -> Thread.t -> Ssp_isa.Op.t
+(** The instruction the thread will execute next (after fall-through
+    normalization). *)
+
+val normalize_pc : Ssp_ir.Prog.t -> Thread.t -> unit
+(** Apply fall-through: while [ins] is past the end of the current block,
+    move to the next block in layout. *)

@@ -1,0 +1,95 @@
+type result = {
+  outputs : int64 list;
+  instrs : int;
+  spec_instrs : int;
+  spawns : int;
+}
+
+let run ?(max_instrs = 200_000_000) ?(spawning = false) ?hook prog =
+  let mem = Memory.create () in
+  let outputs = ref [] in
+  let main = Thread.create ~id:0 in
+  main.Thread.fn <- prog.Ssp_ir.Prog.entry;
+  main.Thread.active <- true;
+  Thread.set main Ssp_isa.Reg.sp Ssp_ir.Prog.stack_base;
+  let specs : Thread.t option array = Array.make 3 None in
+  let spawns = ref 0 in
+  let spec_instrs = ref 0 in
+  let free_slot () =
+    let rec go i =
+      if i >= Array.length specs then None
+      else match specs.(i) with None -> Some i | Some _ -> go (i + 1)
+    in
+    go 0
+  in
+  let env =
+    {
+      Exec.mem;
+      prog;
+      chk_free = (fun () -> spawning && Option.is_some (free_slot ()));
+      spawn =
+        (fun ~fn ~blk ~live_in ->
+          if not spawning then false
+          else
+            match free_slot () with
+            | None -> false
+            | Some i ->
+              let th = Thread.create ~id:(1 + i) in
+              Thread.reset_for_spawn th ~fn ~blk ~live_in
+                ~rand_state:0x2545F4914F6CDD1DL;
+              specs.(i) <- Some th;
+              incr spawns;
+              true);
+      output = (fun v -> outputs := v :: !outputs);
+    }
+  in
+  let step_thread th =
+    match hook with
+    | None -> Exec.step env th
+    | Some h ->
+      Exec.normalize_pc prog th;
+      let iref = Ssp_ir.Iref.make th.Thread.fn th.Thread.blk th.Thread.ins in
+      let op = Exec.instr_at prog th in
+      let ev = Exec.step env th in
+      h th iref op ev;
+      ev
+  in
+  let watchdog = 1_000_000 in
+  let rec loop () =
+    if not main.Thread.active then ()
+    else if main.Thread.instrs >= max_instrs then
+      failwith "Funcsim.run: main thread exceeded max_instrs"
+    else begin
+      (* Main thread: a burst of instructions, then speculative threads get
+         a proportional burst (coarse interleaving). *)
+      let burst = 64 in
+      let i = ref 0 in
+      while !i < burst && main.Thread.active do
+        ignore (step_thread main);
+        incr i
+      done;
+      if spawning then
+        Array.iteri
+          (fun si slot ->
+            match slot with
+            | None -> ()
+            | Some th ->
+              let j = ref 0 in
+              while !j < burst && th.Thread.active do
+                ignore (step_thread th);
+                incr spec_instrs;
+                incr j;
+                if th.Thread.instrs > watchdog then th.Thread.active <- false
+              done;
+              if not th.Thread.active then specs.(si) <- None)
+          specs;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    outputs = List.rev !outputs;
+    instrs = main.Thread.instrs;
+    spec_instrs = !spec_instrs;
+    spawns = !spawns;
+  }

@@ -1,0 +1,97 @@
+open Ssp_machine
+
+type level = L1 | L2 | L3 | Mem
+
+type outcome = { level : level; partial : bool; ready : int }
+
+type mshr = { line : int64; origin : level; done_at : int; nt : bool }
+
+type t = {
+  cfg : Config.t;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  mutable fills : mshr list;  (* in flight, unordered (≤ 16 entries) *)
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    l1d = Cache.create cfg.l1;
+    l1i = Cache.create cfg.l1;
+    l2 = Cache.create cfg.l2;
+    l3 = Cache.create cfg.l3;
+    fills = [];
+  }
+
+let level_latency t = function
+  | L1 -> t.cfg.l1.latency
+  | L2 -> t.cfg.l2.latency
+  | L3 -> t.cfg.l3.latency
+  | Mem -> t.cfg.mem_latency
+
+let retire_fills t ~now =
+  let done_, pending = List.partition (fun m -> m.done_at <= now) t.fills in
+  List.iter
+    (fun m ->
+      Cache.install t.l1d m.line;
+      Cache.install t.l2 m.line;
+      Cache.install t.l3 m.line)
+    done_;
+  t.fills <- pending
+
+let perfect_hit t ~now = { level = L1; partial = false; ready = now + t.cfg.l1.latency }
+
+let access_real t ~now ~instruction ~nt ~low_priority addr =
+  retire_fills t ~now;
+  let l1 = if instruction then t.l1i else t.l1d in
+  let line = Cache.line_addr t.l2 addr in
+  if Cache.access l1 addr then
+    { level = L1; partial = false; ready = now + t.cfg.l1.latency }
+  else
+    (* Fill buffer: line already in transit? *)
+    match List.find_opt (fun m -> Int64.equal m.line line) t.fills with
+    | Some m ->
+      let ready = max (m.done_at) (now + t.cfg.l1.latency) in
+      { level = m.origin; partial = true; ready }
+    | None ->
+      let used = List.length t.fills in
+      let full = used >= t.cfg.fill_buffer_entries in
+      (* Demand priority: the last few entries are reserved for the main
+         thread, so speculative traffic cannot starve the misses it is
+         supposed to be helping. Prefetches are dropped outright when the
+         buffer is full; speculative loads wait as if it were full. *)
+      let reserve = max 0 (t.cfg.fill_buffer_entries - 4) in
+      let full = full || (low_priority && used >= reserve) in
+      if nt && full then { level = L1; partial = false; ready = now + 1 }
+      else begin
+        let origin, latency =
+          if Cache.access t.l2 addr then (L2, t.cfg.l2.latency)
+          else if Cache.access t.l3 addr then (L3, t.cfg.l3.latency)
+          else (Mem, t.cfg.mem_latency)
+        in
+        (* A full fill buffer delays the new fill until the earliest
+           outstanding one retires. *)
+        let start =
+          if full then
+            List.fold_left (fun acc m -> min acc m.done_at) max_int t.fills
+          else now
+        in
+        let done_at = start + latency in
+        t.fills <- { line; origin; done_at; nt } :: t.fills;
+        if instruction then Cache.install t.l1i addr;
+        { level = origin; partial = false; ready = done_at }
+      end
+
+let access t ~now ?(prefetch = false) ?(low_priority = false)
+    ?(instruction = false) addr =
+  match t.cfg.memory_mode with
+  | Config.Perfect_memory -> perfect_hit t ~now
+  | Config.Normal | Config.Perfect_delinquent _ ->
+    access_real t ~now ~instruction ~nt:prefetch
+      ~low_priority:(low_priority || prefetch) addr
+
+let pp_level ppf l =
+  Format.pp_print_string ppf
+    (match l with L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Mem -> "Mem")

@@ -1,0 +1,42 @@
+(** The shared cache hierarchy with the 16-entry fill buffer.
+
+    An access probes L1 → fill buffer → L2 → L3 → memory. A miss allocates
+    a fill-buffer (MSHR) entry; an access to a line already in transit is a
+    {e partial} hit serviced when the outstanding fill completes — the
+    partial categories of Figure 9. Completed fills install the line at
+    every level. When the fill buffer is full a missing access must wait
+    for the earliest entry to retire. *)
+
+type level = L1 | L2 | L3 | Mem
+
+type outcome = {
+  level : level;  (** where the data was found (origin of the fill) *)
+  partial : bool;  (** line was already in transit *)
+  ready : int;  (** cycle the value is available *)
+}
+
+type t
+
+val create : Ssp_machine.Config.t -> t
+
+val access :
+  t ->
+  now:int ->
+  ?prefetch:bool ->
+  ?low_priority:bool ->
+  ?instruction:bool ->
+  int64 ->
+  outcome
+(** Account a load ([prefetch:false]), a prefetch or an instruction fetch
+    at the given cycle. Prefetch fills are non-temporal: they install into
+    L2/L3 but not L1 (Itanium [lfetch.nt]). Stores are accounted as loads for line-fill
+    purposes (write-allocate). In [Perfect_memory] mode everything hits L1;
+    the perfect-delinquent filtering is done by the caller (it knows the
+    static load identity). *)
+
+val perfect_hit : t -> now:int -> outcome
+(** An L1-latency hit regardless of state (used for perfect modes). *)
+
+val level_latency : t -> level -> int
+
+val pp_level : Format.formatter -> level -> unit

@@ -1,0 +1,232 @@
+open Ssp_isa
+open Ssp_machine
+
+(* Per-block static bundle index of every instruction, to charge issue
+   bandwidth in bundle units. *)
+type bundle_map = (string, int array array) Hashtbl.t
+
+let bundle_map_of (prog : Ssp_ir.Prog.t) : bundle_map =
+  let m = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ssp_ir.Prog.func) ->
+      let per_block =
+        Array.map
+          (fun (b : Ssp_ir.Prog.block) ->
+            let idx = Array.make (Array.length b.ops) 0 in
+            List.iteri
+              (fun bi (bd : Bundle.t) ->
+                for k = bd.Bundle.start to bd.Bundle.start + bd.Bundle.len - 1
+                do
+                  idx.(k) <- bi
+                done)
+              (Bundle.of_block b.ops);
+            idx)
+          f.blocks
+      in
+      Hashtbl.replace m f.name per_block)
+    (Ssp_ir.Prog.funcs_in_order prog);
+  m
+
+let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+  let m = Smt.create cfg prog in
+  let bundles = bundle_map_of prog in
+  let stats = m.Smt.stats in
+  let now = ref 0 in
+  let stepping = ref m.Smt.ctxs.(0) in
+  let env =
+    {
+      Exec.mem = m.Smt.mem;
+      prog;
+      chk_free = (fun () -> Smt.chk_allowed m ~now:!now !stepping);
+      spawn = (fun ~fn ~blk ~live_in -> Smt.try_spawn m ~now:!now ~fn ~blk ~live_in);
+      output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
+    }
+  in
+  let main = m.Smt.ctxs.(0) in
+  let bundle_index (th : Thread.t) =
+    let per_block = Hashtbl.find bundles th.Thread.fn in
+    per_block.(th.Thread.blk).(th.Thread.ins)
+  in
+  (* Shared function units, reset each cycle. *)
+  let mem_used = ref 0 in
+  let is_mem op =
+    match op with
+    | Op.Load _ | Op.Store _ | Op.Lfetch _ -> true
+    | _ -> false
+  in
+  (* Issue as much as the thread's bundle budget allows this cycle.
+     Returns the number of instructions issued. *)
+  let issue_thread (ctx : Smt.context) =
+    stepping := ctx;
+    let th = ctx.Smt.thread in
+    let issued = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && th.Thread.active && ctx.Smt.bundle_left > 0 do
+      Exec.normalize_pc prog th;
+      let iref = Ssp_ir.Iref.make th.Thread.fn th.Thread.blk th.Thread.ins in
+      let op = Exec.instr_at prog th in
+      (* Scoreboard: every source operand must be ready (stall-on-use). *)
+      let unready =
+        List.find_opt (fun r -> ctx.Smt.reg_ready.(r) > !now) (Op.uses op)
+      in
+      match unready with
+      | Some _ -> blocked := true
+      | None when is_mem op && !mem_used >= cfg.Config.mem_ports ->
+        (* structural hazard: both memory ports busy this cycle *)
+        blocked := true
+      | None ->
+        let start_bundle = bundle_index th in
+        (* Instruction-fetch: charge an I-cache access at block entry. *)
+        if th.Thread.ins = 0 then begin
+          let ia =
+            Smt.pc_addr m.Smt.pcs ~fn:th.Thread.fn ~blk:th.Thread.blk ~ins:0
+          in
+          let o = Hierarchy.access m.Smt.hier ~now:!now ~instruction:true ia in
+          if o.Hierarchy.level <> Hierarchy.L1 then begin
+            ctx.Smt.redirect_until <- o.Hierarchy.ready;
+            blocked := true
+          end
+        end;
+        if not !blocked then begin
+          (* Predict branches before executing (Exec moves the pc). *)
+          let pcid =
+            Smt.pc_id m.Smt.pcs ~fn:th.Thread.fn ~blk:th.Thread.blk
+              ~ins:th.Thread.ins
+          in
+          let predicted =
+            match op with
+            | Op.Brnz _ | Op.Brz _ -> Some (Bpred.predict m.Smt.bp ~thread:th.Thread.id ~pc:pcid)
+            | _ -> None
+          in
+          let ev = Exec.step env th in
+          incr issued;
+          if is_mem op then incr mem_used;
+          if th.Thread.id = 0 then
+            stats.Stats.main_instrs <- stats.Stats.main_instrs + 1
+          else stats.Stats.spec_instrs <- stats.Stats.spec_instrs + 1;
+          let base_latency = Latency.of_op op in
+          let finish_defs lat lvl =
+            List.iter
+              (fun r ->
+                ctx.Smt.reg_ready.(r) <- !now + lat;
+                ctx.Smt.reg_level.(r) <- lvl)
+              (Op.defs op)
+          in
+          (match ev with
+          | Exec.Ev_load { addr; _ } ->
+            let o = Smt.demand_access m ~now:!now ~ctx ~iref addr in
+            List.iter
+              (fun r ->
+                ctx.Smt.reg_ready.(r) <- o.Hierarchy.ready;
+                ctx.Smt.reg_level.(r) <-
+                  (if o.Hierarchy.level = Hierarchy.L1 then None
+                   else Some o.Hierarchy.level))
+              (Op.defs op)
+          | Exec.Ev_store { addr; _ } ->
+            (* Write-allocate; the store buffer hides the latency. *)
+            ignore (Hierarchy.access m.Smt.hier ~now:!now addr)
+          | Exec.Ev_prefetch addr ->
+            stats.Stats.prefetches <- stats.Stats.prefetches + 1;
+            ignore (Hierarchy.access m.Smt.hier ~now:!now ~prefetch:true addr)
+          | Exec.Ev_branch { taken } -> (
+            match predicted with
+            | Some p ->
+              Bpred.update m.Smt.bp ~thread:th.Thread.id ~pc:pcid ~taken;
+              if p <> taken then begin
+                stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
+                ctx.Smt.redirect_until <- !now + cfg.Config.front_end_penalty;
+                blocked := true
+              end
+              else if taken then begin
+                (* Correctly predicted taken: needs the BTB for the target. *)
+                if not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
+                  Bpred.btb_insert m.Smt.bp ~pc:pcid;
+                  ctx.Smt.redirect_until <- !now + 2;
+                  blocked := true
+                end
+              end
+            | None ->
+              (* Unconditional branch: a taken-branch fetch bubble. *)
+              if not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
+                Bpred.btb_insert m.Smt.bp ~pc:pcid;
+                ctx.Smt.redirect_until <- !now + 1;
+                blocked := true
+              end)
+          | Exec.Ev_call | Exec.Ev_ret ->
+            finish_defs (max 1 base_latency) None;
+            (* Calls and returns redirect the front end briefly. *)
+            ctx.Smt.redirect_until <- !now + 1;
+            blocked := true
+          | Exec.Ev_chk { fired } ->
+            if fired then begin
+              stats.Stats.chk_fired <- stats.Stats.chk_fired + 1;
+              if cfg.Config.spawn_flush then begin
+                (* Exception-like pipeline flush (§4.4.1). *)
+                ctx.Smt.redirect_until <- !now + cfg.Config.front_end_penalty;
+                blocked := true
+              end
+            end
+          | Exec.Ev_spawn _ -> finish_defs 1 None
+          | Exec.Ev_lib -> finish_defs cfg.Config.lib_latency None
+          | Exec.Ev_halt | Exec.Ev_kill -> blocked := true
+          | Exec.Ev_plain -> finish_defs (max 1 base_latency) None);
+          Smt.watchdog_check m ctx;
+          (* Bundle accounting: crossing into a new bundle (or leaving the
+             block) consumes one bundle slot. *)
+          let crossed =
+            (not th.Thread.active)
+            ||
+            (Exec.normalize_pc prog th;
+             th.Thread.fn <> iref.Ssp_ir.Iref.fn
+             || th.Thread.blk <> iref.Ssp_ir.Iref.blk
+             || bundle_index th <> start_bundle)
+          in
+          if crossed then ctx.Smt.bundle_left <- ctx.Smt.bundle_left - 1
+        end
+    done;
+    !issued
+  in
+  (* Main loop. *)
+  let running = ref true in
+  while !running do
+    if !now > cfg.Config.max_cycles then
+      failwith "Inorder.run: exceeded max_cycles";
+    (* A thread is only worth an issue slot if its next instruction's
+       operands are ready (Itanium stall-on-use would waste the slot
+       otherwise) — an ICOUNT-flavoured SMT policy. *)
+    let eligible (c : Smt.context) =
+      let th = c.Smt.thread in
+      th.Thread.active && c.Smt.redirect_until <= !now
+      &&
+      (Exec.normalize_pc prog th;
+       let op = Exec.instr_at prog th in
+       List.for_all (fun r -> c.Smt.reg_ready.(r) <= !now) (Op.uses op))
+    in
+    mem_used := 0;
+    let chosen = Smt.select_threads m ~eligible in
+    (match chosen with
+    | [ only ] -> only.Smt.bundle_left <- cfg.Config.issue_bundles
+    | cs -> List.iter (fun c -> c.Smt.bundle_left <- 1) cs);
+    let main_issued = ref 0 in
+    List.iter
+      (fun c ->
+        let n = issue_thread c in
+        if c.Smt.thread.Thread.id = 0 then main_issued := n)
+      chosen;
+    (* Figure 10 accounting for the main thread. *)
+    let outstanding = Smt.outstanding_level main ~now:!now in
+    let cat =
+      match (!main_issued > 0, outstanding) with
+      | true, Some _ -> Stats.Cat_cache_exec
+      | true, None -> Stats.Cat_exec
+      | false, Some Hierarchy.Mem -> Stats.Cat_l3
+      | false, Some Hierarchy.L3 -> Stats.Cat_l2
+      | false, Some Hierarchy.L2 -> Stats.Cat_l1
+      | false, Some Hierarchy.L1 | false, None -> Stats.Cat_other
+    in
+    Stats.add_category stats cat;
+    incr now;
+    stats.Stats.cycles <- !now;
+    if not main.Smt.thread.Thread.active then running := false
+  done;
+  Stats.finish stats

@@ -1,0 +1,18 @@
+(** The in-order research Itanium model: 12-stage pipeline, SMT over four
+    hardware contexts, two bundles issued per cycle from one thread or one
+    bundle each from two threads, and — critically for the paper — Itanium
+    stall-on-use semantics: a thread issues in order and stalls only when an
+    instruction reads the destination register of an outstanding load miss
+    (tracked by a per-register scoreboard).
+
+    Branch direction comes from the shared gshare predictor; a mispredicted
+    branch (or a BTB-missing taken branch, a [chk.c] flush, an I-cache
+    miss) stalls the thread's front end for the redirect penalty.
+
+    [chk.c] fires when a hardware context is free: the triggering thread
+    takes an exception-like flush and resumes at the stub block; [spawn]
+    binds the context, transferring the live-in buffer snapshot. Speculative
+    threads never update memory and are reclaimed by [kill] or the
+    watchdog. Simulation ends when the main thread halts. *)
+
+val run : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t

@@ -1,0 +1,252 @@
+open Ssp_isa
+open Ssp_machine
+
+(* Reservation-station pressure tracking: a ring buffer counting dispatched
+   instructions whose execution starts at a future cycle. *)
+let rs_horizon = 4096
+
+type othread = {
+  ctx : Smt.context;
+  rob : int Queue.t;  (* completion cycles, program order *)
+  future_starts : int array;
+  mutable waiting : int;  (* dispatched but not yet started *)
+  mutable retired_this_cycle : int;
+  mutable rob_max : int;  (* max completion among in-flight entries *)
+}
+
+let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+  let m = Smt.create cfg prog in
+  let stats = m.Smt.stats in
+  let now = ref 0 in
+  let stepping = ref m.Smt.ctxs.(0) in
+  let env =
+    {
+      Exec.mem = m.Smt.mem;
+      prog;
+      chk_free = (fun () -> Smt.chk_allowed m ~now:!now !stepping);
+      spawn =
+        (fun ~fn ~blk ~live_in -> Smt.try_spawn m ~now:!now ~fn ~blk ~live_in);
+      output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
+    }
+  in
+  let oths =
+    Array.map
+      (fun ctx ->
+        {
+          ctx;
+          rob = Queue.create ();
+          future_starts = Array.make rs_horizon 0;
+          waiting = 0;
+          retired_this_cycle = 0;
+          rob_max = 0;
+        })
+      m.Smt.ctxs
+  in
+  (* Shared memory ports: per-cycle usage ring (cycle-tagged), so a port
+     reserved for a distant future cycle never blocks an earlier one. *)
+  let port_ring = 8192 in
+  let port_tag = Array.make port_ring (-1) in
+  let port_cnt = Array.make port_ring 0 in
+  let acquire_port start =
+    let c = ref (max start !now) in
+    let found = ref (-1) in
+    while !found < 0 do
+      let i = !c mod port_ring in
+      if port_tag.(i) <> !c then begin
+        port_tag.(i) <- !c;
+        port_cnt.(i) <- 0
+      end;
+      if port_cnt.(i) < cfg.Config.mem_ports then begin
+        port_cnt.(i) <- port_cnt.(i) + 1;
+        found := !c
+      end
+      else incr c
+    done;
+    !found
+  in
+  let begin_cycle ot =
+    let slot = !now mod rs_horizon in
+    ot.waiting <- ot.waiting - ot.future_starts.(slot);
+    ot.future_starts.(slot) <- 0;
+    ot.retired_this_cycle <- 0
+  in
+  let retire ot =
+    let n = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !n < cfg.Config.retire_width
+          && not (Queue.is_empty ot.rob) do
+      if Queue.peek ot.rob <= !now then begin
+        ignore (Queue.pop ot.rob);
+        incr n
+      end
+      else continue_ := false
+    done;
+    if Queue.is_empty ot.rob then ot.rob_max <- !now;
+    ot.retired_this_cycle <- !n
+  in
+  (* Dispatch one instruction of the thread; false = dispatch must stop. *)
+  let dispatch_one ot =
+    let ctx = ot.ctx in
+    stepping := ctx;
+    let th = ctx.Smt.thread in
+    if not th.Thread.active then false
+    else if Queue.length ot.rob >= cfg.Config.rob_entries then false
+    else begin
+      Exec.normalize_pc prog th;
+      let iref = Ssp_ir.Iref.make th.Thread.fn th.Thread.blk th.Thread.ins in
+      let op = Exec.instr_at prog th in
+      let ready_at =
+        List.fold_left
+          (fun acc r -> max acc ctx.Smt.reg_ready.(r))
+          !now (Op.uses op)
+      in
+      if ready_at > !now && ot.waiting >= cfg.Config.rs_entries then false
+      else if ready_at - !now >= rs_horizon then false
+      else begin
+        let pcid =
+          Smt.pc_id m.Smt.pcs ~fn:th.Thread.fn ~blk:th.Thread.blk
+            ~ins:th.Thread.ins
+        in
+        let predicted =
+          match op with
+          | Op.Brnz _ | Op.Brz _ ->
+            Some (Bpred.predict m.Smt.bp ~thread:th.Thread.id ~pc:pcid)
+          | _ -> None
+        in
+        let ev = Exec.step env th in
+        if th.Thread.id = 0 then
+          stats.Stats.main_instrs <- stats.Stats.main_instrs + 1
+        else stats.Stats.spec_instrs <- stats.Stats.spec_instrs + 1;
+        let base_latency = max 1 (Latency.of_op op) in
+        let complete = ref (ready_at + base_latency) in
+        (match ev with
+        | Exec.Ev_load { addr; _ } ->
+          let start = acquire_port ready_at in
+          let o = Smt.demand_access m ~now:start ~ctx ~iref addr in
+          complete := o.Hierarchy.ready
+        | Exec.Ev_store { addr; _ } ->
+          let start = acquire_port ready_at in
+          ignore (Hierarchy.access m.Smt.hier ~now:start addr);
+          complete := start + 1
+        | Exec.Ev_prefetch addr ->
+          stats.Stats.prefetches <- stats.Stats.prefetches + 1;
+          let start = acquire_port ready_at in
+          ignore (Hierarchy.access m.Smt.hier ~now:start ~prefetch:true addr);
+          complete := start + 1
+        | Exec.Ev_branch { taken } -> (
+          match predicted with
+          | Some p ->
+            Bpred.update m.Smt.bp ~thread:th.Thread.id ~pc:pcid ~taken;
+            if p <> taken then begin
+              stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
+              (* Redirect when the branch resolves. *)
+              ctx.Smt.redirect_until <-
+                !complete + cfg.Config.front_end_penalty
+            end
+            else if taken && not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
+              Bpred.btb_insert m.Smt.bp ~pc:pcid;
+              ctx.Smt.redirect_until <- !now + 2
+            end
+          | None ->
+            if not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
+              Bpred.btb_insert m.Smt.bp ~pc:pcid;
+              ctx.Smt.redirect_until <- !now + 1
+            end)
+        | Exec.Ev_chk { fired } ->
+          if fired then begin
+            stats.Stats.chk_fired <- stats.Stats.chk_fired + 1;
+            if cfg.Config.spawn_flush then begin
+              (* Spawning happens at retirement: flush costs the front-end
+                 refill plus draining the in-flight window (§4.4.1). *)
+              (* The recovery refetches everything that was in flight. *)
+              let drain =
+                Queue.length ot.rob / max 1 cfg.Config.retire_width
+              in
+              ctx.Smt.redirect_until <-
+                !now + cfg.Config.front_end_penalty + drain
+            end
+          end
+        | Exec.Ev_call | Exec.Ev_ret -> ctx.Smt.redirect_until <- !now + 1
+        | Exec.Ev_spawn _ | Exec.Ev_lib | Exec.Ev_plain | Exec.Ev_halt
+        | Exec.Ev_kill ->
+          ());
+        (match ev with
+        | Exec.Ev_lib -> complete := ready_at + cfg.Config.lib_latency
+        | _ -> ());
+        List.iter
+          (fun r -> ctx.Smt.reg_ready.(r) <- !complete)
+          (Op.defs op);
+        Queue.push !complete ot.rob;
+        ot.rob_max <- max ot.rob_max !complete;
+        (* Spawning happens at the retirement stage (§2.1): the child
+           context cannot start before everything ahead of the spawn in
+           this thread's window has retired. *)
+        (match ev with
+        | Exec.Ev_spawn { accepted = true } when m.Smt.last_spawned >= 0 ->
+          let child = m.Smt.ctxs.(m.Smt.last_spawned) in
+          let retire_at = max !now ot.rob_max in
+          child.Smt.redirect_until <-
+            max child.Smt.redirect_until
+              (retire_at + cfg.Config.spawn_latency + cfg.Config.lib_latency)
+        | _ -> ());
+        if ready_at > !now then begin
+          ot.waiting <- ot.waiting + 1;
+          ot.future_starts.(ready_at mod rs_horizon) <-
+            ot.future_starts.(ready_at mod rs_horizon) + 1
+        end;
+        Smt.watchdog_check m ctx;
+        (* Stop dispatching past a redirect or thread end. *)
+        th.Thread.active && ctx.Smt.redirect_until <= !now
+      end
+    end
+  in
+  let main = oths.(0) in
+  let running = ref true in
+  while !running do
+    if !now > cfg.Config.max_cycles then failwith "Ooo.run: exceeded max_cycles";
+    Array.iter begin_cycle oths;
+    Array.iter retire oths;
+    (* Don't hand dispatch slots to threads that cannot accept work
+       (ROB full or reservation stations saturated). *)
+    let eligible (c : Smt.context) =
+      let ot = oths.(c.Smt.thread.Thread.id) in
+      c.Smt.thread.Thread.active
+      && c.Smt.redirect_until <= !now
+      && Queue.length ot.rob < cfg.Config.rob_entries
+      && ot.waiting < cfg.Config.rs_entries
+    in
+    let chosen = Smt.select_threads m ~eligible in
+    let budget_for n = if n = 1 then cfg.Config.issue_bundles * 3 else 3 in
+    let nchosen = List.length chosen in
+    List.iter
+      (fun (c : Smt.context) ->
+        let ot = oths.(c.Smt.thread.Thread.id) in
+        let budget = budget_for nchosen in
+        let k = ref 0 in
+        let go = ref true in
+        while !go && !k < budget do
+          go := dispatch_one ot;
+          incr k
+        done)
+      chosen;
+    (* Figure 10 accounting: execution is "active" when the main thread
+       retired something this cycle. *)
+    let outstanding = Smt.outstanding_level main.ctx ~now:!now in
+    let active = main.retired_this_cycle > 0 in
+    let cat =
+      match (active, outstanding) with
+      | true, Some _ -> Stats.Cat_cache_exec
+      | true, None -> Stats.Cat_exec
+      | false, Some Hierarchy.Mem -> Stats.Cat_l3
+      | false, Some Hierarchy.L3 -> Stats.Cat_l2
+      | false, Some Hierarchy.L2 -> Stats.Cat_l1
+      | false, Some Hierarchy.L1 | false, None -> Stats.Cat_other
+    in
+    Stats.add_category stats cat;
+    incr now;
+    stats.Stats.cycles <- !now;
+    (* End when the main thread has halted and drained its window. *)
+    if (not main.ctx.Smt.thread.Thread.active) && Queue.is_empty main.rob then
+      running := false
+  done;
+  Stats.finish stats

@@ -1,0 +1,16 @@
+(** The out-of-order research Itanium model: 16 pipeline stages (four extra
+    front-end stages over the in-order model), per-thread 255-entry reorder
+    buffer and 18-entry reservation station, two shared memory ports,
+    in-order retirement.
+
+    Instructions dispatch along the correct path (values resolve at
+    dispatch) while timing follows the dataflow: an instruction starts when
+    its operands and a needed memory port are ready, completes after its
+    latency, and retires in order. Dispatch stalls when the ROB is full or
+    when too many dispatched instructions are still waiting to start
+    (reservation-station pressure) — the window limits that leave
+    long-range misses for SSP to cover (§4.4.1). [chk.c] fires at
+    retirement: the flush costs the front-end penalty plus draining the
+    ROB. *)
+
+val run : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t

@@ -1,0 +1,195 @@
+open Ssp_machine
+
+type pcmap = {
+  bases : (string, int array) Hashtbl.t;  (* per func: block start offsets *)
+  func_base : (string, int) Hashtbl.t;
+}
+
+let pcmap_of (prog : Ssp_ir.Prog.t) =
+  let bases = Hashtbl.create 16 and func_base = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (f : Ssp_ir.Prog.func) ->
+      Hashtbl.replace func_base f.name !next;
+      let offs = Array.make (Array.length f.blocks) 0 in
+      let o = ref 0 in
+      Array.iteri
+        (fun i (b : Ssp_ir.Prog.block) ->
+          offs.(i) <- !o;
+          o := !o + Array.length b.ops)
+        f.blocks;
+      Hashtbl.replace bases f.name offs;
+      next := !next + !o)
+    (Ssp_ir.Prog.funcs_in_order prog);
+  { bases; func_base }
+
+let pc_id t ~fn ~blk ~ins =
+  match (Hashtbl.find_opt t.func_base fn, Hashtbl.find_opt t.bases fn) with
+  | Some base, Some offs -> base + offs.(blk) + ins
+  | _ -> 0
+
+let code_base = 0x4000_0000L
+
+let pc_addr t ~fn ~blk ~ins =
+  Int64.add code_base (Int64.of_int (16 * pc_id t ~fn ~blk ~ins))
+
+type context = {
+  thread : Thread.t;
+  mutable redirect_until : int;
+  reg_ready : int array;
+  reg_level : Hierarchy.level option array;
+  mutable fills : (Hierarchy.level * int) list;
+  mutable bundle_left : int;
+  mutable last_chk_fire : int;
+}
+
+type machine = {
+  cfg : Config.t;
+  prog : Ssp_ir.Prog.t;
+  mem : Memory.t;
+  hier : Hierarchy.t;
+  bp : Bpred.t;
+  pcs : pcmap;
+  ctxs : context array;
+  stats : Stats.t;
+  mutable rr : int;
+  delinquent : Ssp_ir.Iref.Set.t;
+  mutable last_spawned : int;  (* context id bound by the latest try_spawn *)
+}
+
+let new_context id =
+  {
+    thread = Thread.create ~id;
+    redirect_until = 0;
+    reg_ready = Array.make Ssp_isa.Reg.count 0;
+    reg_level = Array.make Ssp_isa.Reg.count None;
+    fills = [];
+    bundle_left = 0;
+    last_chk_fire = min_int / 2;
+  }
+
+let create cfg prog =
+  let ctxs = Array.init cfg.Config.n_contexts new_context in
+  let main = ctxs.(0).thread in
+  main.Thread.fn <- prog.Ssp_ir.Prog.entry;
+  main.Thread.active <- true;
+  Thread.set main Ssp_isa.Reg.sp Ssp_ir.Prog.stack_base;
+  let delinquent =
+    match cfg.Config.memory_mode with
+    | Config.Perfect_delinquent s -> s
+    | Config.Normal | Config.Perfect_memory -> Ssp_ir.Iref.Set.empty
+  in
+  {
+    cfg;
+    prog;
+    mem = Memory.create ();
+    hier = Hierarchy.create cfg;
+    bp = Bpred.create cfg;
+    pcs = pcmap_of prog;
+    ctxs;
+    stats = Stats.create ();
+    rr = 0;
+    delinquent;
+    last_spawned = -1;
+  }
+
+let free_count m =
+  let n = ref 0 in
+  Array.iteri
+    (fun i c -> if i > 0 && not c.thread.Thread.active then incr n)
+    m.ctxs;
+  !n
+
+(* The chk.c firing policy: a free context (or several, per config), and a
+   refractory interval per triggering thread to bound flush costs. The
+   caller must have set [cur] to the checking context. *)
+let chk_allowed m ~now (ctx : context) =
+  free_count m >= m.cfg.Config.chk_min_free
+  && now - ctx.last_chk_fire >= m.cfg.Config.chk_refractory
+  && (ctx.last_chk_fire <- now;
+      true)
+
+let free_context m =
+  let n = Array.length m.ctxs in
+  let rec go i =
+    if i >= n then None
+    else if not m.ctxs.(i).thread.Thread.active then Some m.ctxs.(i)
+    else go (i + 1)
+  in
+  go 1
+
+let try_spawn m ~now ~fn ~blk ~live_in =
+  match free_context m with
+  | None -> false
+  | Some ctx ->
+    Thread.reset_for_spawn ctx.thread ~fn ~blk ~live_in
+      ~rand_state:(Int64.of_int ((ctx.thread.Thread.id * 1103515245) + 12345));
+    Array.fill ctx.reg_ready 0 (Array.length ctx.reg_ready) 0;
+    Array.fill ctx.reg_level 0 (Array.length ctx.reg_level) None;
+    ctx.fills <- [];
+    ctx.redirect_until <-
+      now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency;
+    m.stats.Stats.spawns <- m.stats.Stats.spawns + 1;
+    m.last_spawned <- ctx.thread.Thread.id;
+    true
+
+let select_threads m ~eligible =
+  (* The non-speculative thread has priority for fetch/issue slots;
+     speculative contexts share the remainder round-robin. Helper threads
+     must not slow the thread they are helping. *)
+  let n = Array.length m.ctxs in
+  let picked = ref [] in
+  let count = ref 0 in
+  if eligible m.ctxs.(0) then begin
+    picked := [ m.ctxs.(0) ];
+    count := 1
+  end;
+  for k = 0 to n - 2 do
+    let i = 1 + ((m.rr + k) mod (n - 1)) in
+    let c = m.ctxs.(i) in
+    if !count < m.cfg.Config.issue_threads && eligible c then begin
+      picked := c :: !picked;
+      incr count
+    end
+  done;
+  m.rr <- (m.rr + 1) mod (max 1 (n - 1));
+  List.rev !picked
+
+let level_rank = function
+  | Hierarchy.L1 -> 1
+  | Hierarchy.L2 -> 2
+  | Hierarchy.L3 -> 3
+  | Hierarchy.Mem -> 4
+
+let outstanding_level ctx ~now =
+  ctx.fills <- List.filter (fun (_, ready) -> ready > now) ctx.fills;
+  List.fold_left
+    (fun acc (lvl, _) ->
+      match acc with
+      | None -> Some lvl
+      | Some best -> if level_rank lvl > level_rank best then Some lvl else acc)
+    None ctx.fills
+
+let demand_access m ~now ~ctx ~iref addr =
+  let perfect = Ssp_ir.Iref.Set.mem iref m.delinquent in
+  (* Speculative-thread misses must not starve the main thread's demand
+     misses out of the fill buffer. *)
+  let low_priority = ctx.thread.Thread.id <> 0 in
+  let o =
+    if perfect then Hierarchy.perfect_hit m.hier ~now
+    else Hierarchy.access m.hier ~now ~low_priority addr
+  in
+  if ctx.thread.Thread.id = 0 then
+    Stats.record_load m.stats iref o.Hierarchy.level
+      ~partial:o.Hierarchy.partial;
+  (* Track the fill for stall attribution if it is an L1 miss. *)
+  (match o.Hierarchy.level with
+  | Hierarchy.L1 -> ()
+  | lvl -> ctx.fills <- (lvl, o.Hierarchy.ready) :: ctx.fills);
+  o
+
+let watchdog_check m ctx =
+  let th = ctx.thread in
+  if th.Thread.speculative && th.Thread.active
+     && th.Thread.instrs > m.cfg.Config.spec_watchdog
+  then th.Thread.active <- false

@@ -1,0 +1,77 @@
+(** Shared SMT machinery for the cycle models: hardware-context management,
+    program-counter numbering (for the branch predictor and the instruction
+    cache), round-robin thread selection, and the spawn policy. *)
+
+type pcmap
+
+val pcmap_of : Ssp_ir.Prog.t -> pcmap
+
+val pc_id : pcmap -> fn:string -> blk:int -> ins:int -> int
+(** A dense global instruction number, used as the branch predictor index
+    and (scaled) as the instruction-fetch address. *)
+
+val pc_addr : pcmap -> fn:string -> blk:int -> ins:int -> int64
+(** The pseudo-address of the instruction in the code segment (16 bytes per
+    instruction, distinct from data addresses). *)
+
+type context = {
+  thread : Thread.t;
+  mutable redirect_until : int;
+      (** front end stalled until this cycle (mispredict, flush, I-miss) *)
+  reg_ready : int array;  (** scoreboard: cycle each register is available *)
+  reg_level : Hierarchy.level option array;
+      (** the cache level servicing the pending fill of each register *)
+  mutable fills : (Hierarchy.level * int) list;
+      (** this thread's outstanding demand fills (level, ready cycle) *)
+  mutable bundle_left : int;  (** issue-slot bookkeeping within a cycle *)
+  mutable last_chk_fire : int;  (** cycle of this thread's last chk.c fire *)
+}
+
+type machine = {
+  cfg : Ssp_machine.Config.t;
+  prog : Ssp_ir.Prog.t;
+  mem : Memory.t;
+  hier : Hierarchy.t;
+  bp : Bpred.t;
+  pcs : pcmap;
+  ctxs : context array;
+  stats : Stats.t;
+  mutable rr : int;  (** round-robin cursor over contexts *)
+  delinquent : Ssp_ir.Iref.Set.t;  (** perfect-delinquent filtering *)
+  mutable last_spawned : int;
+      (** context id bound by the most recent successful spawn (-1 if
+          none); lets a timing model adjust the child's start *)
+}
+
+val create : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> machine
+(** Context 0 is the main thread, initialized at the program entry. *)
+
+val chk_allowed : machine -> now:int -> context -> bool
+(** Whether a [chk.c] of this thread fires now: enough free contexts and
+    the thread's refractory interval elapsed. Records the firing time when
+    it returns true. *)
+
+val free_context : machine -> context option
+(** An inactive context, if any (never the main thread's). *)
+
+val try_spawn :
+  machine -> now:int -> fn:string -> blk:int -> live_in:int64 array -> bool
+(** Bind a free context as a speculative thread; charges the spawn and
+    live-in-copy latency to the child's start. *)
+
+val select_threads : machine -> eligible:(context -> bool) -> context list
+(** Up to [issue_threads] contexts in round-robin order satisfying
+    [eligible]; advances the cursor. *)
+
+val outstanding_level : context -> now:int -> Hierarchy.level option
+(** Deepest level among the thread's outstanding fills (retiring completed
+    ones), for Figure 10 accounting. *)
+
+val demand_access :
+  machine -> now:int -> ctx:context -> iref:Ssp_ir.Iref.t -> int64 ->
+  Hierarchy.outcome
+(** A load's cache access with perfect-delinquent filtering and per-site
+    stats recording (main thread only). *)
+
+val watchdog_check : machine -> context -> unit
+(** Kill a speculative thread that exceeded its instruction budget. *)

@@ -1,0 +1,56 @@
+type frame = {
+  saved_stacked : int64 array;
+  ret_blk : int;
+  ret_ins : int;
+  ret_fn : string;
+}
+
+type t = {
+  id : int;
+  mutable fn : string;
+  mutable blk : int;
+  mutable ins : int;
+  regs : int64 array;
+  mutable frames : frame list;
+  mutable live_in : int64 array;
+  lib_out : int64 array;
+  mutable speculative : bool;
+  mutable active : bool;
+  mutable instrs : int;
+  mutable rand_state : int64;
+}
+
+let lib_slots = 16
+
+let create ~id =
+  {
+    id;
+    fn = "";
+    blk = 0;
+    ins = 0;
+    regs = Array.make Ssp_isa.Reg.count 0L;
+    frames = [];
+    live_in = Array.make lib_slots 0L;
+    lib_out = Array.make lib_slots 0L;
+    speculative = false;
+    active = false;
+    instrs = 0;
+    rand_state = 0x9E3779B97F4A7C15L;
+  }
+
+let reset_for_spawn t ~fn ~blk ~live_in ~rand_state =
+  t.fn <- fn;
+  t.blk <- blk;
+  t.ins <- 0;
+  Array.fill t.regs 0 (Array.length t.regs) 0L;
+  t.frames <- [];
+  t.live_in <- Array.copy live_in;
+  Array.fill t.lib_out 0 lib_slots 0L;
+  t.speculative <- true;
+  t.active <- true;
+  t.instrs <- 0;
+  t.rand_state <- rand_state
+
+let get t r = if r = Ssp_isa.Reg.zero then 0L else t.regs.(r)
+
+let set t r v = if r <> Ssp_isa.Reg.zero then t.regs.(r) <- v

@@ -1,0 +1,38 @@
+(** Architectural state of one hardware thread context: program counter,
+    register file, register-stack frames, and the live-in buffer views used
+    by SSP spawning. *)
+
+type frame = {
+  saved_stacked : int64 array;  (** r32–r127 of the caller *)
+  ret_blk : int;
+  ret_ins : int;
+  ret_fn : string;
+}
+
+type t = {
+  id : int;  (** hardware context number *)
+  mutable fn : string;
+  mutable blk : int;
+  mutable ins : int;
+  regs : int64 array;  (** 128 registers; r0 kept at zero *)
+  mutable frames : frame list;
+  mutable live_in : int64 array;  (** snapshot received at spawn *)
+  lib_out : int64 array;  (** staging area for the next spawn *)
+  mutable speculative : bool;
+  mutable active : bool;
+  mutable instrs : int;  (** dynamic instructions executed *)
+  mutable rand_state : int64;
+}
+
+val lib_slots : int
+(** Live-in buffer capacity (one register-stack spill area's worth). *)
+
+val create : id:int -> t
+
+val reset_for_spawn :
+  t -> fn:string -> blk:int -> live_in:int64 array -> rand_state:int64 -> unit
+(** Reinitialize a context as a speculative thread starting at the given
+    block with the given live-in snapshot. *)
+
+val get : t -> Ssp_isa.Reg.t -> int64
+val set : t -> Ssp_isa.Reg.t -> int64 -> unit

@@ -1,0 +1,1 @@
+lib/workloads/mcf.ml: Printf Workload

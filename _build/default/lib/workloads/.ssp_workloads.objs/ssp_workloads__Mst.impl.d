@@ -1,0 +1,1 @@
+lib/workloads/mst.ml: Float Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Em3d Health List Mcf Mst String Treeadd Vpr Workload

@@ -1,0 +1,1 @@
+lib/workloads/treeadd.ml: Float Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/vpr.ml: Printf Workload

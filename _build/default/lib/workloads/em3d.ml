@@ -1,0 +1,90 @@
+(* The em3d kernel (Olden): electromagnetic wave propagation on a bipartite
+   graph. Each E node's value is updated from the values of its H-side
+   neighbors (and vice versa) through per-node neighbor pointer arrays;
+   neighbors are chosen randomly, so the [from[j]->value] loads are
+   scattered — the delinquent loads. Fixed-point integer arithmetic
+   substitutes for the original floating point (DESIGN.md §2). *)
+
+let source scale =
+  let n = max 32 (400 * scale) in
+  let degree = 10 in
+  Printf.sprintf
+    {|
+// em3d: bipartite graph relaxation (Olden em3d kernel, fixed-point).
+struct enode { int value; int degree; enode** from; int* coeffs; }
+
+enode* e_side;
+enode* h_side;
+int nnodes;
+int degree;
+
+int pad_sink;
+
+void pad() {
+  int k = rand() %% 3;
+  if (k > 0) {
+    int* junk = newarray(int, k * 2);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+void init_side(enode* side, enode* other) {
+  for (int i = 0; i < nnodes; i = i + 1) {
+    enode* n = side + i;
+    n->value = rand() %% 4096;
+    n->degree = degree;
+    n->from = newarray(enode*, degree);
+    pad();
+    n->coeffs = newarray(int, degree);
+    for (int j = 0; j < degree; j = j + 1) {
+      n->from[j] = other + rand() %% nnodes;
+      n->coeffs[j] = rand() %% 256;
+    }
+  }
+}
+
+void build() {
+  nnodes = %d;
+  degree = %d;
+  e_side = newarray(enode, nnodes);
+  h_side = newarray(enode, nnodes);
+  init_side(e_side, h_side);
+  init_side(h_side, e_side);
+}
+
+// One relaxation step over a side; returns a checksum of updated values.
+int compute(enode* side) {
+  int check = 0;
+  for (int i = 0; i < nnodes; i = i + 1) {
+    enode* n = side + i;
+    int acc = n->value << 8;
+    for (int j = 0; j < n->degree; j = j + 1) {
+      acc = acc - n->coeffs[j] * n->from[j]->value;
+    }
+    n->value = (acc >> 8) & 4095;
+    check = check + n->value;
+  }
+  return check;
+}
+
+int main() {
+  build();
+  int s = 0;
+  for (int iter = 0; iter < 2; iter = iter + 1) {
+    s = s + compute(e_side);
+    s = s + compute(h_side);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    n degree
+
+let workload =
+  {
+    Workload.name = "em3d";
+    description = "bipartite electromagnetic relaxation (Olden em3d kernel)";
+    source;
+    delinquent_hint = [ "compute" ];
+  }

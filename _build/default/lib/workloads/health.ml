@@ -1,0 +1,108 @@
+(* The health kernel: a hierarchy of villages (4-ary tree), each holding a
+   linked list of patients. The simulation recursively visits every village
+   and walks its patient list, updating each patient — the list-walk loads
+   (patient->time, patient->next) are the delinquent loads. Patients are
+   allocated with randomized interleaving across villages so consecutive
+   list elements are far apart in memory. *)
+
+let source scale =
+  (* 4-ary village tree of depth 5 (1365 villages); the patient-list
+     lengths carry the scale so the working set grows linearly. *)
+  let depth = if scale >= 8 then 5 else 4 in
+  let patients = max 2 (3 * scale) in
+  Printf.sprintf
+    {|
+// health: hierarchical health-care simulation (Olden health kernel).
+struct patient { int time; int units; int severity; patient* next; }
+struct village {
+  village* child0; village* child1; village* child2; village* child3;
+  patient* list;
+  int seed;
+  int npatients;
+}
+
+int pad_sink;
+
+void pad() {
+  int k = rand() %% 3;
+  if (k > 0) {
+    int* junk = newarray(int, k * 5);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+village* build(int level) {
+  village* v = new village;
+  pad();
+  v->seed = rand() %% 1000;
+  v->npatients = %d;
+  v->list = null;
+  patient* tail = null;
+  for (int i = 0; i < v->npatients; i = i + 1) {
+    patient* p = new patient;
+    pad();
+    p->time = rand() %% 100;
+    p->units = rand() %% 10;
+    p->severity = rand() %% 4;
+    p->next = null;
+    if (tail == null) {
+      v->list = p;
+    } else {
+      tail->next = p;
+    }
+    tail = p;
+  }
+  if (level > 0) {
+    v->child0 = build(level - 1);
+    v->child1 = build(level - 1);
+    v->child2 = build(level - 1);
+    v->child3 = build(level - 1);
+  } else {
+    v->child0 = null;
+    v->child1 = null;
+    v->child2 = null;
+    v->child3 = null;
+  }
+  return v;
+}
+
+// One simulation step: age every patient in the subtree, discharging
+// units; returns an activity checksum.
+int simulate(village* v) {
+  if (v == null) { return 0; }
+  int s = simulate(v->child0);
+  s = s + simulate(v->child1);
+  s = s + simulate(v->child2);
+  s = s + simulate(v->child3);
+  patient* p = v->list;
+  while (p != null) {
+    p->time = p->time + 1;
+    if (p->units > 0) {
+      p->units = p->units - 1;
+    }
+    s = s + p->time + p->severity;
+    p = p->next;
+  }
+  return s;
+}
+
+int main() {
+  village* top = build(%d);
+  int s = 0;
+  for (int step = 0; step < 2; step = step + 1) {
+    s = s + simulate(top);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    patients depth
+
+let workload =
+  {
+    Workload.name = "health";
+    description = "hierarchical health-care simulation (Olden health kernel)";
+    source;
+    delinquent_hint = [ "simulate" ];
+  }

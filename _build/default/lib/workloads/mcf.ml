@@ -1,0 +1,81 @@
+(* The mcf kernel: the arc-pricing loop of primal network simplex
+   (primal_bea_mpp), the paper's running example (Figure 3). An array of
+   arcs is scanned group by group; each arc dereferences its tail and head
+   node pointers to compute a reduced cost. The loads of
+   [arc->tail->potential] are the delinquent loads. *)
+
+let source scale =
+  let nnodes = max 64 (4000 * scale) in
+  let narcs = max 64 (1500 * scale) in
+  let nr_group = 11 in
+  Printf.sprintf
+    {|
+// mcf: simplified primal_bea_mpp arc pricing.
+struct node_t { int potential; int orientation; int supply; int flow; }
+struct arc_t { int cost; node_t* tail; node_t* head; int ident; }
+
+arc_t* arcs;
+node_t* nodes;
+int nnodes;
+int narcs;
+int nr_group;
+
+void build() {
+  nnodes = %d;
+  narcs = %d;
+  nr_group = %d;
+  nodes = newarray(node_t, nnodes);
+  for (int i = 0; i < nnodes; i = i + 1) {
+    node_t* n = nodes + i;
+    n->potential = rand() %% 10000 - 5000;
+    n->orientation = rand() %% 2;
+    n->supply = 0;
+    n->flow = 0;
+  }
+  arcs = newarray(arc_t, narcs);
+  for (int i = 0; i < narcs; i = i + 1) {
+    arc_t* a = arcs + i;
+    a->cost = rand() %% 1000;
+    a->tail = nodes + rand() %% nnodes;
+    a->head = nodes + rand() %% nnodes;
+    a->ident = rand() %% 4;
+  }
+}
+
+// One basket pass over an arc group; returns the number of arcs priced
+// into the basket (negative reduced cost).
+int primal_bea_mpp(int group) {
+  int basket = 0;
+  arc_t* arc = arcs + group;
+  arc_t* stop = arcs + narcs;
+  while (arc < stop) {
+    if (arc->ident > 0) {
+      int red_cost = arc->cost - arc->tail->potential + arc->head->potential;
+      if (red_cost < 0) {
+        basket = basket + 1;
+      }
+    }
+    arc = arc + nr_group;
+  }
+  return basket;
+}
+
+int main() {
+  build();
+  int total = 0;
+  for (int g = 0; g < nr_group; g = g + 1) {
+    total = total + primal_bea_mpp(g);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+    nnodes narcs nr_group
+
+let workload =
+  {
+    Workload.name = "mcf";
+    description = "network simplex arc pricing (SPEC CPU2000 mcf kernel)";
+    source;
+    delinquent_hint = [ "primal_bea_mpp" ];
+  }

@@ -1,0 +1,123 @@
+(* The mst kernel (Olden): minimum-spanning-tree over a dense graph whose
+   edge weights live in per-vertex chained hash tables. The BlueRule phase
+   scans, for every tree vertex, all remaining vertices and performs a hash
+   lookup in each one's table — long chains of dependent pointer loads
+   (bucket heads and chain links) dominate the misses. *)
+
+let source scale =
+  let n = max 16 (70 * int_of_float (Float.sqrt (float_of_int (max 1 scale)))) in
+  let passes = 2 in
+  Printf.sprintf
+    {|
+// mst: BlueRule scans over per-vertex hash tables (Olden mst kernel).
+struct hash_entry { int key; int weight; hash_entry* next; }
+struct vertex { vertex* next; hash_entry** buckets; int id; int mindist; }
+
+int nbuckets;
+int nvertices;
+vertex* vlist;
+
+int pad_sink;
+
+void pad() {
+  int k = rand() %% 3;
+  if (k > 0) {
+    int* junk = newarray(int, k * 4);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+int hashfunc(int key) {
+  return ((key >> 3) * 2654435761) %% nbuckets;
+}
+
+void hash_insert(vertex* v, int key, int weight) {
+  int h = hashfunc(key);
+  if (h < 0) { h = -h; }
+  hash_entry* e = new hash_entry;
+  pad();
+  e->key = key;
+  e->weight = weight;
+  e->next = v->buckets[h];
+  v->buckets[h] = e;
+}
+
+int hash_get(vertex* v, int key) {
+  int h = hashfunc(key);
+  if (h < 0) { h = -h; }
+  hash_entry* e = v->buckets[h];
+  while (e != null) {
+    if (e->key == key) { return e->weight; }
+    e = e->next;
+  }
+  return 1 << 30;
+}
+
+void build() {
+  nvertices = %d;
+  nbuckets = 32;
+  vlist = null;
+  for (int i = 0; i < nvertices; i = i + 1) {
+    vertex* v = new vertex;
+    pad();
+    v->id = nvertices - 1 - i;
+    v->mindist = 1 << 30;
+    v->buckets = newarray(hash_entry*, nbuckets);
+    for (int b = 0; b < nbuckets; b = b + 1) {
+      v->buckets[b] = null;
+    }
+    v->next = vlist;
+    vlist = v;
+  }
+  // Dense weights: an entry in every vertex's table for every other vertex.
+  vertex* v = vlist;
+  while (v != null) {
+    for (int j = 0; j < nvertices; j = j + 1) {
+      if (j != v->id) {
+        hash_insert(v, j, (v->id * 31 + j * 17) %% 1000 + 1);
+      }
+    }
+    v = v->next;
+  }
+}
+
+// One BlueRule sweep: for each vertex, look up its distance to a probe
+// vertex and fold the minimum into a checksum.
+int blue_rule(int probe) {
+  int sum = 0;
+  vertex* v = vlist;
+  while (v != null) {
+    if (v->id != probe) {
+      int d = hash_get(v, probe);
+      if (d < v->mindist) {
+        v->mindist = d;
+      }
+      sum = sum + (d %% 97);
+    }
+    v = v->next;
+  }
+  return sum;
+}
+
+int main() {
+  build();
+  int s = 0;
+  for (int pass = 0; pass < %d; pass = pass + 1) {
+    for (int probe = 0; probe < nvertices; probe = probe + 4) {
+      s = s + blue_rule(probe);
+    }
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    n passes
+
+let workload =
+  {
+    Workload.name = "mst";
+    description = "minimum-spanning-tree hash-table scans (Olden mst kernel)";
+    source;
+    delinquent_hint = [ "hash_get"; "blue_rule" ];
+  }

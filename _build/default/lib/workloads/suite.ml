@@ -1,0 +1,16 @@
+let all =
+  [
+    Em3d.workload;
+    Health.workload;
+    Mst.workload;
+    Treeadd.df;
+    Treeadd.bf;
+    Mcf.workload;
+    Vpr.workload;
+  ]
+
+let find name =
+  List.find (fun w -> String.equal w.Workload.name name) all
+
+let reference_scale = 32
+let test_scale = 2

@@ -1,0 +1,18 @@
+(** The seven pointer-intensive benchmarks of the paper's evaluation
+    (§4.1): Olden em3d, health, mst, treeadd (depth-first and
+    breadth-first) and SPEC CPU2000 mcf, vpr — re-implemented as mini-C
+    kernels reproducing each benchmark's delinquent access pattern. *)
+
+val all : Workload.t list
+(** In the paper's presentation order: em3d, health, mst, treeadd.df,
+    treeadd.bf, mcf, vpr. *)
+
+val find : string -> Workload.t
+(** By name; raises [Not_found]. *)
+
+val reference_scale : int
+(** The scale used by the paper-reproduction benches (working sets beyond
+    the 3 MB L3). *)
+
+val test_scale : int
+(** A small scale for fast tests. *)

@@ -1,0 +1,119 @@
+(* The treeadd kernels (Olden): sum the values of a balanced binary tree.
+   Two traversal orders, as in the paper: depth-first recursion
+   (treeadd.df) and breadth-first with an explicit queue (treeadd.bf).
+   Nodes are allocated with randomized padding so parent and children do
+   not share cache lines systematically. *)
+
+let common_build =
+  {|
+struct tree { int value; tree* left; tree* right; }
+
+int pad_sink;
+
+void pad() {
+  // Fragment the heap so tree links defeat spatial locality.
+  int k = rand() % 4;
+  if (k > 0) {
+    int* junk = newarray(int, k * 3);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+tree* build(int depth) {
+  tree* t = new tree;
+  pad();
+  t->value = 1;
+  if (depth > 0) {
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+  } else {
+    t->left = null;
+    t->right = null;
+  }
+  return t;
+}
+|}
+
+let df_source scale =
+  (* depth 10 + log2(scale): scale=100 → depth 16, 131071 nodes. *)
+  let depth = min 21 (12 + int_of_float (Float.log2 (float_of_int (max 1 scale)))) in
+  Printf.sprintf
+    {|
+// treeadd.df: depth-first sum of a balanced binary tree.
+%s
+int treeadd(tree* t) {
+  if (t == null) { return 0; }
+  return t->value + treeadd(t->left) + treeadd(t->right);
+}
+
+int main() {
+  tree* root = build(%d);
+  int s = 0;
+  for (int pass = 0; pass < 2; pass = pass + 1) {
+    s = s + treeadd(root);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    common_build depth
+
+let bf_source scale =
+  let depth = min 21 (12 + int_of_float (Float.log2 (float_of_int (max 1 scale)))) in
+  Printf.sprintf
+    {|
+// treeadd.bf: breadth-first sum using an explicit ring-buffer queue.
+%s
+int treeadd_bf(tree* root, int capacity) {
+  tree** queue = newarray(tree*, capacity);
+  int head = 0;
+  int tail = 0;
+  queue[tail] = root;
+  tail = tail + 1;
+  int s = 0;
+  while (head != tail) {
+    tree* t = queue[head];
+    head = (head + 1) %% capacity;
+    s = s + t->value;
+    if (t->left != null) {
+      queue[tail] = t->left;
+      tail = (tail + 1) %% capacity;
+    }
+    if (t->right != null) {
+      queue[tail] = t->right;
+      tail = (tail + 1) %% capacity;
+    }
+  }
+  return s;
+}
+
+int main() {
+  int depth = %d;
+  tree* root = build(depth);
+  int capacity = (2 << depth) + 8;
+  int s = 0;
+  for (int pass = 0; pass < 2; pass = pass + 1) {
+    s = s + treeadd_bf(root, capacity);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    common_build depth
+
+let df =
+  {
+    Workload.name = "treeadd.df";
+    description = "depth-first balanced-tree sum (Olden treeadd)";
+    source = df_source;
+    delinquent_hint = [ "treeadd" ];
+  }
+
+let bf =
+  {
+    Workload.name = "treeadd.bf";
+    description = "breadth-first balanced-tree sum (Olden treeadd variant)";
+    source = bf_source;
+    delinquent_hint = [ "treeadd_bf" ];
+  }

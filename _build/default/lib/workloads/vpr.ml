@@ -1,0 +1,112 @@
+(* The vpr kernel: the placement-cost inner loop of FPGA place & route.
+   Each net holds an array of pointers to the blocks it connects; the cost
+   function walks every net and dereferences each pin's block to read its
+   coordinates (bounding-box computation). Blocks are placed randomly, so
+   the [pins[j]->x] loads scatter across the block array — the delinquent
+   loads. A perturbation phase moves random blocks between cost passes. *)
+
+let source scale =
+  let nblocks = max 64 (6000 * scale) in
+  let nnets = max 16 (1200 * scale) in
+  let pins = 4 in
+  Printf.sprintf
+    {|
+// vpr: placement bounding-box cost (SPEC CPU2000 vpr kernel).
+struct block { int x; int y; int kind; }
+struct net { int npins; block** pins; }
+
+block* blocks;
+net* nets;
+int nblocks;
+int nnets;
+int grid;
+
+int pad_sink;
+
+void pad() {
+  int k = rand() %% 3;
+  if (k > 0) {
+    int* junk = newarray(int, k * 2);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+void build() {
+  nblocks = %d;
+  nnets = %d;
+  grid = 512;
+  blocks = newarray(block, nblocks);
+  for (int i = 0; i < nblocks; i = i + 1) {
+    block* b = blocks + i;
+    b->x = rand() %% grid;
+    b->y = rand() %% grid;
+    b->kind = rand() %% 3;
+  }
+  nets = newarray(net, nnets);
+  for (int i = 0; i < nnets; i = i + 1) {
+    net* n = nets + i;
+    n->npins = %d;
+    n->pins = newarray(block*, n->npins);
+    pad();
+    for (int j = 0; j < n->npins; j = j + 1) {
+      n->pins[j] = blocks + rand() %% nblocks;
+    }
+  }
+}
+
+// Half-perimeter wirelength of one net's bounding box.
+int net_cost(net* n) {
+  block* first = n->pins[0];
+  int minx = first->x;
+  int maxx = first->x;
+  int miny = first->y;
+  int maxy = first->y;
+  for (int j = 1; j < n->npins; j = j + 1) {
+    block* b = n->pins[j];
+    int bx = b->x;
+    int by = b->y;
+    if (bx < minx) { minx = bx; }
+    if (bx > maxx) { maxx = bx; }
+    if (by < miny) { miny = by; }
+    if (by > maxy) { maxy = by; }
+  }
+  return (maxx - minx) + (maxy - miny);
+}
+
+int placement_cost() {
+  int cost = 0;
+  for (int i = 0; i < nnets; i = i + 1) {
+    cost = cost + net_cost(nets + i);
+  }
+  return cost;
+}
+
+void perturb(int moves) {
+  for (int m = 0; m < moves; m = m + 1) {
+    block* b = blocks + rand() %% nblocks;
+    b->x = rand() %% grid;
+    b->y = rand() %% grid;
+  }
+}
+
+int main() {
+  build();
+  int s = 0;
+  for (int temp = 0; temp < 3; temp = temp + 1) {
+    s = s + placement_cost();
+    perturb(nnets / 8 + 1);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    nblocks nnets pins
+
+let workload =
+  {
+    Workload.name = "vpr";
+    description = "FPGA placement bounding-box cost (SPEC CPU2000 vpr kernel)";
+    source;
+    delinquent_hint = [ "net_cost" ];
+  }

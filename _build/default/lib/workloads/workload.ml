@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  description : string;
+  source : int -> string;
+  delinquent_hint : string list;
+}
+
+let program t ~scale = Ssp_minic.Frontend.compile (t.source scale)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Callgraph Cfg Ctrldep Digraph Dom Format Fun List Loops Op QCheck QCheck_alcotest Reaching Reg Regions Ssp_analysis Ssp_ir Ssp_isa Ssp_minic String

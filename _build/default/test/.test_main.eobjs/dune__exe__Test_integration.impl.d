@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Format List Printf Ssp Ssp_harness Ssp_machine Ssp_profiling Ssp_sim Ssp_workloads String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Asm Builder Format Int64 Iref List Op Printf Prog Reg Ssp_ir Ssp_isa Ssp_sim String Validate

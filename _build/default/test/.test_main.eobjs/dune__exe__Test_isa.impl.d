@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bundle Gen List Op QCheck QCheck_alcotest Reg Ssp_isa

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_integration Test_ir Test_isa Test_minic Test_profiling Test_sim Test_ssp Test_workloads

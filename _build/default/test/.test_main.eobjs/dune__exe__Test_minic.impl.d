@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Frontend Int64 List Ssp_minic Ssp_sim

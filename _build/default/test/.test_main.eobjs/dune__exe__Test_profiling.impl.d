@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Collect Hashtbl List Profile Ssp_ir Ssp_machine Ssp_minic Ssp_profiling String

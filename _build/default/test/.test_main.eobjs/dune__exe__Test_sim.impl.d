@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bpred Builder Cache Funcsim Hashtbl Hierarchy Int64 List Memory Op Option Prog QCheck QCheck_alcotest Ssp_ir Ssp_isa Ssp_machine Ssp_sim Test_ir

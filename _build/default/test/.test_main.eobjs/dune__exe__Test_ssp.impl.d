@@ -1,0 +1,1 @@
+test/test_ssp.ml: Alcotest Array Hashtbl List Op Printf QCheck QCheck_alcotest Ssp Ssp_analysis Ssp_ir Ssp_isa Ssp_machine Ssp_minic Ssp_profiling Ssp_sim Ssp_workloads String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Ssp_sim Ssp_workloads Suite Workload

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ssp"
+    [
+      ("isa", Test_isa.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("sim", Test_sim.suite);
+      ("minic", Test_minic.suite);
+      ("profiling", Test_profiling.suite);
+      ("ssp", Test_ssp.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,95 @@
+open Ssp_profiling
+
+let pointer_program =
+  "struct node { int value; node* next; }\n\
+   int walk(node* l) { int s = 0; while (l != null) { s = s + l->value; l = \
+   l->next; } return s; }\n\
+   int main() { node* head = null; for (int i = 0; i < 2000; i = i + 1) { \
+   node* n = new node; n->value = i; n->next = head; head = n; } int s = 0; \
+   for (int r = 0; r < 3; r = r + 1) { s = s + walk(head); } print_int(s); \
+   return 0; }"
+
+let profile_of src = Collect.collect (Ssp_minic.Frontend.compile src)
+
+let test_block_freqs () =
+  let prog = Ssp_minic.Frontend.compile pointer_program in
+  let p = Collect.collect prog in
+  Alcotest.(check int) "main entry once" 1 (Profile.block_freq p "main" 0);
+  Alcotest.(check int) "walk called three times" 3 (Profile.block_freq p "walk" 0);
+  Alcotest.(check bool) "instrs counted" true (p.Profile.total_instrs > 10_000)
+
+let test_branch_bias () =
+  let p = profile_of pointer_program in
+  (* Some branch must be strongly biased (the list-walk loop). *)
+  let found = ref false in
+  Ssp_ir.Iref.Tbl.iter
+    (fun _ b ->
+      let r = Profile.taken_ratio b in
+      if b.Profile.taken + b.Profile.not_taken > 1000 && (r > 0.9 || r < 0.1)
+      then found := true)
+    p.Profile.branches;
+  Alcotest.(check bool) "hot biased branch found" true !found
+
+let test_load_stats () =
+  let p = profile_of pointer_program in
+  (* The walk loop's loads execute 3 * 2000 times each. *)
+  let hot =
+    Ssp_ir.Iref.Tbl.fold
+      (fun (i : Ssp_ir.Iref.t) (s : Profile.load_stats) acc ->
+        if String.equal i.Ssp_ir.Iref.fn "walk" && s.Profile.accesses >= 6000
+        then s :: acc
+        else acc)
+      p.Profile.loads []
+  in
+  Alcotest.(check int) "two hot loads in walk" 2 (List.length hot);
+  List.iter
+    (fun (s : Profile.load_stats) ->
+      Alcotest.(check int) "level counts total to accesses" s.Profile.accesses
+        (s.Profile.l1_hits + s.Profile.l2_hits + s.Profile.l3_hits
+        + s.Profile.mem_hits))
+    hot
+
+let test_call_profile () =
+  let p = profile_of pointer_program in
+  (match Profile.dominant_call_site p ~callee:"walk" with
+  | Some site -> Alcotest.(check string) "walk called from main" "main" site.Ssp_ir.Iref.fn
+  | None -> Alcotest.fail "no call site for walk");
+  Alcotest.(check bool) "no call site for absent callee" true
+    (Profile.dominant_call_site p ~callee:"nothing" = None)
+
+let test_indirect_call_profile () =
+  let p =
+    profile_of
+      "int inc(int x) { return x + 1; }\n\
+       int dec(int x) { return x - 1; }\n\
+       int main() { fnptr f = &inc; int s = 0; for (int i = 0; i < 10; i = \
+       i + 1) { if (i % 2 == 0) { f = &inc; } else { f = &dec; } s = f(s); \
+       } print_int(s); return 0; }"
+  in
+  (* The indirect call site must record both dynamic targets. *)
+  let multi =
+    Ssp_ir.Iref.Tbl.fold
+      (fun _ tbl acc -> max acc (Hashtbl.length tbl))
+      p.Profile.calls 0
+  in
+  Alcotest.(check int) "dynamic call graph captured both targets" 2 multi
+
+let test_avg_latency_and_executed () =
+  let p = profile_of pointer_program in
+  let cfg = Ssp_machine.Config.in_order in
+  (* An unknown load gets the L1 latency. *)
+  let ghost = Ssp_ir.Iref.make "nowhere" 0 0 in
+  Alcotest.(check int) "default latency" 2 (Profile.avg_load_latency p cfg ghost);
+  Alcotest.(check bool) "executed blocks" true
+    (Profile.executed p (Ssp_ir.Iref.make "walk" 0 0));
+  Alcotest.(check bool) "miss cycles accumulate" true (Profile.total_miss_cycles p > 0)
+
+let suite =
+  [
+    Alcotest.test_case "block frequencies" `Quick test_block_freqs;
+    Alcotest.test_case "branch bias" `Quick test_branch_bias;
+    Alcotest.test_case "per-load cache stats" `Quick test_load_stats;
+    Alcotest.test_case "call profile" `Quick test_call_profile;
+    Alcotest.test_case "indirect call targets" `Quick test_indirect_call_profile;
+    Alcotest.test_case "latency annotation" `Quick test_avg_latency_and_executed;
+  ]

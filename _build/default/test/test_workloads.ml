@@ -1,0 +1,47 @@
+open Ssp_workloads
+
+let compile_and_run w scale =
+  let prog = Workload.program w ~scale in
+  Ssp_sim.Funcsim.run prog
+
+let test_compiles_and_runs (w : Workload.t) () =
+  let r = compile_and_run w Suite.test_scale in
+  Alcotest.(check int) "one checksum printed" 1
+    (List.length r.Ssp_sim.Funcsim.outputs);
+  Alcotest.(check bool) "did real work" true (r.Ssp_sim.Funcsim.instrs > 10_000)
+
+let test_deterministic () =
+  let w = Suite.find "mcf" in
+  let a = compile_and_run w Suite.test_scale in
+  let b = compile_and_run w Suite.test_scale in
+  Alcotest.(check (list int64)) "same checksum" a.Ssp_sim.Funcsim.outputs
+    b.Ssp_sim.Funcsim.outputs
+
+let test_scales_grow () =
+  let w = Suite.find "em3d" in
+  let small = compile_and_run w 1 in
+  let big = compile_and_run w 4 in
+  Alcotest.(check bool) "bigger scale, more work" true
+    (big.Ssp_sim.Funcsim.instrs > small.Ssp_sim.Funcsim.instrs)
+
+let test_find () =
+  Alcotest.(check int) "seven workloads" 7 (List.length Suite.all);
+  Alcotest.(check string) "find by name" "health"
+    (Suite.find "health").Workload.name;
+  Alcotest.(check bool) "unknown name" true
+    (match Suite.find "nope" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let suite =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s compiles and runs" w.Workload.name)
+        `Quick (test_compiles_and_runs w))
+    Suite.all
+  @ [
+      Alcotest.test_case "determinism" `Quick test_deterministic;
+      Alcotest.test_case "scaling" `Quick test_scales_grow;
+      Alcotest.test_case "suite lookup" `Quick test_find;
+    ]
