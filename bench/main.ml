@@ -1,11 +1,12 @@
 (* Regenerates every table and figure of the paper's evaluation, then runs
    Bechamel micro-benchmarks of the tool's own algorithms.
 
-   Usage: main.exe [--quick] [table1] [fig2] [table2] [fig8] [fig9] [fig10]
-                   [hand] [ablate] [micro]
+   Usage: main.exe [--quick] [--trace OUT.JSON] [table1] [fig2] [table2]
+                   [fig8] [fig9] [fig10] [hand] [ablate] [micro]
    With no selection, everything runs in paper order. [--quick] switches to
    small working sets and scaled-down caches (same shapes, seconds instead
-   of minutes). *)
+   of minutes). [--trace OUT.JSON] enables the telemetry subsystem and dumps
+   the structured run report behind the numbers. *)
 
 let ppf = Format.std_formatter
 
@@ -108,6 +109,17 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
+  let rec split_trace = function
+    | "--trace" :: path :: rest -> (Some path, rest)
+    | a :: rest ->
+      let t, others = split_trace rest in
+      (t, a :: others)
+    | [] -> (None, [])
+  in
+  let trace, args = split_trace args in
+  (match trace with
+  | Some _ -> Ssp_telemetry.Telemetry.set_enabled true
+  | None -> ());
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let setting =
     if quick then Ssp_harness.Experiment.quick
@@ -131,4 +143,9 @@ let () =
   run "hand" (fun () -> Ssp_harness.Hand_vs_auto.print ~setting ppf ());
   run "ablate" (fun () -> Ssp_harness.Ablation.print ~setting ppf ());
   run "micro" micro;
+  (match trace with
+  | Some path ->
+    Ssp_telemetry.Telemetry.write_json path (Ssp_telemetry.Telemetry.report ());
+    Format.fprintf ppf "telemetry report written to %s@." path
+  | None -> ());
   Format.fprintf ppf "@."

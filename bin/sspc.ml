@@ -6,10 +6,15 @@
      profile    profile a program and list the delinquent loads
      adapt      run the SSP post-pass and show slices/triggers
      sim        cycle simulation (in-order / ooo, with or without SSP)
+     stats      run the full pipeline and print the telemetry summary
      bench      list workloads
-     table1     print the machine models *)
+     table1     print the machine models
+
+   'adapt', 'sim' and 'stats' take [--trace out.json] to enable the
+   telemetry subsystem and dump the structured run report. *)
 
 open Cmdliner
+module T = Ssp_telemetry.Telemetry
 
 let read_source path_or_workload scale =
   match Ssp_workloads.Suite.find path_or_workload with
@@ -32,6 +37,26 @@ let scale_arg =
 let out_arg =
   let doc = "Write output to this file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Enable telemetry and write the structured run report (spans, counters, \
+     distributions, series) as JSON to this file."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.JSON" ~doc)
+
+let write_trace path report =
+  try T.write_json path report
+  with Sys_error msg ->
+    Printf.eprintf "sspc: cannot write trace: %s\n" msg;
+    exit 1
+
+(* Telemetry stays off unless a trace (or 'stats') asks for it, so the
+   default outputs are byte-identical to the uninstrumented tool. *)
+let with_trace trace k =
+  (match trace with Some _ -> T.set_enabled true | None -> ());
+  k ();
+  match trace with Some path -> write_trace path (T.report ()) | None -> ()
 
 let with_out out k =
   match out with
@@ -96,7 +121,8 @@ let profile_cmd =
     Term.(const run $ src_arg $ scale_arg)
 
 let adapt_cmd =
-  let run src scale out =
+  let run src scale out trace =
+    with_trace trace @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let profile = Ssp_profiling.Collect.collect prog in
     let adapted =
@@ -109,7 +135,7 @@ let adapt_cmd =
   Cmd.v
     (Cmd.info "adapt"
        ~doc:"Run the SSP post-pass; emit the adapted binary as assembly")
-    Term.(const run $ src_arg $ scale_arg $ out_arg)
+    Term.(const run $ src_arg $ scale_arg $ out_arg $ trace_arg)
 
 let pipeline_arg =
   let doc = "Pipeline model: inorder or ooo." in
@@ -120,7 +146,8 @@ let ssp_flag =
   Arg.(value & flag & info [ "ssp" ] ~doc)
 
 let sim_cmd =
-  let run src scale pipeline ssp =
+  let run src scale pipeline ssp trace =
+    with_trace trace @@ fun () ->
     let config =
       match pipeline with
       | "ooo" -> Ssp_machine.Config.out_of_order
@@ -146,7 +173,36 @@ let sim_cmd =
       (float_of_int r.Ssp_sim.Stats.cycles /. dt /. 1e6)
   in
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
-    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag)
+    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ trace_arg)
+
+let stats_cmd =
+  let run src scale pipeline trace =
+    T.set_enabled true;
+    let config =
+      match pipeline with
+      | "ooo" -> Ssp_machine.Config.out_of_order
+      | _ -> Ssp_machine.Config.in_order
+    in
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let profile = Ssp_profiling.Collect.collect prog in
+    let adapted = Ssp.Adapt.run ~config prog profile in
+    let r =
+      match config.Ssp_machine.Config.pipeline with
+      | Ssp_machine.Config.In_order ->
+        Ssp_sim.Inorder.run config adapted.Ssp.Adapt.prog
+      | Ssp_machine.Config.Out_of_order ->
+        Ssp_sim.Ooo.run config adapted.Ssp.Adapt.prog
+    in
+    let report = T.report () in
+    Format.printf "%a@.@.%a@." Ssp_sim.Stats.pp r T.pp_summary report;
+    match trace with Some path -> write_trace path report | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the full pipeline (compile, profile, adapt, simulate) with \
+          telemetry on and print the phase-timing and counter summary")
+    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ trace_arg)
 
 let bench_cmd =
   let run () =
@@ -180,6 +236,7 @@ let () =
             profile_cmd;
             adapt_cmd;
             sim_cmd;
+            stats_cmd;
             bench_cmd;
             table1_cmd;
           ]))

@@ -1,4 +1,5 @@
 open Ssp_analysis
+module T = Ssp_telemetry.Telemetry
 
 type result = {
   prog : Ssp_ir.Prog.t;
@@ -83,7 +84,7 @@ let combine regions callgraph profile config (choices : Select.choice list) =
 
 let apply_choices prog ~config choices delinquent =
   let adapted = Ssp_ir.Prog.copy prog in
-  Codegen.apply adapted config choices;
+  T.with_span "adapt.codegen" (fun () -> Codegen.apply adapted config choices);
   {
     prog = adapted;
     report = report_of delinquent choices;
@@ -93,18 +94,34 @@ let apply_choices prog ~config choices delinquent =
 
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
     ?(force_predict = false) ?(unroll = 1) ~config prog profile =
+  T.with_span "adapt" @@ fun () ->
   let delinquent = Delinquent.identify ~coverage prog profile in
-  let regions = Regions.compute prog in
-  let callgraph = Callgraph.compute prog in
-  let choices =
-    List.filter_map
-      (fun load -> Select.choose regions callgraph profile config load)
-      delinquent.Delinquent.loads
+  let regions = T.with_span "adapt.regions" (fun () -> Regions.compute prog) in
+  let callgraph =
+    T.with_span "adapt.callgraph" (fun () -> Callgraph.compute prog)
   in
   let choices =
-    if combining then combine regions callgraph profile config choices
-    else choices
+    T.with_span "adapt.select" (fun () ->
+        List.filter_map
+          (fun load -> Select.choose regions callgraph profile config load)
+          delinquent.Delinquent.loads)
   in
+  let choices =
+    T.with_span "adapt.combine" (fun () ->
+        if combining then combine regions callgraph profile config choices
+        else choices)
+  in
+  if T.is_enabled () then begin
+    T.count "adapt.slices" (List.length choices);
+    List.iter
+      (fun (c : Select.choice) ->
+        T.record "adapt.slice_size" (float_of_int (Slice.size c.Select.schedule.Schedule.slice));
+        T.count "adapt.triggers" (List.length c.Select.triggers);
+        match c.Select.model with
+        | Select.Chaining -> T.count "adapt.model.chaining" 1
+        | Select.Basic -> T.count "adapt.model.basic" 1)
+      choices
+  end;
   (* Ablation knobs (never taken by the normal pipeline). *)
   let choices =
     List.map

@@ -346,6 +346,10 @@ let insert_trigger prog (choice : Select.choice) ~slice_label (t : Trigger.t) =
 
 let apply prog cfg (choices : Select.choice list) =
   ignore cfg;
+  (* Labels only need to be unique within the rewritten program; restarting
+     the gensym here keeps the emitted assembly deterministic across repeated
+     adapt runs in one process. *)
+  fresh_counter := 0;
   (* Emit every slice first: appends never move existing instructions, so
      the position-based slice references of later choices stay valid. Then
      insert all triggers, globally ordered from the highest position down

@@ -1,4 +1,5 @@
 open Ssp_isa
+module T = Ssp_telemetry.Telemetry
 
 type load = {
   iref : Ssp_ir.Iref.t;
@@ -13,6 +14,7 @@ type t = { loads : load list; covered : float; total_miss_cycles : int }
 
 let identify ?(coverage = 0.9) (prog : Ssp_ir.Prog.t)
     (profile : Ssp_profiling.Profile.t) =
+  T.with_span "delinquent" @@ fun () ->
   let candidates = ref [] in
   Ssp_ir.Prog.iter_instrs prog (fun iref op ->
       match op with
@@ -59,6 +61,11 @@ let identify ?(coverage = 0.9) (prog : Ssp_ir.Prog.t)
   let covered_cycles =
     List.fold_left (fun acc l -> acc + l.miss_cycles) 0 picked
   in
+  if T.is_enabled () then begin
+    T.count "delinquent.candidates" (List.length sorted);
+    T.count "delinquent.selected" (List.length picked);
+    List.iter (fun l -> T.record "delinquent.miss_ratio" l.miss_ratio) picked
+  end;
   {
     loads = picked;
     covered =

@@ -1,5 +1,6 @@
 open Ssp_isa
 open Ssp_analysis
+module T = Ssp_telemetry.Telemetry
 
 type spawn_condition =
   | Cond of {
@@ -206,6 +207,7 @@ let slice_condition regions profile (slice : Slice.t) cond_use cond_reg =
   else None
 
 let build regions profile cfg ~trips (slice : Slice.t) =
+  T.with_span "schedule" @@ fun () ->
   let prog = Regions.prog regions in
   let fn = slice.Slice.fn in
   let f = Ssp_ir.Prog.find_func prog fn in
@@ -264,6 +266,12 @@ let build regions profile cfg ~trips (slice : Slice.t) =
            | [] -> false)
     |> List.map fst
   in
+  if T.is_enabled () then begin
+    T.record "schedule.nodes" (float_of_int n);
+    T.record "schedule.sccs" (float_of_int (Array.length comps));
+    T.record "schedule.nondegenerate_sccs"
+      (float_of_int (List.length nondegenerate))
+  end;
   (* Critical sub-slice: non-degenerate SCC members plus their
      intra-iteration backward closure (the values the next thread needs). *)
   let critical = Array.make n false in

@@ -1,5 +1,6 @@
 open Ssp_isa
 open Ssp_analysis
+module T = Ssp_telemetry.Telemetry
 
 let max_slice_size = 48
 
@@ -20,6 +21,8 @@ let sliceable = function
 module RS = Set.Make (Int)
 
 let slice_region regions profile ~region (d : Delinquent.load) =
+  T.with_span "slice" @@ fun () ->
+  T.incr (T.counter "slice.attempts");
   let fn = d.Delinquent.iref.Ssp_ir.Iref.fn in
   if not (String.equal (Regions.func_of region) fn) then None
   else if d.Delinquent.addr_reg = Reg.zero then None
@@ -75,7 +78,13 @@ let slice_region regions profile ~region (d : Delinquent.load) =
         end
       in
       resolve d.Delinquent.iref d.Delinquent.addr_reg;
-      if !overflow then None
+      if T.is_enabled () then
+        T.record "slice.instrs"
+          (float_of_int (Ssp_ir.Iref.Set.cardinal !instrs));
+      if !overflow then begin
+        T.incr (T.counter "slice.overflow");
+        None
+      end
       else begin
         (* Was the delinquent load itself pulled into the slice (its value
            feeds the address chain, e.g. p = p->next)? *)

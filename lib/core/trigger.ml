@@ -1,10 +1,18 @@
 open Ssp_analysis
+module T = Ssp_telemetry.Telemetry
 
 type kind = Preheader | Body | Call_site
 
 type t = { fn : string; blk : int; pos : int; kind : kind }
 
+let placed ts =
+  T.add (T.counter "trigger.placed") (List.length ts);
+  ts
+
 let for_chaining regions (s : Slice.t) =
+  T.with_span "trigger" @@ fun () ->
+  placed
+  @@
   (* The chaining trigger sits at the loop header: while chained threads
      occupy every context the check is a nop; when the chain dies (a spawn
      found no free context) the next main-thread iteration re-seeds it from
@@ -17,6 +25,9 @@ let for_chaining regions (s : Slice.t) =
     [ { fn = s.Slice.fn; blk = loop.Loops.header; pos = 0; kind = Preheader } ]
 
 let for_basic regions (s : Slice.t) =
+  T.with_span "trigger" @@ fun () ->
+  placed
+  @@
   match Regions.loop_of regions s.Slice.region with
   | None ->
     (* Procedure region: at function entry, after the last live-in
@@ -54,10 +65,12 @@ let for_basic regions (s : Slice.t) =
     | [] -> [ { fn = s.Slice.fn; blk = loop.Loops.header; pos = 0; kind = Body } ])
 
 let for_call_sites sites =
-  List.map
-    (fun (i : Ssp_ir.Iref.t) ->
-      { fn = i.fn; blk = i.blk; pos = i.ins; kind = Call_site })
-    sites
+  T.with_span "trigger" @@ fun () ->
+  placed
+  @@ List.map
+       (fun (i : Ssp_ir.Iref.t) ->
+         { fn = i.fn; blk = i.blk; pos = i.ins; kind = Call_site })
+       sites
 
 let dominates_load regions t (load : Ssp_ir.Iref.t) =
   if not (String.equal t.fn load.fn) then t.kind = Call_site

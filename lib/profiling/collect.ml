@@ -1,8 +1,10 @@
 open Ssp_isa
+module T = Ssp_telemetry.Telemetry
 
 let collect ?(config = Ssp_machine.Config.in_order) ?max_instrs prog =
+  T.with_span "profile" @@ fun () ->
   let profile = Profile.create () in
-  let hierarchy = Ssp_sim.Hierarchy.create config in
+  let hierarchy = Ssp_sim.Hierarchy.create ~tprefix:"profile" config in
   let clock = ref 0 in
   (* Pre-size the block counters. *)
   List.iter
@@ -101,4 +103,6 @@ let collect ?(config = Ssp_machine.Config.in_order) ?max_instrs prog =
       ()
   in
   ignore (Ssp_sim.Funcsim.run ?max_instrs ~hook prog);
+  if T.is_enabled () then
+    T.count "profile.instrs" profile.Profile.total_instrs;
   profile

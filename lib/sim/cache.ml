@@ -1,3 +1,5 @@
+module T = Ssp_telemetry.Telemetry
+
 type t = {
   sets : int;
   ways : int;
@@ -7,9 +9,10 @@ type t = {
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
+  tel : (T.counter * T.counter) option;  (* hits, misses *)
 }
 
-let create (g : Ssp_machine.Config.cache_geom) =
+let create ?name (g : Ssp_machine.Config.cache_geom) =
   let line_bits =
     int_of_float (Float.round (Float.log2 (float_of_int g.line_bytes)))
   in
@@ -24,6 +27,10 @@ let create (g : Ssp_machine.Config.cache_geom) =
     clock = 0;
     accesses = 0;
     misses = 0;
+    tel =
+      (match name with
+      | Some n -> Some (T.counter (n ^ ".hits"), T.counter (n ^ ".misses"))
+      | None -> None);
   }
 
 let line_of t addr = Int64.shift_right_logical addr t.line_bits
@@ -74,9 +81,11 @@ let access t addr =
   | Some i ->
     t.clock <- t.clock + 1;
     t.lru.(i) <- t.clock;
+    (match t.tel with Some (h, _) -> T.incr h | None -> ());
     true
   | None ->
     t.misses <- t.misses + 1;
+    (match t.tel with Some (_, m) -> T.incr m | None -> ());
     false
 
 let line_addr t addr =

@@ -5,7 +5,9 @@
 
 type t
 
-val create : Ssp_machine.Config.cache_geom -> t
+val create : ?name:string -> Ssp_machine.Config.cache_geom -> t
+(** [name] registers telemetry counters ["<name>.hits"] / ["<name>.misses"]
+    updated on every {!access} while telemetry is enabled. *)
 
 val probe : t -> int64 -> bool
 (** Whether the line containing the address is present (no state change). *)

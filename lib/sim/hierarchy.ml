@@ -1,4 +1,5 @@
 open Ssp_machine
+module T = Ssp_telemetry.Telemetry
 
 type level = L1 | L2 | L3 | Mem
 
@@ -13,17 +14,26 @@ type t = {
   l2 : Cache.t;
   l3 : Cache.t;
   mutable fills : mshr list;  (* in flight, unordered (≤ 16 entries) *)
+  tel_dropped : T.counter;  (* prefetches dropped on a full fill buffer *)
+  tel_stalled : T.counter;  (* fills delayed by a full fill buffer *)
 }
 
-let create (cfg : Config.t) =
+(* [tprefix] namespaces the telemetry counters so the cycle simulators
+   ("sim.*") and the profiling pass ("profile.*") stay distinguishable in
+   one run report. *)
+let create ?(tprefix = "sim") (cfg : Config.t) =
   {
     cfg;
-    l1d = Cache.create cfg.l1;
-    l1i = Cache.create cfg.l1;
-    l2 = Cache.create cfg.l2;
-    l3 = Cache.create cfg.l3;
+    l1d = Cache.create ~name:(tprefix ^ ".l1d") cfg.l1;
+    l1i = Cache.create ~name:(tprefix ^ ".l1i") cfg.l1;
+    l2 = Cache.create ~name:(tprefix ^ ".l2") cfg.l2;
+    l3 = Cache.create ~name:(tprefix ^ ".l3") cfg.l3;
     fills = [];
+    tel_dropped = T.counter (tprefix ^ ".fill.dropped_prefetch");
+    tel_stalled = T.counter (tprefix ^ ".fill.full_stall");
   }
+
+let l1d t = t.l1d
 
 let level_latency t = function
   | L1 -> t.cfg.l1.latency
@@ -64,8 +74,12 @@ let access_real t ~now ~instruction ~nt ~low_priority addr =
          buffer is full; speculative loads wait as if it were full. *)
       let reserve = max 0 (t.cfg.fill_buffer_entries - 4) in
       let full = full || (low_priority && used >= reserve) in
-      if nt && full then { level = L1; partial = false; ready = now + 1 }
+      if nt && full then begin
+        T.incr t.tel_dropped;
+        { level = L1; partial = false; ready = now + 1 }
+      end
       else begin
+        if full then T.incr t.tel_stalled;
         let origin, latency =
           if Cache.access t.l2 addr then (L2, t.cfg.l2.latency)
           else if Cache.access t.l3 addr then (L3, t.cfg.l3.latency)

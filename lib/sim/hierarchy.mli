@@ -17,7 +17,13 @@ type outcome = {
 
 type t
 
-val create : Ssp_machine.Config.t -> t
+val create : ?tprefix:string -> Ssp_machine.Config.t -> t
+(** [tprefix] (default ["sim"]) namespaces the per-level telemetry counters
+    (["sim.l1d.hits"], ["sim.fill.dropped_prefetch"], ...), so simulator
+    and profiler traffic stay distinguishable in one run report. *)
+
+val l1d : t -> Cache.t
+(** The L1 data cache (for interval telemetry sampling). *)
 
 val access :
   t ->

@@ -1,5 +1,6 @@
 open Ssp_isa
 open Ssp_machine
+module T = Ssp_telemetry.Telemetry
 
 (* Per-block static bundle index of every instruction, to charge issue
    bandwidth in bundle units. *)
@@ -28,6 +29,7 @@ let bundle_map_of (prog : Ssp_ir.Prog.t) : bundle_map =
   m
 
 let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+  T.with_span "sim.inorder" @@ fun () ->
   let m = Smt.create cfg prog in
   let bundles = bundle_map_of prog in
   let stats = m.Smt.stats in
@@ -186,6 +188,25 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     done;
     !issued
   in
+  (* Per-interval telemetry: issue rate and demand misses over time. *)
+  let tel_interval = 8192 in
+  let tel_last_instrs = ref 0 in
+  let tel_last_misses = ref 0 in
+  let tel_ipc = T.series "sim.inorder.interval_ipc" in
+  let tel_miss = T.series "sim.inorder.interval_l1d_misses" in
+  let tel_tick () =
+    if T.is_enabled () && !now mod tel_interval = 0 then begin
+      let mi = stats.Stats.main_instrs in
+      let ms = Cache.stats_misses (Hierarchy.l1d m.Smt.hier) in
+      T.sample tel_ipc ~x:(float_of_int !now)
+        ~y:
+          (float_of_int (mi - !tel_last_instrs) /. float_of_int tel_interval);
+      T.sample tel_miss ~x:(float_of_int !now)
+        ~y:(float_of_int (ms - !tel_last_misses));
+      tel_last_instrs := mi;
+      tel_last_misses := ms
+    end
+  in
   (* Main loop. *)
   let running = ref true in
   while !running do
@@ -226,6 +247,7 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     in
     Stats.add_category stats cat;
     incr now;
+    tel_tick ();
     stats.Stats.cycles <- !now;
     if not main.Smt.thread.Thread.active then running := false
   done;

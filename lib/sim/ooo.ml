@@ -1,5 +1,6 @@
 open Ssp_isa
 open Ssp_machine
+module T = Ssp_telemetry.Telemetry
 
 (* Reservation-station pressure tracking: a ring buffer counting dispatched
    instructions whose execution starts at a future cycle. *)
@@ -15,6 +16,7 @@ type othread = {
 }
 
 let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+  T.with_span "sim.ooo" @@ fun () ->
   let m = Smt.create cfg prog in
   let stats = m.Smt.stats in
   let now = ref 0 in
@@ -200,6 +202,25 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
       end
     end
   in
+  (* Per-interval telemetry: retire rate and demand misses over time. *)
+  let tel_interval = 8192 in
+  let tel_last_instrs = ref 0 in
+  let tel_last_misses = ref 0 in
+  let tel_ipc = T.series "sim.ooo.interval_ipc" in
+  let tel_miss = T.series "sim.ooo.interval_l1d_misses" in
+  let tel_tick () =
+    if T.is_enabled () && !now mod tel_interval = 0 then begin
+      let mi = stats.Stats.main_instrs in
+      let ms = Cache.stats_misses (Hierarchy.l1d m.Smt.hier) in
+      T.sample tel_ipc ~x:(float_of_int !now)
+        ~y:
+          (float_of_int (mi - !tel_last_instrs) /. float_of_int tel_interval);
+      T.sample tel_miss ~x:(float_of_int !now)
+        ~y:(float_of_int (ms - !tel_last_misses));
+      tel_last_instrs := mi;
+      tel_last_misses := ms
+    end
+  in
   let main = oths.(0) in
   let running = ref true in
   while !running do
@@ -244,6 +265,7 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     in
     Stats.add_category stats cat;
     incr now;
+    tel_tick ();
     stats.Stats.cycles <- !now;
     (* End when the main thread has halted and drained its window. *)
     if (not main.ctx.Smt.thread.Thread.active) && Queue.is_empty main.rob then

@@ -1,4 +1,5 @@
 open Ssp_machine
+module T = Ssp_telemetry.Telemetry
 
 type pcmap = {
   bases : (string, int array) Hashtbl.t;  (* per func: block start offsets *)
@@ -55,6 +56,9 @@ type machine = {
   mutable rr : int;
   delinquent : Ssp_ir.Iref.Set.t;
   mutable last_spawned : int;  (* context id bound by the latest try_spawn *)
+  tel_spawns : T.counter;
+  tel_spawn_denied : T.counter;
+  tel_watchdog_kills : T.counter;
 }
 
 let new_context id =
@@ -91,6 +95,9 @@ let create cfg prog =
     rr = 0;
     delinquent;
     last_spawned = -1;
+    tel_spawns = T.counter "sim.spawns";
+    tel_spawn_denied = T.counter "sim.spawn_denied";
+    tel_watchdog_kills = T.counter "sim.watchdog_kills";
   }
 
 let free_count m =
@@ -120,7 +127,9 @@ let free_context m =
 
 let try_spawn m ~now ~fn ~blk ~live_in =
   match free_context m with
-  | None -> false
+  | None ->
+    T.incr m.tel_spawn_denied;
+    false
   | Some ctx ->
     Thread.reset_for_spawn ctx.thread ~fn ~blk ~live_in
       ~rand_state:(Int64.of_int ((ctx.thread.Thread.id * 1103515245) + 12345));
@@ -130,6 +139,7 @@ let try_spawn m ~now ~fn ~blk ~live_in =
     ctx.redirect_until <-
       now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency;
     m.stats.Stats.spawns <- m.stats.Stats.spawns + 1;
+    T.incr m.tel_spawns;
     m.last_spawned <- ctx.thread.Thread.id;
     true
 
@@ -192,4 +202,7 @@ let watchdog_check m ctx =
   let th = ctx.thread in
   if th.Thread.speculative && th.Thread.active
      && th.Thread.instrs > m.cfg.Config.spec_watchdog
-  then th.Thread.active <- false
+  then begin
+    T.incr m.tel_watchdog_kills;
+    th.Thread.active <- false
+  end

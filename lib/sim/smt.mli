@@ -41,6 +41,9 @@ type machine = {
   mutable last_spawned : int;
       (** context id bound by the most recent successful spawn (-1 if
           none); lets a timing model adjust the child's start *)
+  tel_spawns : Ssp_telemetry.Telemetry.counter;
+  tel_spawn_denied : Ssp_telemetry.Telemetry.counter;
+  tel_watchdog_kills : Ssp_telemetry.Telemetry.counter;
 }
 
 val create : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> machine

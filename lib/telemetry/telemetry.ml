@@ -1,0 +1,362 @@
+(* Telemetry: named counters, distributions, sample series, hierarchical
+   wall-clock spans, and a structured run report exportable as JSON or as a
+   human-readable summary table.
+
+   The subsystem is global and OFF by default: every recording entry point
+   is gated on [enabled], so an instrumented hot path costs a single branch
+   when telemetry is off. Handles ([counter], [dist], [series]) are interned
+   by name at creation time and stay valid across [reset] — a pass may hold
+   one for its whole lifetime. *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+(* ---- counters ---- *)
+
+type counter = { c_name : string; mutable count : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+
+(* Convenience for cold paths; interns by name on every call. *)
+let count name n = add (counter name) n
+
+(* ---- distributions (count / sum / min / max / mean / stddev) ---- *)
+
+type dist = {
+  d_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sumsq : float;
+}
+
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 64
+
+let dist name =
+  match Hashtbl.find_opt dists name with
+  | Some d -> d
+  | None ->
+    let d = { d_name = name; n = 0; sum = 0.; lo = infinity; hi = neg_infinity; sumsq = 0. } in
+    Hashtbl.replace dists name d;
+    d
+
+let observe d v =
+  if !enabled then begin
+    d.n <- d.n + 1;
+    d.sum <- d.sum +. v;
+    if v < d.lo then d.lo <- v;
+    if v > d.hi then d.hi <- v;
+    d.sumsq <- d.sumsq +. (v *. v)
+  end
+
+let observe_int d v = observe d (float_of_int v)
+let record name v = observe (dist name) v
+
+let dist_mean d = if d.n = 0 then 0.0 else d.sum /. float_of_int d.n
+
+let dist_stddev d =
+  if d.n = 0 then 0.0
+  else
+    let m = dist_mean d in
+    sqrt (max 0.0 ((d.sumsq /. float_of_int d.n) -. (m *. m)))
+
+(* ---- series (x/y samples, e.g. per-interval simulator events) ---- *)
+
+type series = {
+  s_name : string;
+  mutable points : (float * float) list; (* newest first *)
+}
+
+let seriess : (string, series) Hashtbl.t = Hashtbl.create 16
+
+let series name =
+  match Hashtbl.find_opt seriess name with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; points = [] } in
+    Hashtbl.replace seriess name s;
+    s
+
+let sample s ~x ~y = if !enabled then s.points <- (x, y) :: s.points
+
+(* ---- spans: a tree of wall-clock timed phases ---- *)
+
+type span = {
+  sp_name : string;
+  mutable ms : float; (* accumulated wall-clock milliseconds *)
+  mutable calls : int;
+  mutable children : span list; (* newest first *)
+}
+
+let new_span name = { sp_name = name; ms = 0.; calls = 0; children = [] }
+let root = new_span "root"
+let stack : span list ref = ref [] (* innermost first *)
+
+let child_of parent name =
+  match List.find_opt (fun s -> String.equal s.sp_name name) parent.children with
+  | Some s -> s
+  | None ->
+    let s = new_span name in
+    parent.children <- s :: parent.children;
+    s
+
+(* Repeated spans of the same name under the same parent merge: time
+   accumulates and [calls] counts the invocations (e.g. one "slice" node
+   per region, not one per call). *)
+let with_span name f =
+  if not !enabled then f ()
+  else begin
+    let parent = match !stack with s :: _ -> s | [] -> root in
+    let sp = child_of parent name in
+    stack := sp :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        sp.ms <- sp.ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+        sp.calls <- sp.calls + 1;
+        match !stack with _ :: rest -> stack := rest | [] -> ())
+      f
+  end
+
+(* ---- reset ---- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ d ->
+      d.n <- 0;
+      d.sum <- 0.;
+      d.lo <- infinity;
+      d.hi <- neg_infinity;
+      d.sumsq <- 0.)
+    dists;
+  Hashtbl.iter (fun _ s -> s.points <- []) seriess;
+  root.children <- [];
+  root.ms <- 0.;
+  root.calls <- 0;
+  stack := []
+
+(* ---- structured run report ---- *)
+
+type dist_summary = {
+  ds_n : int;
+  ds_sum : float;
+  ds_min : float;
+  ds_max : float;
+  ds_mean : float;
+  ds_stddev : float;
+}
+
+type report = {
+  r_spans : span list; (* deep copies, oldest first *)
+  r_counters : (string * int) list; (* sorted by name *)
+  r_dists : (string * dist_summary) list;
+  r_series : (string * (float * float) list) list; (* oldest sample first *)
+}
+
+let rec copy_span sp =
+  {
+    sp with
+    children = List.rev_map copy_span sp.children (* oldest first *);
+  }
+
+let report () =
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    r_spans = (copy_span root).children;
+    r_counters =
+      Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters []
+      |> List.sort by_name;
+    r_dists =
+      Hashtbl.fold
+        (fun name d acc ->
+          if d.n = 0 then acc
+          else
+            ( name,
+              {
+                ds_n = d.n;
+                ds_sum = d.sum;
+                ds_min = d.lo;
+                ds_max = d.hi;
+                ds_mean = dist_mean d;
+                ds_stddev = dist_stddev d;
+              } )
+            :: acc)
+        dists []
+      |> List.sort by_name;
+    r_series =
+      Hashtbl.fold
+        (fun name s acc ->
+          if s.points = [] then acc else (name, List.rev s.points) :: acc)
+        seriess []
+      |> List.sort by_name;
+  }
+
+(* ---- JSON export ---- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_float b f =
+  (* JSON has no infinities; distributions are dropped when empty so these
+     only appear if a caller records them directly. *)
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.6g" f)
+
+let buf_list b xs emit =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      emit x)
+    xs;
+  Buffer.add_char b ']'
+
+let buf_obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_json_string b k;
+      Buffer.add_char b ':';
+      emit ())
+    fields;
+  Buffer.add_char b '}'
+
+let rec buf_span b sp =
+  buf_obj b
+    [
+      ("name", fun () -> buf_json_string b sp.sp_name);
+      ("ms", fun () -> buf_float b sp.ms);
+      ("calls", fun () -> Buffer.add_string b (string_of_int sp.calls));
+      ("children", fun () -> buf_list b sp.children (buf_span b));
+    ]
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  buf_obj b
+    [
+      ("spans", fun () -> buf_list b r.r_spans (buf_span b));
+      ( "counters",
+        fun () ->
+          buf_obj b
+            (List.map
+               (fun (name, v) ->
+                 (name, fun () -> Buffer.add_string b (string_of_int v)))
+               r.r_counters) );
+      ( "dists",
+        fun () ->
+          buf_obj b
+            (List.map
+               (fun (name, d) ->
+                 ( name,
+                   fun () ->
+                     buf_obj b
+                       [
+                         ( "n",
+                           fun () ->
+                             Buffer.add_string b (string_of_int d.ds_n) );
+                         ("sum", fun () -> buf_float b d.ds_sum);
+                         ("min", fun () -> buf_float b d.ds_min);
+                         ("max", fun () -> buf_float b d.ds_max);
+                         ("mean", fun () -> buf_float b d.ds_mean);
+                         ("stddev", fun () -> buf_float b d.ds_stddev);
+                       ] ))
+               r.r_dists) );
+      ( "series",
+        fun () ->
+          buf_obj b
+            (List.map
+               (fun (name, pts) ->
+                 ( name,
+                   fun () ->
+                     buf_list b pts (fun (x, y) ->
+                         Buffer.add_char b '[';
+                         buf_float b x;
+                         Buffer.add_char b ',';
+                         buf_float b y;
+                         Buffer.add_char b ']') ))
+               r.r_series) );
+    ];
+  Buffer.contents b
+
+let write_json path r =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  output_char oc '\n';
+  close_out oc
+
+(* ---- summary table ---- *)
+
+let pp_summary ppf r =
+  Format.fprintf ppf "@[<v>";
+  if r.r_spans <> [] then begin
+    Format.fprintf ppf "phase timings:@,";
+    let rec pp_sp depth sp =
+      Format.fprintf ppf "  %s%-*s %10.3f ms  x%d@," (String.make (2 * depth) ' ')
+        (max 1 (28 - (2 * depth)))
+        sp.sp_name sp.ms sp.calls;
+      List.iter (pp_sp (depth + 1)) sp.children
+    in
+    List.iter (pp_sp 0) r.r_spans
+  end;
+  if r.r_counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-30s %12d@," name v)
+      r.r_counters
+  end;
+  if r.r_dists <> [] then begin
+    Format.fprintf ppf "distributions:@,";
+    Format.fprintf ppf "  %-30s %8s %10s %10s %10s %10s@," "" "n" "mean"
+      "min" "max" "stddev";
+    List.iter
+      (fun (name, d) ->
+        Format.fprintf ppf "  %-30s %8d %10.2f %10.2f %10.2f %10.2f@," name
+          d.ds_n d.ds_mean d.ds_min d.ds_max d.ds_stddev)
+      r.r_dists
+  end;
+  if r.r_series <> [] then begin
+    Format.fprintf ppf "series:@,";
+    List.iter
+      (fun (name, pts) ->
+        Format.fprintf ppf "  %-30s %d samples@," name (List.length pts))
+      r.r_series
+  end;
+  Format.fprintf ppf "@]"
+
+(* Test / tooling helper: walk the copied span tree by path. *)
+let rec find_span spans = function
+  | [] -> None
+  | [ name ] -> List.find_opt (fun s -> String.equal s.sp_name name) spans
+  | name :: rest -> (
+    match List.find_opt (fun s -> String.equal s.sp_name name) spans with
+    | Some s -> find_span s.children rest
+    | None -> None)

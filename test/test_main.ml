@@ -9,5 +9,6 @@ let () =
       ("profiling", Test_profiling.suite);
       ("ssp", Test_ssp.suite);
       ("workloads", Test_workloads.suite);
+      ("telemetry", Test_telemetry.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,345 @@
+(* Tests for the telemetry subsystem: counter/distribution math, span
+   nesting, JSON export (validated with a small in-test JSON parser), a
+   full pipeline run asserting the expected spans/counters exist, and the
+   guarantee that instrumentation changes nothing when telemetry is off. *)
+
+module T = Ssp_telemetry.Telemetry
+
+(* Every test starts from a clean, disabled subsystem and leaves it so:
+   the other suites in this binary must see telemetry off. *)
+let scoped f () =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    f
+
+(* ---- a minimal JSON parser, enough to validate [T.to_json] output ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "bad \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          Buffer.add_char b (Char.chr (code land 0xff))
+        | Some c -> Buffer.add_char b c; advance ()
+        | None -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function
+  | Obj fields -> List.assoc name fields
+  | _ -> Alcotest.fail ("not an object looking up " ^ name)
+
+let num = function Num f -> f | _ -> Alcotest.fail "not a number"
+
+(* ---- counters and distributions ---- *)
+
+let test_counter_math =
+  scoped @@ fun () ->
+  let c = T.counter "t.c" in
+  T.incr c;
+  T.add c 41;
+  let r = T.report () in
+  Alcotest.(check (option int)) "count" (Some 42) (List.assoc_opt "t.c" r.T.r_counters);
+  (* interning: the same name yields the same counter *)
+  T.incr (T.counter "t.c");
+  Alcotest.(check int) "interned" 43 (List.assoc "t.c" (T.report ()).T.r_counters);
+  (* disabled increments are dropped *)
+  T.set_enabled false;
+  T.incr c;
+  T.count "t.c" 100;
+  T.set_enabled true;
+  Alcotest.(check int) "gated" 43 (List.assoc "t.c" (T.report ()).T.r_counters)
+
+let test_dist_math =
+  scoped @@ fun () ->
+  let d = T.dist "t.d" in
+  List.iter (fun v -> T.observe d v) [ 2.0; 4.0; 6.0; 8.0 ];
+  let r = T.report () in
+  let s = List.assoc "t.d" r.T.r_dists in
+  Alcotest.(check int) "n" 4 s.T.ds_n;
+  Alcotest.(check (float 1e-9)) "sum" 20.0 s.T.ds_sum;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.T.ds_mean;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.T.ds_min;
+  Alcotest.(check (float 1e-9)) "max" 8.0 s.T.ds_max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 5.0) s.T.ds_stddev;
+  (* empty distributions are not reported *)
+  ignore (T.dist "t.empty");
+  Alcotest.(check bool) "empty hidden" false
+    (List.mem_assoc "t.empty" (T.report ()).T.r_dists)
+
+let test_series =
+  scoped @@ fun () ->
+  let s = T.series "t.s" in
+  T.sample s ~x:1.0 ~y:10.0;
+  T.sample s ~x:2.0 ~y:20.0;
+  let r = T.report () in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "in order" [ (1.0, 10.0); (2.0, 20.0) ]
+    (List.assoc "t.s" r.T.r_series)
+
+(* ---- spans ---- *)
+
+let test_span_nesting =
+  scoped @@ fun () ->
+  T.with_span "outer" (fun () ->
+      T.with_span "inner" (fun () -> ());
+      T.with_span "inner" (fun () -> ());
+      T.with_span "other" (fun () -> ()));
+  T.with_span "outer" (fun () -> ());
+  let r = T.report () in
+  let outer =
+    match T.find_span r.T.r_spans [ "outer" ] with
+    | Some s -> s
+    | None -> Alcotest.fail "outer span missing"
+  in
+  Alcotest.(check int) "outer calls" 2 outer.T.calls;
+  Alcotest.(check bool) "outer timed" true (outer.T.ms >= 0.0);
+  (match T.find_span r.T.r_spans [ "outer"; "inner" ] with
+  | Some inner -> Alcotest.(check int) "inner merged" 2 inner.T.calls
+  | None -> Alcotest.fail "inner span missing");
+  Alcotest.(check bool) "no toplevel inner" true
+    (T.find_span r.T.r_spans [ "inner" ] = None);
+  (* an exception still pops the stack *)
+  (try T.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  T.with_span "after" (fun () -> ());
+  Alcotest.(check bool) "stack popped on raise" true
+    (T.find_span (T.report ()).T.r_spans [ "after" ] <> None)
+
+let test_json_roundtrip =
+  scoped @@ fun () ->
+  T.incr (T.counter "j.count");
+  T.observe (T.dist "j.dist") 3.5;
+  T.sample (T.series "j.series") ~x:1.0 ~y:2.0;
+  T.with_span "j.outer" (fun () -> T.with_span "j \"quoted\"" (fun () -> ()));
+  let j = parse_json (T.to_json (T.report ())) in
+  Alcotest.(check (float 0.)) "counter" 1.0 (num (member "j.count" (member "counters" j)));
+  Alcotest.(check (float 1e-9)) "dist mean" 3.5
+    (num (member "mean" (member "j.dist" (member "dists" j))));
+  (match member "j.series" (member "series" j) with
+  | Arr [ Arr [ Num x; Num y ] ] ->
+    Alcotest.(check (float 0.)) "x" 1.0 x;
+    Alcotest.(check (float 0.)) "y" 2.0 y
+  | _ -> Alcotest.fail "series shape");
+  match member "spans" j with
+  | Arr spans ->
+    let outer =
+      List.find
+        (fun sp -> member "name" sp = Str "j.outer")
+        spans
+    in
+    (match member "children" outer with
+    | Arr [ child ] ->
+      (* escaping round-trips through the parser *)
+      Alcotest.(check bool) "escaped name" true
+        (member "name" child = Str "j \"quoted\"");
+      Alcotest.(check (float 0.)) "child calls" 1.0 (num (member "calls" child))
+    | _ -> Alcotest.fail "children shape")
+  | _ -> Alcotest.fail "spans not a list"
+
+(* ---- pipeline integration ---- *)
+
+let small_prog () =
+  Ssp_workloads.(Workload.program (Suite.find "mcf") ~scale:1)
+
+let test_pipeline_report =
+  scoped @@ fun () ->
+  let cfg = Ssp_machine.Config.scale_caches Ssp_machine.Config.in_order 64 in
+  let prog = small_prog () in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let adapted = Ssp.Adapt.run ~config:cfg prog profile in
+  ignore (Ssp_sim.Inorder.run cfg adapted.Ssp.Adapt.prog);
+  let r = T.report () in
+  List.iter
+    (fun path ->
+      if T.find_span r.T.r_spans path = None then
+        Alcotest.fail ("missing span " ^ String.concat "/" path))
+    [
+      [ "profile" ];
+      [ "adapt" ];
+      [ "adapt"; "delinquent" ];
+      [ "adapt"; "adapt.regions" ];
+      [ "adapt"; "adapt.select" ];
+      [ "adapt"; "adapt.select"; "slice" ];
+      [ "adapt"; "adapt.codegen" ];
+      [ "sim.inorder" ];
+    ];
+  let counter name =
+    match List.assoc_opt name r.T.r_counters with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing counter " ^ name)
+  in
+  Alcotest.(check bool) "profiled instrs" true (counter "profile.instrs" > 0);
+  Alcotest.(check bool) "l1d traffic" true
+    (counter "sim.l1d.hits" + counter "sim.l1d.misses" > 0);
+  Alcotest.(check bool) "delinquent found" true
+    (counter "delinquent.selected" > 0);
+  Alcotest.(check bool) "slices attempted" true (counter "slice.attempts" > 0);
+  Alcotest.(check bool) "spawned" true (counter "sim.spawns" > 0);
+  Alcotest.(check bool) "slice sizes sane" true
+    (match List.assoc_opt "slice.instrs" r.T.r_dists with
+    | Some d -> d.T.ds_n > 0 && d.T.ds_max <= 48.0 && d.T.ds_min >= 0.0
+    | None -> false);
+  (* the adapt span dominates its children *)
+  match T.find_span r.T.r_spans [ "adapt" ] with
+  | None -> Alcotest.fail "adapt span"
+  | Some sp ->
+    let child_ms =
+      List.fold_left (fun acc c -> acc +. c.T.ms) 0.0 sp.T.children
+    in
+    Alcotest.(check bool) "parent >= children" true (sp.T.ms >= child_ms *. 0.99)
+
+(* Instrumentation must not change behavior: the adapted binary rendered
+   with telemetry off is byte-identical to the one rendered with it on. *)
+let test_off_identical () =
+  T.reset ();
+  T.set_enabled false;
+  let cfg = Ssp_machine.Config.in_order in
+  let adapt_asm () =
+    let prog = small_prog () in
+    let profile = Ssp_profiling.Collect.collect prog in
+    let adapted = Ssp.Adapt.run ~config:cfg prog profile in
+    Format.asprintf "%a@." Ssp_ir.Asm.print adapted.Ssp.Adapt.prog
+  in
+  let off = adapt_asm () in
+  T.set_enabled true;
+  let on = adapt_asm () in
+  T.set_enabled false;
+  T.reset ();
+  Alcotest.(check string) "adapt output identical" off on;
+  (* and a telemetry-off run records nothing *)
+  let r = T.report () in
+  Alcotest.(check (list (pair string int))) "no spans recorded" []
+    (List.map (fun s -> (s.T.sp_name, s.T.calls)) r.T.r_spans);
+  Alcotest.(check bool) "no counts recorded" true
+    (List.for_all (fun (_, v) -> v = 0) r.T.r_counters)
+
+let suite =
+  [
+    Alcotest.test_case "counter math" `Quick test_counter_math;
+    Alcotest.test_case "distribution math" `Quick test_dist_math;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "pipeline report" `Slow test_pipeline_report;
+    Alcotest.test_case "telemetry off is inert" `Slow test_off_identical;
+  ]
