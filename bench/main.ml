@@ -1,12 +1,16 @@
 (* Regenerates every table and figure of the paper's evaluation, then runs
    Bechamel micro-benchmarks of the tool's own algorithms.
 
-   Usage: main.exe [--quick] [--trace OUT.JSON] [table1] [fig2] [table2]
-                   [fig8] [fig9] [fig10] [hand] [ablate] [micro]
+   Usage: main.exe [--quick] [--trace OUT.JSON] [--json BENCH.JSON]
+                   [table1] [fig2] [table2] [fig8] [fig9] [fig10]
+                   [hand] [ablate] [perf] [micro]
    With no selection, everything runs in paper order. [--quick] switches to
    small working sets and scaled-down caches (same shapes, seconds instead
    of minutes). [--trace OUT.JSON] enables the telemetry subsystem and dumps
-   the structured run report behind the numbers. *)
+   the structured run report behind the numbers. [--json BENCH.JSON] makes
+   the [perf] section also write its numbers (per-workload baseline vs.
+   adapted cycles, L1d miss rates, prefetch coverage / accuracy /
+   timeliness) as machine-readable JSON. *)
 
 let ppf = Format.std_formatter
 
@@ -17,6 +21,134 @@ let wall f =
   let t0 = Unix.gettimeofday () in
   f ();
   Format.fprintf ppf "@.[%.1fs]@." (Unix.gettimeofday () -. t0)
+
+(* ---- perf: machine-readable baseline-vs-adapted summary ---- *)
+
+(* One attributed in-order run per workload: cycles, main-thread L1d miss
+   rate, and the aggregate prefetch classification.  Printed as a table
+   and, with [--json PATH], written as JSON for CI artifacts. *)
+
+type perf_row = {
+  p_name : string;
+  p_base_cycles : int;
+  p_ssp_cycles : int;
+  p_base_l1d_miss : float;
+  p_ssp_l1d_miss : float;
+  p_issued : int;
+  p_useful : int;
+  p_late : int;
+  p_early_evicted : int;
+  p_redundant : int;
+  p_dropped : int;
+  p_unused : int;
+  p_coverage : float;
+  p_accuracy : float;
+  p_timeliness : float;
+  p_spawns : int;
+  p_denied : int;
+  p_watchdog_kills : int;
+}
+
+let l1d_miss_rate (s : Ssp_sim.Stats.t) =
+  let accesses, l1 =
+    Ssp_ir.Iref.Tbl.fold
+      (fun _ (site : Ssp_sim.Stats.load_site) (a, h) ->
+        (a + site.Ssp_sim.Stats.accesses, h + site.Ssp_sim.Stats.l1))
+      s.Ssp_sim.Stats.loads (0, 0)
+  in
+  if accesses = 0 then 0. else 1. -. (float_of_int l1 /. float_of_int accesses)
+
+let perf_row ~setting (w : Ssp_workloads.Workload.t) =
+  let a =
+    Ssp_harness.Experiment.attributed_run ~setting
+      ~pipeline:Ssp_machine.Config.In_order w
+  in
+  let open Ssp_harness.Experiment in
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 a.a_attrib.Ssp_sim.Attrib.loads in
+  let issued = sum (fun l -> l.Ssp_sim.Attrib.ls_issued) in
+  let useful = sum (fun l -> l.Ssp_sim.Attrib.ls_useful) in
+  let late = sum (fun l -> l.Ssp_sim.Attrib.ls_late) in
+  let early = sum (fun l -> l.Ssp_sim.Attrib.ls_early_evicted) in
+  let redundant = sum (fun l -> l.Ssp_sim.Attrib.ls_redundant) in
+  let dropped = sum (fun l -> l.Ssp_sim.Attrib.ls_dropped) in
+  let unused = sum (fun l -> l.Ssp_sim.Attrib.ls_unused) in
+  let misses =
+    sum (fun l -> l.Ssp_sim.Attrib.ls_demand_accesses - l.Ssp_sim.Attrib.ls_demand_hits)
+  in
+  let ratio n d = if d = 0 then 0. else float_of_int n /. float_of_int d in
+  let th = a.a_attrib.Ssp_sim.Attrib.threads in
+  {
+    p_name = a.a_name;
+    p_base_cycles = a.a_base.Ssp_sim.Stats.cycles;
+    p_ssp_cycles = a.a_ssp.Ssp_sim.Stats.cycles;
+    p_base_l1d_miss = l1d_miss_rate a.a_base;
+    p_ssp_l1d_miss = l1d_miss_rate a.a_ssp;
+    p_issued = issued;
+    p_useful = useful;
+    p_late = late;
+    p_early_evicted = early;
+    p_redundant = redundant;
+    p_dropped = dropped;
+    p_unused = unused;
+    p_coverage = ratio (useful + late) (misses + useful);
+    p_accuracy = ratio useful (issued + redundant + dropped);
+    p_timeliness = ratio useful (useful + late);
+    p_spawns = th.Ssp_sim.Attrib.th_spawns;
+    p_denied = th.Ssp_sim.Attrib.th_denied;
+    p_watchdog_kills = th.Ssp_sim.Attrib.th_watchdog_kills;
+  }
+
+let perf_json ~setting rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"setting\":\"%s\",\"scale\":%d,\"cache_divisor\":%d,"
+       setting.Ssp_harness.Experiment.label
+       setting.Ssp_harness.Experiment.scale
+       setting.Ssp_harness.Experiment.cache_divisor);
+  Buffer.add_string b "\"workloads\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"baseline_cycles\":%d,\"adapted_cycles\":%d,\
+            \"speedup\":%.4f,\"baseline_l1d_miss_rate\":%.6f,\
+            \"adapted_l1d_miss_rate\":%.6f,\"prefetches\":{\"issued\":%d,\
+            \"useful\":%d,\"late\":%d,\"early_evicted\":%d,\"redundant\":%d,\
+            \"dropped\":%d,\"unused\":%d},\"coverage\":%.6f,\
+            \"accuracy\":%.6f,\"timeliness\":%.6f,\"threads\":{\"spawns\":%d,\
+            \"denied\":%d,\"watchdog_kills\":%d}}"
+           r.p_name r.p_base_cycles r.p_ssp_cycles
+           (float_of_int r.p_base_cycles /. float_of_int (max 1 r.p_ssp_cycles))
+           r.p_base_l1d_miss r.p_ssp_l1d_miss r.p_issued r.p_useful r.p_late
+           r.p_early_evicted r.p_redundant r.p_dropped r.p_unused r.p_coverage
+           r.p_accuracy r.p_timeliness r.p_spawns r.p_denied r.p_watchdog_kills))
+    rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let perf ~setting ~json () =
+  let rows = List.map (perf_row ~setting) Ssp_workloads.Suite.all in
+  Format.fprintf ppf
+    "%-12s %12s %12s %8s %8s %8s   %s@." "workload" "base cyc" "ssp cyc"
+    "speedup" "cover" "accur" "useful/late/early/redund/drop";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-12s %12d %12d %7.2fx %7.1f%% %7.1f%%   %d/%d/%d/%d/%d@." r.p_name
+        r.p_base_cycles r.p_ssp_cycles
+        (float_of_int r.p_base_cycles /. float_of_int (max 1 r.p_ssp_cycles))
+        (100. *. r.p_coverage) (100. *. r.p_accuracy) r.p_useful r.p_late
+        r.p_early_evicted r.p_redundant r.p_dropped)
+    rows;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (perf_json ~setting rows);
+    output_char oc '\n';
+    close_out oc;
+    Format.fprintf ppf "@.perf JSON written to %s@." path
 
 (* ---- Bechamel micro-benchmarks of the tool's algorithms ---- *)
 
@@ -109,14 +241,15 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let rec split_trace = function
-    | "--trace" :: path :: rest -> (Some path, rest)
+  let rec split_opt name = function
+    | a :: path :: rest when a = name -> (Some path, rest)
     | a :: rest ->
-      let t, others = split_trace rest in
+      let t, others = split_opt name rest in
       (t, a :: others)
     | [] -> (None, [])
   in
-  let trace, args = split_trace args in
+  let trace, args = split_opt "--trace" args in
+  let json, args = split_opt "--json" args in
   (match trace with
   | Some _ -> Ssp_telemetry.Telemetry.set_enabled true
   | None -> ());
@@ -142,6 +275,7 @@ let () =
   run "fig10" (fun () -> Ssp_harness.Figures.fig10 ~setting ppf ());
   run "hand" (fun () -> Ssp_harness.Hand_vs_auto.print ~setting ppf ());
   run "ablate" (fun () -> Ssp_harness.Ablation.print ~setting ppf ());
+  run "perf" (perf ~setting ~json);
   run "micro" micro;
   (match trace with
   | Some path ->

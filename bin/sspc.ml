@@ -6,12 +6,16 @@
      profile    profile a program and list the delinquent loads
      adapt      run the SSP post-pass and show slices/triggers
      sim        cycle simulation (in-order / ooo, with or without SSP)
+     explain    pipeline + attributed simulation: per-delinquent-load
+                prefetch effectiveness (coverage/accuracy/timeliness)
      stats      run the full pipeline and print the telemetry summary
      bench      list workloads
      table1     print the machine models
 
    'adapt', 'sim' and 'stats' take [--trace out.json] to enable the
-   telemetry subsystem and dump the structured run report. *)
+   telemetry subsystem and dump the structured run report; 'sim' and
+   'explain' take [--trace-events out.json] to export a Chrome
+   trace-event (Perfetto-loadable) timeline. *)
 
 open Cmdliner
 module T = Ssp_telemetry.Telemetry
@@ -57,6 +61,33 @@ let with_trace trace k =
   (match trace with Some _ -> T.set_enabled true | None -> ());
   k ();
   match trace with Some path -> write_trace path (T.report ()) | None -> ()
+
+let trace_events_arg =
+  let doc =
+    "Enable the telemetry event stream and write a Chrome trace-event JSON \
+     (loadable in Perfetto or chrome://tracing: pass spans on one process \
+     timeline, speculative-thread lifetimes per hardware context on \
+     another, with ts in simulated cycles) to this file."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-events" ] ~docv:"TRACE.JSON" ~doc)
+
+let with_trace_events trace_events k =
+  (match trace_events with
+  | Some _ ->
+    T.set_enabled true;
+    T.set_events true
+  | None -> ());
+  k ();
+  match trace_events with
+  | Some path -> (
+    try T.write_trace_events path
+    with Sys_error msg ->
+      Printf.eprintf "sspc: cannot write trace events: %s\n" msg;
+      exit 1)
+  | None -> ()
 
 let with_out out k =
   match out with
@@ -145,35 +176,105 @@ let ssp_flag =
   let doc = "Adapt the binary with the SSP post-pass before simulating." in
   Arg.(value & flag & info [ "ssp" ] ~doc)
 
+let config_of_pipeline pipeline =
+  match pipeline with
+  | "ooo" -> Ssp_machine.Config.out_of_order
+  | _ -> Ssp_machine.Config.in_order
+
+let simulate ?attrib config prog =
+  match config.Ssp_machine.Config.pipeline with
+  | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run ?attrib config prog
+  | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run ?attrib config prog
+
+let explain_flag =
+  let doc =
+    "Adapt with the SSP post-pass, simulate with prefetch-lifecycle \
+     attribution attached, and print the per-delinquent-load attribution \
+     report after the stats (implies --ssp)."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
 let sim_cmd =
-  let run src scale pipeline ssp trace =
+  let run src scale pipeline ssp explain trace trace_events =
     with_trace trace @@ fun () ->
-    let config =
-      match pipeline with
-      | "ooo" -> Ssp_machine.Config.out_of_order
-      | _ -> Ssp_machine.Config.in_order
-    in
+    with_trace_events trace_events @@ fun () ->
+    let config = config_of_pipeline pipeline in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
-    let prog =
+    let ssp = ssp || explain in
+    let result =
       if ssp then begin
         let profile = Ssp_profiling.Collect.collect prog in
-        (Ssp.Adapt.run ~config prog profile).Ssp.Adapt.prog
+        Some (Ssp.Adapt.run ~config prog profile)
       end
-      else prog
+      else None
+    in
+    let prog =
+      match result with Some a -> a.Ssp.Adapt.prog | None -> prog
+    in
+    let attrib =
+      match result with
+      | Some a when explain ->
+        Some
+          (Ssp_sim.Attrib.create ~prefetch_map:a.Ssp.Adapt.prefetch_map ())
+      | _ -> None
     in
     let t0 = Unix.gettimeofday () in
-    let r =
-      match config.Ssp_machine.Config.pipeline with
-      | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run config prog
-      | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
-    in
+    let r = simulate ?attrib config prog in
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Ssp_sim.Stats.pp r;
     Format.printf "; simulated in %.2fs (%.2f Mcycle/s)@." dt
-      (float_of_int r.Ssp_sim.Stats.cycles /. dt /. 1e6)
+      (float_of_int r.Ssp_sim.Stats.cycles /. dt /. 1e6);
+    match (attrib, result) with
+    | Some a, Some res ->
+      let ex =
+        Ssp.Explain.build ~result:res ~stats:r
+          ~attrib:(Ssp_sim.Attrib.summary a)
+      in
+      Format.printf "@.%a@." Ssp.Explain.pp ex
+    | _ -> ()
   in
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
-    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ trace_arg)
+    Term.(
+      const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ explain_flag
+      $ trace_arg $ trace_events_arg)
+
+let explain_cmd =
+  let run src scale pipeline json trace_events =
+    with_trace_events trace_events @@ fun () ->
+    let config = config_of_pipeline pipeline in
+    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+    let profile = Ssp_profiling.Collect.collect prog in
+    let result = Ssp.Adapt.run ~config prog profile in
+    let attrib =
+      Ssp_sim.Attrib.create ~prefetch_map:result.Ssp.Adapt.prefetch_map ()
+    in
+    let stats = simulate ~attrib config result.Ssp.Adapt.prog in
+    let ex =
+      Ssp.Explain.build ~result ~stats ~attrib:(Ssp_sim.Attrib.summary attrib)
+    in
+    Format.printf "%a@." Ssp.Explain.pp ex;
+    match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Ssp.Explain.to_json ex);
+      output_char oc '\n';
+      close_out oc
+    | None -> ()
+  in
+  let json_arg =
+    let doc = "Also write the attribution report as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT.JSON" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the full pipeline with prefetch attribution and report, per \
+          delinquent load: profile miss share, slice/scheme/slack, trigger \
+          placement, and the simulated useful/late/early-evicted/redundant/\
+          dropped classification with coverage, accuracy and timeliness")
+    Term.(
+      const run $ src_arg $ scale_arg $ pipeline_arg $ json_arg
+      $ trace_events_arg)
 
 let stats_cmd =
   let run src scale pipeline trace =
@@ -236,6 +337,7 @@ let () =
             profile_cmd;
             adapt_cmd;
             sim_cmd;
+            explain_cmd;
             stats_cmd;
             bench_cmd;
             table1_cmd;

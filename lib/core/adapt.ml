@@ -6,6 +6,8 @@ type result = {
   report : Report.t;
   delinquent : Delinquent.t;
   choices : Select.choice list;
+  prefetch_map : Ssp_ir.Iref.t Ssp_ir.Iref.Map.t;
+      (* emitted prefetch site -> delinquent load, for attribution *)
 }
 
 let region_string r = Format.asprintf "%a" Regions.pp r
@@ -84,12 +86,15 @@ let combine regions callgraph profile config (choices : Select.choice list) =
 
 let apply_choices prog ~config choices delinquent =
   let adapted = Ssp_ir.Prog.copy prog in
-  T.with_span "adapt.codegen" (fun () -> Codegen.apply adapted config choices);
+  let prefetch_map =
+    T.with_span "adapt.codegen" (fun () -> Codegen.apply adapted config choices)
+  in
   {
     prog = adapted;
     report = report_of delinquent choices;
     delinquent;
     choices;
+    prefetch_map;
   }
 
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)

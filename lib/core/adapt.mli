@@ -12,6 +12,10 @@ type result = {
   report : Report.t;
   delinquent : Delinquent.t;
   choices : Select.choice list;
+  prefetch_map : Ssp_ir.Iref.t Ssp_ir.Iref.Map.t;
+      (** emitted prefetch sites (lfetches, value-used target-load
+          copies) mapped to the delinquent loads they precompute; feed to
+          [Ssp_sim.Attrib.create] for prefetch-lifecycle attribution *)
 }
 
 val run :

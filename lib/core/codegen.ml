@@ -86,7 +86,8 @@ let append_blocks (f : Ssp_ir.Prog.func) blocks =
     Array.append f.Ssp_ir.Prog.blocks (Array.of_list blocks)
 
 (* Emit the speculative-thread code of one scheduled slice; returns the
-   label of its first block.
+   label of its first block and the emitted prefetch sites (lfetches and
+   value-used target-load copies) mapped to their original target loads.
 
    With [unroll] = K > 1 one speculative thread precomputes K consecutive
    iterations: the critical sub-slice is replicated K times (advancing the
@@ -100,6 +101,38 @@ let emit_slice prog (choice : Select.choice) =
   let l_slice = fresh_name "slice" in
   let l_skip = fresh_name "skip" in
   let rn = rename_create () in
+  (* Prefetch-site marks, for attribution: every emitted instruction that
+     acts as a prefetch of a target load — the lfetches, and the slice
+     copies of value-used target loads (those emit no lfetch; the load
+     itself is the prefetch). Recorded as (label, index-in-block, target)
+     and resolved to block indices once the blocks are appended. *)
+  let marks : (string * int * Ssp_ir.Iref.t) list ref = ref [] in
+  let mark label buf target =
+    marks := (label, List.length !buf, target) :: !marks
+  in
+  let vu_loads =
+    List.filter_map
+      (fun (t : Slice.target) ->
+        if t.Slice.value_used then Some t.Slice.load else None)
+      slice.Slice.targets
+  in
+  let is_vu i = List.exists (Ssp_ir.Iref.equal i) vu_loads in
+  let resolve_marks () =
+    let blocks = f.Ssp_ir.Prog.blocks in
+    let index_of label =
+      let n = Array.length blocks in
+      let rec go i =
+        if i >= n then invalid_arg ("Codegen: unresolved slice label " ^ label)
+        else if String.equal blocks.(i).Ssp_ir.Prog.label label then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    List.rev_map
+      (fun (label, ins, target) ->
+        ({ Ssp_ir.Iref.fn = slice.Slice.fn; blk = index_of label; ins }, target))
+      !marks
+  in
   let body = ref [] in
   let emit op = body := op :: !body in
   (* Live-in loads. *)
@@ -139,7 +172,7 @@ let emit_slice prog (choice : Select.choice) =
     | Some r -> r
     | None -> rename_use rn t.Slice.addr_reg
   in
-  let emit_prefetches () =
+  let emit_prefetches ~label =
     let seen = Hashtbl.create 8 in
     List.iter
       (fun (t : Slice.target) ->
@@ -147,6 +180,7 @@ let emit_slice prog (choice : Select.choice) =
           let base = target_base_via t in
           if not (Hashtbl.mem seen (base, t.Slice.offset)) then begin
             Hashtbl.replace seen (base, t.Slice.offset) ();
+            mark label body t.Slice.load;
             emit (Op.Lfetch (base, t.Slice.offset))
           end
         end)
@@ -161,7 +195,9 @@ let emit_slice prog (choice : Select.choice) =
     let l_loop = fresh_name "sloop" in
     let l_done = fresh_name "sdone" in
     List.iter
-      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      (fun i ->
+        if is_vu i then mark l_slice body i;
+        emit (rename_instr ~site:i rn (instr_of i)))
       inner.Schedule.pre;
     let homes =
       List.map
@@ -183,9 +219,11 @@ let emit_slice prog (choice : Select.choice) =
     let pre_ops = List.rev !body in
     body := [];
     List.iter
-      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      (fun i ->
+        if is_vu i then mark l_loop body i;
+        emit (rename_instr ~site:i rn (instr_of i)))
       inner.Schedule.body;
-    emit_prefetches ();
+    emit_prefetches ~label:l_loop;
     (match inner.Schedule.cond with
     | Schedule.Cond { extra; reg; spawn_if_nonzero } ->
       List.iter (fun i -> emit (rename_instr ~site:i rn (instr_of i))) extra;
@@ -210,14 +248,16 @@ let emit_slice prog (choice : Select.choice) =
         { Ssp_ir.Prog.label = l_loop; ops = Array.of_list loop_ops };
         { Ssp_ir.Prog.label = l_done; ops = [| Op.Kill |] };
       ];
-    l_slice
+    (l_slice, resolve_marks ())
   | _ ->
   (* Critical sub-slice, replicated per unrolled step; snapshot the
      register versions after each step for its non-critical twin. *)
   let snapshots = ref [] in
   for _step = 1 to unroll do
     List.iter
-      (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+      (fun i ->
+        if is_vu i then mark l_slice body i;
+        emit (rename_instr ~site:i rn (instr_of i)))
       sched.Schedule.order_critical;
     snapshots := rn.map :: !snapshots
   done;
@@ -260,7 +300,9 @@ let emit_slice prog (choice : Select.choice) =
     (fun snapshot ->
       rn.map <- snapshot;
       List.iter
-        (fun i -> emit (rename_instr ~site:i rn (instr_of i)))
+        (fun i ->
+          if is_vu i then mark l_skip tail i;
+          emit (rename_instr ~site:i rn (instr_of i)))
         sched.Schedule.order_non_critical;
       let seen = Hashtbl.create 8 in
       List.iter
@@ -269,6 +311,7 @@ let emit_slice prog (choice : Select.choice) =
             let base = target_base_via t in
             if not (Hashtbl.mem seen (base, t.Slice.offset)) then begin
               Hashtbl.replace seen (base, t.Slice.offset) ();
+              mark l_skip tail t.Slice.load;
               emit (Op.Lfetch (base, t.Slice.offset))
             end
           end)
@@ -280,7 +323,7 @@ let emit_slice prog (choice : Select.choice) =
       { Ssp_ir.Prog.label = l_slice; ops = Array.of_list head };
       { Ssp_ir.Prog.label = l_skip; ops = Array.of_list (List.rev !tail) };
     ];
-  l_slice
+  (l_slice, resolve_marks ())
 
 (* Insert a chk.c at a trigger point by splitting the block, appending the
    given stub body (without its final resume branch) as the recovery code. *)
@@ -353,11 +396,18 @@ let apply prog cfg (choices : Select.choice list) =
   (* Emit every slice first: appends never move existing instructions, so
      the position-based slice references of later choices stay valid. Then
      insert all triggers, globally ordered from the highest position down
-     within each block, so splits never invalidate a pending position. *)
+     within each block, so splits never invalidate a pending position.
+     (Trigger insertion splits original blocks and appends stubs after the
+     slice blocks, so the prefetch-site refs collected here stay valid.) *)
+  let prefetch_map = ref Ssp_ir.Iref.Map.empty in
   let pending =
     List.concat_map
       (fun (choice : Select.choice) ->
-        let slice_label = emit_slice prog choice in
+        let slice_label, marks = emit_slice prog choice in
+        List.iter
+          (fun (site, target) ->
+            prefetch_map := Ssp_ir.Iref.Map.add site target !prefetch_map)
+          marks;
         List.map (fun t -> (choice, slice_label, t)) choice.Select.triggers)
       choices
   in
@@ -371,11 +421,12 @@ let apply prog cfg (choices : Select.choice list) =
   List.iter
     (fun (choice, slice_label, t) -> insert_trigger prog choice ~slice_label t)
     pending;
-  match Ssp_ir.Validate.check prog with
+  (match Ssp_ir.Validate.check prog with
   | Ok () -> ()
   | Error es ->
     let msg =
       String.concat "; "
         (List.map (fun e -> Format.asprintf "%a" Ssp_ir.Validate.pp_error e) es)
     in
-    invalid_arg ("Codegen.apply: invalid program after rewriting: " ^ msg)
+    invalid_arg ("Codegen.apply: invalid program after rewriting: " ^ msg));
+  !prefetch_map

@@ -26,10 +26,17 @@ val depth_slot : int
     conditions (the last slot). *)
 
 val apply :
-  Ssp_ir.Prog.t -> Ssp_machine.Config.t -> Select.choice list -> unit
-(** Mutates the program. Raises [Invalid_argument] if the rewritten
-    program fails validation or a slice contains a non-replayable
-    instruction. *)
+  Ssp_ir.Prog.t ->
+  Ssp_machine.Config.t ->
+  Select.choice list ->
+  Ssp_ir.Iref.t Ssp_ir.Iref.Map.t
+(** Mutates the program; returns the prefetch-site map for attribution:
+    every emitted instruction that acts as a prefetch — each [lfetch],
+    and each slice copy of a value-used target load (no lfetch is emitted
+    for those; the load itself is the prefetch) — mapped to the original
+    delinquent load it precomputes. Raises [Invalid_argument] if the
+    rewritten program fails validation or a slice contains a
+    non-replayable instruction. *)
 
 (** {2 Raw rewriting (hand adaptation)}
 

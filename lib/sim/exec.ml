@@ -4,7 +4,7 @@ type env = {
   mem : Memory.t;
   prog : Ssp_ir.Prog.t;
   chk_free : unit -> bool;
-  spawn : fn:string -> blk:int -> live_in:int64 array -> bool;
+  spawn : src:Ssp_ir.Iref.t -> fn:string -> blk:int -> live_in:int64 array -> bool;
   output : int64 -> unit;
 }
 
@@ -175,7 +175,8 @@ let step env (t : Thread.t) =
   | Op.Spawn (fn, label) ->
     let target = Ssp_ir.Prog.find_func env.prog fn in
     let blk = Ssp_ir.Prog.block_index target label in
-    let accepted = env.spawn ~fn ~blk ~live_in:t.lib_out in
+    let src = { Ssp_ir.Iref.fn = t.fn; blk = t.blk; ins = t.ins } in
+    let accepted = env.spawn ~src ~fn ~blk ~live_in:t.lib_out in
     next ();
     Ev_spawn { accepted }
   | Op.Lib_st (slot, s) ->

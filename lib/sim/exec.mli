@@ -17,8 +17,9 @@ type env = {
   prog : Ssp_ir.Prog.t;
   chk_free : unit -> bool;
       (** does a free hardware context exist right now? *)
-  spawn : fn:string -> blk:int -> live_in:int64 array -> bool;
-      (** try to bind a free context; false = ignored *)
+  spawn : src:Ssp_ir.Iref.t -> fn:string -> blk:int -> live_in:int64 array -> bool;
+      (** try to bind a free context; false = ignored. [src] is the
+          spawning [Spawn] instruction (for attribution). *)
   output : int64 -> unit;  (** observable output of [Print] *)
 }
 

@@ -28,7 +28,7 @@ let run ?(max_instrs = 200_000_000) ?(spawning = false) ?hook prog =
       prog;
       chk_free = (fun () -> spawning && Option.is_some (free_slot ()));
       spawn =
-        (fun ~fn ~blk ~live_in ->
+        (fun ~src:_ ~fn ~blk ~live_in ->
           if not spawning then false
           else
             match free_slot () with

@@ -14,6 +14,7 @@ type t = {
   l2 : Cache.t;
   l3 : Cache.t;
   mutable fills : mshr list;  (* in flight, unordered (≤ 16 entries) *)
+  mutable attrib : Attrib.t option;  (* prefetch-lifecycle attribution *)
   tel_dropped : T.counter;  (* prefetches dropped on a full fill buffer *)
   tel_stalled : T.counter;  (* fills delayed by a full fill buffer *)
 }
@@ -29,11 +30,13 @@ let create ?(tprefix = "sim") (cfg : Config.t) =
     l2 = Cache.create ~name:(tprefix ^ ".l2") cfg.l2;
     l3 = Cache.create ~name:(tprefix ^ ".l3") cfg.l3;
     fills = [];
+    attrib = None;
     tel_dropped = T.counter (tprefix ^ ".fill.dropped_prefetch");
     tel_stalled = T.counter (tprefix ^ ".fill.full_stall");
   }
 
 let l1d t = t.l1d
+let set_attrib t a = t.attrib <- Some a
 
 let level_latency t = function
   | L1 -> t.cfg.l1.latency
@@ -47,23 +50,48 @@ let retire_fills t ~now =
     (fun m ->
       Cache.install t.l1d m.line;
       Cache.install t.l2 m.line;
-      Cache.install t.l3 m.line)
+      Cache.install t.l3 m.line;
+      match t.attrib with
+      | Some a -> Attrib.fill_retired a ~line:m.line ~now:m.done_at
+      | None -> ())
     done_;
   t.fills <- pending
 
 let perfect_hit t ~now = { level = L1; partial = false; ready = now + t.cfg.l1.latency }
 
-let access_real t ~now ~instruction ~nt ~low_priority addr =
+let access_real t ~now ~instruction ~nt ~low_priority ~pf_tag ~demand_iref
+    ~demand_main addr =
   retire_fills t ~now;
   let l1 = if instruction then t.l1i else t.l1d in
   let line = Cache.line_addr t.l2 addr in
-  if Cache.access l1 addr then
-    { level = L1; partial = false; ready = now + t.cfg.l1.latency }
+  (* Attribution: a tagged access IS a prefetch (an lfetch, or a
+     speculative demand load standing in for one); an untagged data
+     access is a potential use settling the line's outstanding
+     prefetch. Bookkeeping only — never changes the outcome. *)
+  let attr_pf f =
+    match (t.attrib, pf_tag) with Some a, Some tag -> f a tag | _ -> ()
+  in
+  let attr_use ~hit ~partial ~ready =
+    if not instruction then
+      match (t.attrib, pf_tag) with
+      | Some a, None ->
+        Attrib.demand_use a ?iref:demand_iref ~main:demand_main ~line ~hit
+          ~partial ~now ~ready ()
+      | _ -> ()
+  in
+  if Cache.access l1 addr then begin
+    let ready = now + t.cfg.l1.latency in
+    attr_pf (fun a tag -> Attrib.prefetch_redundant a tag);
+    attr_use ~hit:true ~partial:false ~ready;
+    { level = L1; partial = false; ready }
+  end
   else
     (* Fill buffer: line already in transit? *)
     match List.find_opt (fun m -> Int64.equal m.line line) t.fills with
     | Some m ->
       let ready = max (m.done_at) (now + t.cfg.l1.latency) in
+      attr_pf (fun a tag -> Attrib.prefetch_redundant a tag);
+      attr_use ~hit:false ~partial:true ~ready;
       { level = m.origin; partial = true; ready }
     | None ->
       let used = List.length t.fills in
@@ -76,6 +104,7 @@ let access_real t ~now ~instruction ~nt ~low_priority addr =
       let full = full || (low_priority && used >= reserve) in
       if nt && full then begin
         T.incr t.tel_dropped;
+        attr_pf (fun a tag -> Attrib.prefetch_dropped a tag);
         { level = L1; partial = false; ready = now + 1 }
       end
       else begin
@@ -94,17 +123,20 @@ let access_real t ~now ~instruction ~nt ~low_priority addr =
         in
         let done_at = start + latency in
         t.fills <- { line; origin; done_at; nt } :: t.fills;
+        attr_pf (fun a tag -> Attrib.prefetch_issued a tag ~line ~now);
+        attr_use ~hit:false ~partial:false ~ready:done_at;
         if instruction then Cache.install t.l1i addr;
         { level = origin; partial = false; ready = done_at }
       end
 
 let access t ~now ?(prefetch = false) ?(low_priority = false)
-    ?(instruction = false) addr =
+    ?(instruction = false) ?pf_tag ?demand_iref ?(demand_main = false) addr =
   match t.cfg.memory_mode with
   | Config.Perfect_memory -> perfect_hit t ~now
   | Config.Normal | Config.Perfect_delinquent _ ->
     access_real t ~now ~instruction ~nt:prefetch
-      ~low_priority:(low_priority || prefetch) addr
+      ~low_priority:(low_priority || prefetch) ~pf_tag ~demand_iref
+      ~demand_main addr
 
 let pp_level ppf l =
   Format.pp_print_string ppf

@@ -25,12 +25,22 @@ val create : ?tprefix:string -> Ssp_machine.Config.t -> t
 val l1d : t -> Cache.t
 (** The L1 data cache (for interval telemetry sampling). *)
 
+val set_attrib : t -> Attrib.t -> unit
+(** Attach prefetch-lifecycle attribution. Accesses carrying a [pf_tag]
+    are recorded as prefetch issues (and classified redundant / dropped
+    at issue time); untagged data accesses settle outstanding prefetches
+    (useful / late / early-evicted). Pure bookkeeping: outcomes and
+    timing are unchanged. *)
+
 val access :
   t ->
   now:int ->
   ?prefetch:bool ->
   ?low_priority:bool ->
   ?instruction:bool ->
+  ?pf_tag:Attrib.tag ->
+  ?demand_iref:Ssp_ir.Iref.t ->
+  ?demand_main:bool ->
   int64 ->
   outcome
 (** Account a load ([prefetch:false]), a prefetch or an instruction fetch
@@ -38,7 +48,12 @@ val access :
     L2/L3 but not L1 (Itanium [lfetch.nt]). Stores are accounted as loads for line-fill
     purposes (write-allocate). In [Perfect_memory] mode everything hits L1;
     the perfect-delinquent filtering is done by the caller (it knows the
-    static load identity). *)
+    static load identity).
+
+    [pf_tag] marks the access as an attributed prefetch (an lfetch, or a
+    speculative demand load standing in for one); [demand_iref] and
+    [demand_main] identify untagged data accesses for attribution — all
+    three are ignored unless [set_attrib] was called. *)
 
 val perfect_hit : t -> now:int -> outcome
 (** An L1-latency hit regardless of state (used for perfect modes). *)

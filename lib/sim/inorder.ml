@@ -28,9 +28,9 @@ let bundle_map_of (prog : Ssp_ir.Prog.t) : bundle_map =
     (Ssp_ir.Prog.funcs_in_order prog);
   m
 
-let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
   T.with_span "sim.inorder" @@ fun () ->
-  let m = Smt.create cfg prog in
+  let m = Smt.create ?attrib cfg prog in
   let bundles = bundle_map_of prog in
   let stats = m.Smt.stats in
   let now = ref 0 in
@@ -40,7 +40,9 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
       Exec.mem = m.Smt.mem;
       prog;
       chk_free = (fun () -> Smt.chk_allowed m ~now:!now !stepping);
-      spawn = (fun ~fn ~blk ~live_in -> Smt.try_spawn m ~now:!now ~fn ~blk ~live_in);
+      spawn =
+        (fun ~src ~fn ~blk ~live_in ->
+          Smt.try_spawn m ~now:!now ~src ~fn ~blk ~live_in);
       output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
     }
   in
@@ -126,10 +128,14 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
               (Op.defs op)
           | Exec.Ev_store { addr; _ } ->
             (* Write-allocate; the store buffer hides the latency. *)
-            ignore (Hierarchy.access m.Smt.hier ~now:!now addr)
+            ignore
+              (Hierarchy.access m.Smt.hier ~now:!now
+                 ~demand_main:(th.Thread.id = 0) addr)
           | Exec.Ev_prefetch addr ->
             stats.Stats.prefetches <- stats.Stats.prefetches + 1;
-            ignore (Hierarchy.access m.Smt.hier ~now:!now ~prefetch:true addr)
+            ignore
+              (Hierarchy.access m.Smt.hier ~now:!now ~prefetch:true
+                 ?pf_tag:(Smt.pf_tag_of m ctx iref) addr)
           | Exec.Ev_branch { taken } -> (
             match predicted with
             | Some p ->
@@ -170,9 +176,12 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
             end
           | Exec.Ev_spawn _ -> finish_defs 1 None
           | Exec.Ev_lib -> finish_defs cfg.Config.lib_latency None
-          | Exec.Ev_halt | Exec.Ev_kill -> blocked := true
+          | Exec.Ev_halt | Exec.Ev_kill ->
+            if th.Thread.speculative then
+              Smt.note_thread_end m ctx ~now:!now ~watchdog:false;
+            blocked := true
           | Exec.Ev_plain -> finish_defs (max 1 base_latency) None);
-          Smt.watchdog_check m ctx;
+          Smt.watchdog_check m ~now:!now ctx;
           (* Bundle accounting: crossing into a new bundle (or leaving the
              block) consumes one bundle slot. *)
           let crossed =
@@ -251,4 +260,10 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     stats.Stats.cycles <- !now;
     if not main.Smt.thread.Thread.active then running := false
   done;
+  (* Settle attribution: speculative threads still alive at program end,
+     then prefetches never demanded. *)
+  Array.iter
+    (fun c -> Smt.note_thread_end m c ~now:!now ~watchdog:false)
+    m.Smt.ctxs;
+  (match attrib with Some a -> Attrib.finalize a | None -> ());
   Stats.finish stats

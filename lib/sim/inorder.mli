@@ -15,4 +15,6 @@
     threads never update memory and are reclaimed by [kill] or the
     watchdog. Simulation ends when the main thread halts. *)
 
-val run : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+val run : ?attrib:Attrib.t -> Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+(** [attrib] attaches prefetch-lifecycle attribution; recording is passive
+    and never changes cycle counts or outputs. *)

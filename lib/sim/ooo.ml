@@ -15,9 +15,9 @@ type othread = {
   mutable rob_max : int;  (* max completion among in-flight entries *)
 }
 
-let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
   T.with_span "sim.ooo" @@ fun () ->
-  let m = Smt.create cfg prog in
+  let m = Smt.create ?attrib cfg prog in
   let stats = m.Smt.stats in
   let now = ref 0 in
   let stepping = ref m.Smt.ctxs.(0) in
@@ -27,7 +27,8 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
       prog;
       chk_free = (fun () -> Smt.chk_allowed m ~now:!now !stepping);
       spawn =
-        (fun ~fn ~blk ~live_in -> Smt.try_spawn m ~now:!now ~fn ~blk ~live_in);
+        (fun ~src ~fn ~blk ~live_in ->
+          Smt.try_spawn m ~now:!now ~src ~fn ~blk ~live_in);
       output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
     }
   in
@@ -128,12 +129,16 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
           complete := o.Hierarchy.ready
         | Exec.Ev_store { addr; _ } ->
           let start = acquire_port ready_at in
-          ignore (Hierarchy.access m.Smt.hier ~now:start addr);
+          ignore
+            (Hierarchy.access m.Smt.hier ~now:start
+               ~demand_main:(th.Thread.id = 0) addr);
           complete := start + 1
         | Exec.Ev_prefetch addr ->
           stats.Stats.prefetches <- stats.Stats.prefetches + 1;
           let start = acquire_port ready_at in
-          ignore (Hierarchy.access m.Smt.hier ~now:start ~prefetch:true addr);
+          ignore
+            (Hierarchy.access m.Smt.hier ~now:start ~prefetch:true
+               ?pf_tag:(Smt.pf_tag_of m ctx iref) addr);
           complete := start + 1
         | Exec.Ev_branch { taken } -> (
           match predicted with
@@ -169,9 +174,10 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
             end
           end
         | Exec.Ev_call | Exec.Ev_ret -> ctx.Smt.redirect_until <- !now + 1
-        | Exec.Ev_spawn _ | Exec.Ev_lib | Exec.Ev_plain | Exec.Ev_halt
-        | Exec.Ev_kill ->
-          ());
+        | Exec.Ev_halt | Exec.Ev_kill ->
+          if th.Thread.speculative then
+            Smt.note_thread_end m ctx ~now:!now ~watchdog:false
+        | Exec.Ev_spawn _ | Exec.Ev_lib | Exec.Ev_plain -> ());
         (match ev with
         | Exec.Ev_lib -> complete := ready_at + cfg.Config.lib_latency
         | _ -> ());
@@ -196,7 +202,7 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
           ot.future_starts.(ready_at mod rs_horizon) <-
             ot.future_starts.(ready_at mod rs_horizon) + 1
         end;
-        Smt.watchdog_check m ctx;
+        Smt.watchdog_check m ~now:!now ctx;
         (* Stop dispatching past a redirect or thread end. *)
         th.Thread.active && ctx.Smt.redirect_until <= !now
       end
@@ -271,4 +277,10 @@ let run (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     if (not main.ctx.Smt.thread.Thread.active) && Queue.is_empty main.rob then
       running := false
   done;
+  (* Settle attribution: speculative threads still alive at program end,
+     then prefetches never demanded. *)
+  Array.iter
+    (fun c -> Smt.note_thread_end m c ~now:!now ~watchdog:false)
+    m.Smt.ctxs;
+  (match attrib with Some a -> Attrib.finalize a | None -> ());
   Stats.finish stats

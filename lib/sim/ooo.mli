@@ -13,4 +13,6 @@
     retirement: the flush costs the front-end penalty plus draining the
     ROB. *)
 
-val run : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+val run : ?attrib:Attrib.t -> Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+(** [attrib] attaches prefetch-lifecycle attribution; recording is passive
+    and never changes cycle counts or outputs. *)

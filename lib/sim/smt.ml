@@ -42,6 +42,9 @@ type context = {
   mutable fills : (Hierarchy.level * int) list;
   mutable bundle_left : int;
   mutable last_chk_fire : int;
+  mutable spawned_at : int;  (* cycle the current speculative thread began; -1 idle *)
+  mutable spawn_src : Ssp_ir.Iref.t option;  (* Spawn instruction that bound it *)
+  mutable spawn_target : string;  (* "fn#blk" label for timelines *)
 }
 
 type machine = {
@@ -56,6 +59,7 @@ type machine = {
   mutable rr : int;
   delinquent : Ssp_ir.Iref.Set.t;
   mutable last_spawned : int;  (* context id bound by the latest try_spawn *)
+  attrib : Attrib.t option;
   tel_spawns : T.counter;
   tel_spawn_denied : T.counter;
   tel_watchdog_kills : T.counter;
@@ -70,9 +74,12 @@ let new_context id =
     fills = [];
     bundle_left = 0;
     last_chk_fire = min_int / 2;
+    spawned_at = -1;
+    spawn_src = None;
+    spawn_target = "";
   }
 
-let create cfg prog =
+let create ?attrib cfg prog =
   let ctxs = Array.init cfg.Config.n_contexts new_context in
   let main = ctxs.(0).thread in
   main.Thread.fn <- prog.Ssp_ir.Prog.entry;
@@ -83,11 +90,13 @@ let create cfg prog =
     | Config.Perfect_delinquent s -> s
     | Config.Normal | Config.Perfect_memory -> Ssp_ir.Iref.Set.empty
   in
+  let hier = Hierarchy.create cfg in
+  (match attrib with Some a -> Hierarchy.set_attrib hier a | None -> ());
   {
     cfg;
     prog;
     mem = Memory.create ();
-    hier = Hierarchy.create cfg;
+    hier;
     bp = Bpred.create cfg;
     pcs = pcmap_of prog;
     ctxs;
@@ -95,6 +104,7 @@ let create cfg prog =
     rr = 0;
     delinquent;
     last_spawned = -1;
+    attrib;
     tel_spawns = T.counter "sim.spawns";
     tel_spawn_denied = T.counter "sim.spawn_denied";
     tel_watchdog_kills = T.counter "sim.watchdog_kills";
@@ -125,12 +135,38 @@ let free_context m =
   in
   go 1
 
-let try_spawn m ~now ~fn ~blk ~live_in =
+(* The end of a speculative occupancy: record its lifetime and emit its
+   timeline slice. Idempotent per occupancy ([spawned_at] is reset). *)
+let note_thread_end m (ctx : context) ~now ~watchdog =
+  if ctx.spawned_at >= 0 then begin
+    (match m.attrib with
+    | Some a -> Attrib.thread_end a ~spawned_at:ctx.spawned_at ~now ~watchdog
+    | None -> ());
+    if T.events_on () then
+      T.emit_complete ~cat:"spec_thread" ~pid:T.pid_sim
+        ~tid:ctx.thread.Thread.id
+        ~ts:(float_of_int ctx.spawned_at)
+        ~dur:(float_of_int (max 0 (now - ctx.spawned_at)))
+        ~args:
+          [
+            ("target", ctx.spawn_target);
+            ("watchdog", if watchdog then "true" else "false");
+          ]
+        (if ctx.spawn_target = "" then "spec" else ctx.spawn_target);
+    ctx.spawned_at <- -1;
+    ctx.spawn_src <- None
+  end
+
+let try_spawn m ~now ~src ~fn ~blk ~live_in =
   match free_context m with
   | None ->
     T.incr m.tel_spawn_denied;
+    (match m.attrib with Some a -> Attrib.spawn_denied a ~src | None -> ());
     false
   | Some ctx ->
+    (* A context can be freed by the issue loop without the end having
+       been noted (e.g. the previous occupant was killed this cycle). *)
+    note_thread_end m ctx ~now ~watchdog:false;
     Thread.reset_for_spawn ctx.thread ~fn ~blk ~live_in
       ~rand_state:(Int64.of_int ((ctx.thread.Thread.id * 1103515245) + 12345));
     Array.fill ctx.reg_ready 0 (Array.length ctx.reg_ready) 0;
@@ -138,8 +174,15 @@ let try_spawn m ~now ~fn ~blk ~live_in =
     ctx.fills <- [];
     ctx.redirect_until <-
       now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency;
+    ctx.spawned_at <- now;
+    ctx.spawn_src <- Some src;
+    ctx.spawn_target <-
+      (if m.attrib <> None || T.events_on () then
+         fn ^ "#" ^ string_of_int blk
+       else "");
     m.stats.Stats.spawns <- m.stats.Stats.spawns + 1;
     T.incr m.tel_spawns;
+    (match m.attrib with Some a -> Attrib.spawned a ~src | None -> ());
     m.last_spawned <- ctx.thread.Thread.id;
     true
 
@@ -180,6 +223,24 @@ let outstanding_level ctx ~now =
       | Some best -> if level_rank lvl > level_rank best then Some lvl else acc)
     None ctx.fills
 
+(* A speculative demand load at a slice site that maps back to a
+   delinquent load IS the prefetch for value-used targets (no lfetch is
+   emitted for those); tag it so attribution sees it as an issue. *)
+let pf_tag_of m (ctx : context) iref =
+  match m.attrib with
+  | Some a when ctx.thread.Thread.id <> 0 -> (
+    match Attrib.target_of a iref with
+    | Some target ->
+      Some
+        {
+          Attrib.target;
+          site = iref;
+          ctx = ctx.thread.Thread.id;
+          spawn_src = ctx.spawn_src;
+        }
+    | None -> None)
+  | _ -> None
+
 let demand_access m ~now ~ctx ~iref addr =
   let perfect = Ssp_ir.Iref.Set.mem iref m.delinquent in
   (* Speculative-thread misses must not starve the main thread's demand
@@ -187,7 +248,11 @@ let demand_access m ~now ~ctx ~iref addr =
   let low_priority = ctx.thread.Thread.id <> 0 in
   let o =
     if perfect then Hierarchy.perfect_hit m.hier ~now
-    else Hierarchy.access m.hier ~now ~low_priority addr
+    else
+      Hierarchy.access m.hier ~now ~low_priority ?pf_tag:(pf_tag_of m ctx iref)
+        ~demand_iref:iref
+        ~demand_main:(ctx.thread.Thread.id = 0)
+        addr
   in
   if ctx.thread.Thread.id = 0 then
     Stats.record_load m.stats iref o.Hierarchy.level
@@ -198,11 +263,12 @@ let demand_access m ~now ~ctx ~iref addr =
   | lvl -> ctx.fills <- (lvl, o.Hierarchy.ready) :: ctx.fills);
   o
 
-let watchdog_check m ctx =
+let watchdog_check m ~now ctx =
   let th = ctx.thread in
   if th.Thread.speculative && th.Thread.active
      && th.Thread.instrs > m.cfg.Config.spec_watchdog
   then begin
     T.incr m.tel_watchdog_kills;
-    th.Thread.active <- false
+    th.Thread.active <- false;
+    note_thread_end m ctx ~now ~watchdog:true
   end

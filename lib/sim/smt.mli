@@ -25,6 +25,11 @@ type context = {
       (** this thread's outstanding demand fills (level, ready cycle) *)
   mutable bundle_left : int;  (** issue-slot bookkeeping within a cycle *)
   mutable last_chk_fire : int;  (** cycle of this thread's last chk.c fire *)
+  mutable spawned_at : int;
+      (** cycle the current speculative occupancy began (-1 when idle) *)
+  mutable spawn_src : Ssp_ir.Iref.t option;
+      (** the [Spawn] instruction that bound this occupancy *)
+  mutable spawn_target : string;  (** "fn#blk" label for timeline events *)
 }
 
 type machine = {
@@ -41,13 +46,16 @@ type machine = {
   mutable last_spawned : int;
       (** context id bound by the most recent successful spawn (-1 if
           none); lets a timing model adjust the child's start *)
+  attrib : Attrib.t option;  (** prefetch-lifecycle attribution, if any *)
   tel_spawns : Ssp_telemetry.Telemetry.counter;
   tel_spawn_denied : Ssp_telemetry.Telemetry.counter;
   tel_watchdog_kills : Ssp_telemetry.Telemetry.counter;
 }
 
-val create : Ssp_machine.Config.t -> Ssp_ir.Prog.t -> machine
-(** Context 0 is the main thread, initialized at the program entry. *)
+val create : ?attrib:Attrib.t -> Ssp_machine.Config.t -> Ssp_ir.Prog.t -> machine
+(** Context 0 is the main thread, initialized at the program entry.
+    [attrib] attaches prefetch-lifecycle attribution to the machine and
+    its hierarchy (bookkeeping only; timing is unchanged). *)
 
 val chk_allowed : machine -> now:int -> context -> bool
 (** Whether a [chk.c] of this thread fires now: enough free contexts and
@@ -58,9 +66,23 @@ val free_context : machine -> context option
 (** An inactive context, if any (never the main thread's). *)
 
 val try_spawn :
-  machine -> now:int -> fn:string -> blk:int -> live_in:int64 array -> bool
+  machine ->
+  now:int ->
+  src:Ssp_ir.Iref.t ->
+  fn:string ->
+  blk:int ->
+  live_in:int64 array ->
+  bool
 (** Bind a free context as a speculative thread; charges the spawn and
-    live-in-copy latency to the child's start. *)
+    live-in-copy latency to the child's start. [src] is the spawning
+    [Spawn] instruction, recorded for attribution and denied-spawn
+    accounting. *)
+
+val note_thread_end : machine -> context -> now:int -> watchdog:bool -> unit
+(** Record the end of a speculative occupancy: lifetime attribution and a
+    timeline event. Idempotent per occupancy; the issue loops call it when
+    a speculative thread kills itself, [watchdog_check] and [try_spawn]
+    call it for the other endings. *)
 
 val select_threads : machine -> eligible:(context -> bool) -> context list
 (** Up to [issue_threads] contexts in round-robin order satisfying
@@ -74,7 +96,14 @@ val demand_access :
   machine -> now:int -> ctx:context -> iref:Ssp_ir.Iref.t -> int64 ->
   Hierarchy.outcome
 (** A load's cache access with perfect-delinquent filtering and per-site
-    stats recording (main thread only). *)
+    stats recording (main thread only). With attribution attached, a
+    speculative load at a mapped slice site is tagged as a prefetch issue
+    (value-used targets emit no lfetch — the load is the prefetch), and
+    main-thread accesses settle outstanding prefetches. *)
 
-val watchdog_check : machine -> context -> unit
+val pf_tag_of : machine -> context -> Ssp_ir.Iref.t -> Attrib.tag option
+(** The attribution tag of a prefetch issued by this context at this
+    site, if attribution is on and the site maps to a delinquent load. *)
+
+val watchdog_check : machine -> now:int -> context -> unit
 (** Kill a speculative thread that exceeded its instruction budget. *)

@@ -113,20 +113,117 @@ let child_of parent name =
     parent.children <- s :: parent.children;
     s
 
+(* ---- bounded timestamped event stream (Chrome trace-event export) ----
+
+   Events are a second, opt-in layer on top of [enabled]: pass spans and
+   simulator timelines are recorded as individual timestamped events only
+   when [set_events true] has been called, and the stream is bounded
+   (keep-first; overflow is counted, not silently discarded). Two
+   timelines share the stream, distinguished by pid:
+     pid 0  tool passes, timestamps in wall-clock microseconds since the
+            first event of the run;
+     pid 1  simulator, timestamps in cycles (exported in the trace's "ts"
+            field; one "microsecond" on screen = one cycle). *)
+
+let pid_passes = 0
+let pid_sim = 1
+
+type event_phase = Ph_complete | Ph_instant
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_pid : int;
+  e_tid : int;
+  e_ts : float;
+  e_dur : float; (* Ph_complete only *)
+  e_ph : event_phase;
+  e_args : (string * string) list;
+}
+
+let record_events = ref false
+let event_capacity = ref 65536
+let events_rev : event list ref = ref [] (* newest first *)
+let event_count = ref 0
+let events_dropped = ref 0
+let trace_t0 : float option ref = ref None
+
+let set_events b = record_events := b
+let events_on () = !enabled && !record_events
+let set_event_capacity n = event_capacity := max 1 n
+
+(* Wall-clock microseconds since the first event of the run (pid 0). *)
+let now_us () =
+  let t = Unix.gettimeofday () in
+  match !trace_t0 with
+  | Some t0 -> (t -. t0) *. 1e6
+  | None ->
+    trace_t0 := Some t;
+    0.
+
+let push_event ev =
+  (* [incr] is shadowed by the counter API above. *)
+  if !event_count >= !event_capacity then
+    events_dropped := !events_dropped + 1
+  else begin
+    events_rev := ev :: !events_rev;
+    event_count := !event_count + 1
+  end
+
+let emit_complete ?(args = []) ~cat ~pid ~tid ~ts ~dur name =
+  if events_on () then
+    push_event
+      {
+        e_name = name;
+        e_cat = cat;
+        e_pid = pid;
+        e_tid = tid;
+        e_ts = ts;
+        e_dur = dur;
+        e_ph = Ph_complete;
+        e_args = args;
+      }
+
+let emit_instant ?(args = []) ~cat ~pid ~tid ~ts name =
+  if events_on () then
+    push_event
+      {
+        e_name = name;
+        e_cat = cat;
+        e_pid = pid;
+        e_tid = tid;
+        e_ts = ts;
+        e_dur = 0.;
+        e_ph = Ph_instant;
+        e_args = args;
+      }
+
+let events () = List.rev !events_rev
+let events_dropped_count () = !events_dropped
+
 (* Repeated spans of the same name under the same parent merge: time
    accumulates and [calls] counts the invocations (e.g. one "slice" node
-   per region, not one per call). *)
+   per region, not one per call). When the event stream is on each
+   invocation additionally becomes one Complete event on the pass
+   timeline, so merged spans still show up individually in the trace. *)
 let with_span name f =
   if not !enabled then f ()
   else begin
     let parent = match !stack with s :: _ -> s | [] -> root in
     let sp = child_of parent name in
     stack := sp :: !stack;
+    let ev_ts = if events_on () then Some (now_us ()) else None in
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         sp.ms <- sp.ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
         sp.calls <- sp.calls + 1;
+        (match ev_ts with
+        | Some ts ->
+          emit_complete ~cat:"pass" ~pid:pid_passes ~tid:0 ~ts
+            ~dur:((Unix.gettimeofday () -. t0) *. 1e6)
+            name
+        | None -> ());
         match !stack with _ :: rest -> stack := rest | [] -> ())
       f
   end
@@ -147,7 +244,11 @@ let reset () =
   root.children <- [];
   root.ms <- 0.;
   root.calls <- 0;
-  stack := []
+  stack := [];
+  events_rev := [];
+  event_count := 0;
+  events_dropped := 0;
+  trace_t0 := None
 
 (* ---- structured run report ---- *)
 
@@ -310,6 +411,84 @@ let to_json r =
 let write_json path r =
   let oc = open_out path in
   output_string oc (to_json r);
+  output_char oc '\n';
+  close_out oc
+
+(* ---- Chrome trace-event export (chrome://tracing, Perfetto) ----
+
+   JSON object format: {"traceEvents":[...]} where each event carries
+   name/cat/ph/ts/pid/tid (+dur for "X"). Metadata ("M") events name the
+   two processes so the viewer labels the timelines. *)
+
+let buf_trace_event b ev =
+  let str s () = buf_json_string b s in
+  let num f () = buf_float b f in
+  let args () =
+    buf_obj b (List.map (fun (k, v) -> (k, fun () -> buf_json_string b v)) ev.e_args)
+  in
+  let base =
+    [
+      ("name", str ev.e_name);
+      ("cat", str ev.e_cat);
+      ("ph", str (match ev.e_ph with Ph_complete -> "X" | Ph_instant -> "i"));
+      ("ts", num ev.e_ts);
+    ]
+  in
+  let dur =
+    match ev.e_ph with Ph_complete -> [ ("dur", num ev.e_dur) ] | Ph_instant -> []
+  in
+  let scope = match ev.e_ph with Ph_instant -> [ ("s", str "t") ] | _ -> [] in
+  let tail =
+    [ ("pid", num (float_of_int ev.e_pid)); ("tid", num (float_of_int ev.e_tid)) ]
+  in
+  let args_f = if ev.e_args = [] then [] else [ ("args", args) ] in
+  buf_obj b (base @ dur @ scope @ tail @ args_f)
+
+let buf_metadata b ~name ~pid ~tid ~key value =
+  buf_obj b
+    [
+      ("name", fun () -> buf_json_string b name);
+      ("ph", fun () -> buf_json_string b "M");
+      ("pid", fun () -> buf_float b (float_of_int pid));
+      ("tid", fun () -> buf_float b (float_of_int tid));
+      ( "args",
+        fun () -> buf_obj b [ (key, fun () -> buf_json_string b value) ] );
+    ]
+
+let trace_events_json () =
+  let b = Buffer.create 4096 in
+  let evs = events () in
+  Buffer.add_string b "{\"traceEvents\":[";
+  buf_metadata b ~name:"process_name" ~pid:pid_passes ~tid:0 ~key:"name"
+    "sspc passes (wall-clock us)";
+  Buffer.add_char b ',';
+  buf_metadata b ~name:"process_name" ~pid:pid_sim ~tid:0 ~key:"name"
+    "simulator (ts = cycles)";
+  List.iter
+    (fun ev ->
+      Buffer.add_char b ',';
+      buf_trace_event b ev)
+    evs;
+  if !events_dropped > 0 then begin
+    Buffer.add_char b ',';
+    buf_trace_event b
+      {
+        e_name = "events dropped (capacity reached)";
+        e_cat = "telemetry";
+        e_pid = pid_passes;
+        e_tid = 0;
+        e_ts = 0.;
+        e_dur = 0.;
+        e_ph = Ph_instant;
+        e_args = [ ("dropped", string_of_int !events_dropped) ];
+      }
+  end;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_trace_events path =
+  let oc = open_out path in
+  output_string oc (trace_events_json ());
   output_char oc '\n';
   close_out oc
 

@@ -10,5 +10,6 @@ let () =
       ("ssp", Test_ssp.suite);
       ("workloads", Test_workloads.suite);
       ("telemetry", Test_telemetry.suite);
+      ("attrib", Test_attrib.suite);
       ("integration", Test_integration.suite);
     ]
