@@ -1,16 +1,26 @@
 (* Regenerates every table and figure of the paper's evaluation, then runs
    Bechamel micro-benchmarks of the tool's own algorithms.
 
-   Usage: main.exe [--quick] [--trace OUT.JSON] [--json BENCH.JSON]
+   Usage: main.exe [--quick] [--jobs N] [--trace OUT.JSON] [--json BENCH.JSON]
+                   [--check-perf] [--update-baseline] [--baseline PATH]
                    [table1] [fig2] [table2] [fig8] [fig9] [fig10]
-                   [hand] [ablate] [perf] [micro]
-   With no selection, everything runs in paper order. [--quick] switches to
-   small working sets and scaled-down caches (same shapes, seconds instead
-   of minutes). [--trace OUT.JSON] enables the telemetry subsystem and dumps
-   the structured run report behind the numbers. [--json BENCH.JSON] makes
-   the [perf] section also write its numbers (per-workload baseline vs.
-   adapted cycles, L1d miss rates, prefetch coverage / accuracy /
-   timeliness) as machine-readable JSON. *)
+                   [hand] [ablate] [perf] [scaling] [micro]
+   With no selection, everything except [scaling] runs in paper order.
+   [--quick] switches to small working sets and scaled-down caches (same
+   shapes, seconds instead of minutes). [--jobs N] runs the heavy
+   simulation/adaptation work across N domains (outputs are identical to
+   --jobs 1 by construction). [--trace OUT.JSON] enables the telemetry
+   subsystem and dumps the structured run report behind the numbers.
+   [--json BENCH.JSON] makes the [perf] section write its numbers
+   (per-workload baseline vs. adapted cycles, L1d miss rates, prefetch
+   coverage / accuracy / timeliness) as machine-readable JSON — and the
+   [scaling] section its jobs=1 vs jobs=N wall-clock comparison (the
+   BENCH_3 artifact), which also re-checks that parallel output is
+   byte-identical to sequential and exits non-zero if not.
+   [--check-perf] is a regression gate: it times the jobs=1 pipeline and
+   sim phases under --quick and fails (exit 1) if either regressed more
+   than 25% against the committed baseline ([--baseline PATH], default
+   bench/perf_baseline.json); [--update-baseline] re-records it. *)
 
 let ppf = Format.std_formatter
 
@@ -127,8 +137,14 @@ let perf_json ~setting rows =
   Buffer.add_string b "]}";
   Buffer.contents b
 
-let perf ~setting ~json () =
-  let rows = List.map (perf_row ~setting) Ssp_workloads.Suite.all in
+let perf ~setting ~jobs ~json () =
+  let rows =
+    if jobs <= 1 then List.map (perf_row ~setting) Ssp_workloads.Suite.all
+    else
+      Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+          Ssp_parallel.Pool.map pool (perf_row ~setting)
+            Ssp_workloads.Suite.all)
+  in
   Format.fprintf ppf
     "%-12s %12s %12s %8s %8s %8s   %s@." "workload" "base cyc" "ssp cyc"
     "speedup" "cover" "accur" "useful/late/early/redund/drop";
@@ -149,6 +165,180 @@ let perf ~setting ~json () =
     output_char oc '\n';
     close_out oc;
     Format.fprintf ppf "@.perf JSON written to %s@." path
+
+(* ---- scaling: jobs=1 vs jobs=N wall clock + byte-identity check ---- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The two phases the parallel engine accelerates, measured end to end
+   over the whole suite: the adaptation pipeline (per-delinquent-load
+   fan-out inside [Adapt.run]) and the simulation grid (one machine per
+   point). Returns the phase results so callers can compare renderings. *)
+let scaling_phases ~setting ~jobs =
+  let open Ssp_harness.Experiment in
+  let cfg = config_for setting Ssp_machine.Config.In_order in
+  let inputs =
+    List.map
+      (fun (w : Ssp_workloads.Workload.t) ->
+        let prog =
+          Ssp_workloads.Workload.program w ~scale:setting.scale
+        in
+        let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+        (prog, profile))
+      Ssp_workloads.Suite.all
+  in
+  let adapted, pipeline_s =
+    time (fun () ->
+        List.map
+          (fun (prog, profile) ->
+            Ssp.Adapt.run ~jobs ~config:cfg prog profile)
+          inputs)
+  in
+  let points =
+    List.concat_map
+      (fun ((prog, _), (r : Ssp.Adapt.result)) -> [ prog; r.Ssp.Adapt.prog ])
+      (List.combine inputs adapted)
+  in
+  let stats, sim_s =
+    time (fun () ->
+        if jobs <= 1 then List.map (fun p -> Ssp_sim.Inorder.run cfg p) points
+        else
+          Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+              Ssp_parallel.Pool.map pool
+                (fun p -> Ssp_sim.Inorder.run cfg p)
+                points))
+  in
+  (adapted, stats, pipeline_s, sim_s)
+
+let render_result (r : Ssp.Adapt.result) =
+  Format.asprintf "%a@.%a" Ssp_ir.Prog.pp r.Ssp.Adapt.prog Ssp.Report.pp
+    r.Ssp.Adapt.report
+
+let render_stats (s : Ssp_sim.Stats.t) =
+  Format.asprintf "%a" Ssp_sim.Stats.pp s
+
+let scaling ~setting ~jobs ~json () =
+  let jobs = max 2 jobs in
+  let a1, s1, pipe1, sim1 = scaling_phases ~setting ~jobs:1 in
+  let an, sn, pipen, simn = scaling_phases ~setting ~jobs in
+  let identical =
+    List.for_all2
+      (fun a b -> String.equal (render_result a) (render_result b))
+      a1 an
+    && List.for_all2
+         (fun a b -> String.equal (render_stats a) (render_stats b))
+         s1 sn
+  in
+  Format.fprintf ppf "%-22s %10s %10s %8s@." "phase" "jobs=1 (s)"
+    (Printf.sprintf "jobs=%d (s)" jobs)
+    "speedup";
+  Format.fprintf ppf "%-22s %10.2f %10.2f %7.2fx@." "adaptation pipeline"
+    pipe1 pipen
+    (pipe1 /. Float.max 1e-9 pipen);
+  Format.fprintf ppf "%-22s %10.2f %10.2f %7.2fx@." "simulation grid" sim1
+    simn
+    (sim1 /. Float.max 1e-9 simn);
+  Format.fprintf ppf "@.parallel output byte-identical to sequential: %b@."
+    identical;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"setting\":\"%s\",\"jobs\":%d,\"identical\":%b,\
+       \"pipeline\":{\"jobs1_s\":%.4f,\"jobsN_s\":%.4f,\"speedup\":%.3f},\
+       \"sim\":{\"jobs1_s\":%.4f,\"jobsN_s\":%.4f,\"speedup\":%.3f}}\n"
+      setting.Ssp_harness.Experiment.label jobs identical pipe1 pipen
+      (pipe1 /. Float.max 1e-9 pipen)
+      sim1 simn
+      (sim1 /. Float.max 1e-9 simn);
+    close_out oc;
+    Format.fprintf ppf "@.scaling JSON written to %s@." path);
+  if not identical then begin
+    Format.fprintf ppf
+      "@.FAIL: jobs=%d output diverges from the sequential run@." jobs;
+    exit 1
+  end
+
+(* ---- --check-perf: jobs=1 wall-clock regression gate ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let json_float s key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length s and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let j = ref i in
+    while
+      !j < n
+      && (match s.[!j] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr j
+    done;
+    float_of_string_opt (String.sub s i (!j - i))
+
+let check_perf ~update ~baseline_path () =
+  let setting = Ssp_harness.Experiment.quick in
+  let _, _, pipeline_s, sim_s = scaling_phases ~setting ~jobs:1 in
+  Format.fprintf ppf
+    "jobs=1 wall clock (quick): pipeline %.2fs, sim %.2fs@." pipeline_s sim_s;
+  if update then begin
+    let oc = open_out baseline_path in
+    Printf.fprintf oc
+      "{\"setting\":\"quick\",\"pipeline_s\":%.4f,\"sim_s\":%.4f}\n"
+      pipeline_s sim_s;
+    close_out oc;
+    Format.fprintf ppf "baseline written to %s@." baseline_path
+  end
+  else begin
+    match read_file baseline_path with
+    | exception Sys_error msg ->
+      Format.fprintf ppf
+        "no baseline (%s); run with --update-baseline to record one@." msg;
+      exit 1
+    | s ->
+      let check phase measured =
+        match json_float s phase with
+        | None ->
+          Format.fprintf ppf "baseline %s: missing key %s@." baseline_path
+            phase;
+          true
+        | Some base ->
+          (* 25% relative budget plus a small absolute grace so sub-second
+             phases don't flake on timer noise. *)
+          let limit = (base *. 1.25) +. 0.5 in
+          let bad = measured > limit in
+          Format.fprintf ppf "%-12s %.2fs vs baseline %.2fs (limit %.2fs)%s@."
+            phase measured base limit
+            (if bad then "  REGRESSED" else "");
+          bad
+      in
+      let bad1 = check "pipeline_s" pipeline_s in
+      let bad2 = check "sim_s" sim_s in
+      if bad1 || bad2 then begin
+        Format.fprintf ppf
+          "@.FAIL: wall-clock regression over 25%% against %s@." baseline_path;
+        exit 1
+      end
+      else Format.fprintf ppf "@.perf check OK (within 25%% of baseline)@."
+  end
 
 (* ---- Bechamel micro-benchmarks of the tool's algorithms ---- *)
 
@@ -250,10 +440,35 @@ let () =
   in
   let trace, args = split_opt "--trace" args in
   let json, args = split_opt "--json" args in
+  let jobs_s, args = split_opt "--jobs" args in
+  let baseline, args = split_opt "--baseline" args in
+  let jobs =
+    match jobs_s with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+        prerr_endline "bench: --jobs expects a positive integer";
+        exit 2)
+  in
+  let baseline_path =
+    Option.value baseline ~default:"bench/perf_baseline.json"
+  in
   (match trace with
   | Some _ -> Ssp_telemetry.Telemetry.set_enabled true
   | None -> ());
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let wanted =
+    List.filter
+      (fun a -> a <> "--quick" && a <> "--check-perf" && a <> "--update-baseline")
+      args
+  in
+  if List.mem "--check-perf" args || List.mem "--update-baseline" args then begin
+    check_perf
+      ~update:(List.mem "--update-baseline" args)
+      ~baseline_path ();
+    exit 0
+  end;
   let setting =
     if quick then Ssp_harness.Experiment.quick
     else Ssp_harness.Experiment.reference
@@ -267,6 +482,16 @@ let () =
   Format.fprintf ppf "SSP post-pass reproduction — %s setting (scale %d, caches /%d)@."
     setting.Ssp_harness.Experiment.label setting.Ssp_harness.Experiment.scale
     setting.Ssp_harness.Experiment.cache_divisor;
+  if jobs > 1 then
+    Format.fprintf ppf "parallel engine: %d jobs@." jobs;
+  (* With a pool available, fill the per-(workload, setting) memo up front
+     so the figure/table sections below render from cache hits. *)
+  let memo_sections = [ "table2"; "fig2"; "fig8"; "fig9"; "fig10" ] in
+  if
+    jobs > 1
+    && (wanted = [] || List.exists (fun s -> List.mem s memo_sections) wanted)
+  then
+    Ssp_harness.Experiment.prime ~setting ~jobs Ssp_workloads.Suite.all;
   run "table1" (fun () -> Ssp_harness.Figures.table1 ppf ());
   run "table2" (fun () -> Ssp_harness.Figures.table2 ~setting ppf ());
   run "fig2" (fun () -> Ssp_harness.Figures.fig2 ~setting ppf ());
@@ -274,8 +499,14 @@ let () =
   run "fig9" (fun () -> Ssp_harness.Figures.fig9 ~setting ppf ());
   run "fig10" (fun () -> Ssp_harness.Figures.fig10 ~setting ppf ());
   run "hand" (fun () -> Ssp_harness.Hand_vs_auto.print ~setting ppf ());
-  run "ablate" (fun () -> Ssp_harness.Ablation.print ~setting ppf ());
-  run "perf" (perf ~setting ~json);
+  run "ablate" (fun () -> Ssp_harness.Ablation.print ~setting ~jobs ppf ());
+  run "perf" (perf ~setting ~jobs ~json);
+  (* The scaling comparison re-runs the suite twice; it only runs when
+     asked for explicitly. *)
+  if List.mem "scaling" wanted then begin
+    section "scaling";
+    wall (scaling ~setting ~jobs ~json)
+  end;
   run "micro" micro;
   (match trace with
   | Some path ->

@@ -151,13 +151,20 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Profile and print the delinquent loads")
     Term.(const run $ src_arg $ scale_arg)
 
+let jobs_arg =
+  let doc =
+    "Run the adaptation pipeline across $(docv) domains. The output is \
+     byte-identical to --jobs 1; this only changes wall-clock time."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let adapt_cmd =
-  let run src scale out trace =
+  let run src scale out trace jobs =
     with_trace trace @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let profile = Ssp_profiling.Collect.collect prog in
     let adapted =
-      Ssp.Adapt.run ~config:Ssp_machine.Config.in_order prog profile
+      Ssp.Adapt.run ~jobs ~config:Ssp_machine.Config.in_order prog profile
     in
     Format.printf "%a@." Ssp.Report.pp adapted.Ssp.Adapt.report;
     with_out out (fun ppf ->
@@ -166,7 +173,7 @@ let adapt_cmd =
   Cmd.v
     (Cmd.info "adapt"
        ~doc:"Run the SSP post-pass; emit the adapted binary as assembly")
-    Term.(const run $ src_arg $ scale_arg $ out_arg $ trace_arg)
+    Term.(const run $ src_arg $ scale_arg $ out_arg $ trace_arg $ jobs_arg)
 
 let pipeline_arg =
   let doc = "Pipeline model: inorder or ooo." in
@@ -195,7 +202,7 @@ let explain_flag =
   Arg.(value & flag & info [ "explain" ] ~doc)
 
 let sim_cmd =
-  let run src scale pipeline ssp explain trace trace_events =
+  let run src scale pipeline ssp explain trace trace_events jobs =
     with_trace trace @@ fun () ->
     with_trace_events trace_events @@ fun () ->
     let config = config_of_pipeline pipeline in
@@ -204,7 +211,7 @@ let sim_cmd =
     let result =
       if ssp then begin
         let profile = Ssp_profiling.Collect.collect prog in
-        Some (Ssp.Adapt.run ~config prog profile)
+        Some (Ssp.Adapt.run ~jobs ~config prog profile)
       end
       else None
     in
@@ -236,15 +243,15 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ explain_flag
-      $ trace_arg $ trace_events_arg)
+      $ trace_arg $ trace_events_arg $ jobs_arg)
 
 let explain_cmd =
-  let run src scale pipeline json trace_events =
+  let run src scale pipeline json trace_events jobs =
     with_trace_events trace_events @@ fun () ->
     let config = config_of_pipeline pipeline in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let profile = Ssp_profiling.Collect.collect prog in
-    let result = Ssp.Adapt.run ~config prog profile in
+    let result = Ssp.Adapt.run ~jobs ~config prog profile in
     let attrib =
       Ssp_sim.Attrib.create ~prefetch_map:result.Ssp.Adapt.prefetch_map ()
     in
@@ -274,7 +281,7 @@ let explain_cmd =
           dropped classification with coverage, accuracy and timeliness")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ json_arg
-      $ trace_events_arg)
+      $ trace_events_arg $ jobs_arg)
 
 let stats_cmd =
   let run src scale pipeline trace =

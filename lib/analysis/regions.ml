@@ -3,6 +3,9 @@ type region = Proc of string | Loop of string * int
 type per_func = {
   cfg : Cfg.t;
   loops : Loops.t;
+  loop_members : (int, Bytes.t) Hashtbl.t;
+      (* loop id -> block-membership bitset ('\001' = in body), built
+         eagerly so region-membership tests are O(1) and read-only *)
   mutable dg : Depgraph.t option;
   mutable reach : Reaching.t option;
 }
@@ -18,7 +21,15 @@ let compute (prog : Ssp_ir.Prog.t) =
       let cfg = Cfg.of_func f in
       let dom = Dom.compute cfg.Cfg.graph ~entry:0 in
       let loops = Loops.compute cfg dom in
-      Hashtbl.replace by_func f.name { cfg; loops; dg = None; reach = None })
+      let loop_members = Hashtbl.create 8 in
+      List.iter
+        (fun (l : Loops.loop) ->
+          let m = Bytes.make (Cfg.n_blocks cfg) '\000' in
+          List.iter (fun b -> Bytes.set m b '\001') l.Loops.body;
+          Hashtbl.replace loop_members l.Loops.id m)
+        (Loops.all loops);
+      Hashtbl.replace by_func f.name
+        { cfg; loops; loop_members; dg = None; reach = None })
     (Ssp_ir.Prog.funcs_in_order prog);
   { prog; by_func }
 
@@ -48,6 +59,18 @@ let reaching_of t fn =
     p.reach <- Some r;
     r
 
+(* Force every lazily memoized per-function artifact. After [freeze] the
+   structure is never written again, so it can be shared read-only across
+   domains (the parallel adaptation pipeline calls this before fanning
+   out; the memoizing accessors above are not thread-safe on a cold
+   entry). *)
+let freeze t =
+  Hashtbl.iter
+    (fun fn _ ->
+      ignore (depgraph_of t fn);
+      ignore (reaching_of t fn))
+    t.by_func
+
 let innermost_at t (i : Ssp_ir.Iref.t) =
   let p = pf t i.fn in
   match Loops.innermost_at p.loops i.blk with
@@ -76,6 +99,13 @@ let blocks_of t = function
 let loop_of t = function
   | Proc _ -> None
   | Loop (fn, id) -> Some (Loops.find (pf t fn).loops id)
+
+let in_region t region blk =
+  match region with
+  | Proc fn -> blk >= 0 && blk < Cfg.n_blocks (pf t fn).cfg
+  | Loop (fn, id) ->
+    let m = Hashtbl.find (pf t fn).loop_members id in
+    blk >= 0 && blk < Bytes.length m && Bytes.get m blk = '\001'
 
 let depth t = function
   | Proc _ -> 0

@@ -39,6 +39,16 @@ val func_of : region -> string
 val blocks_of : t -> region -> int list
 (** Block indices the region covers. *)
 
+val in_region : t -> region -> int -> bool
+(** O(1) membership of a block in the region, via bitsets precomputed at
+    [compute] time (the slicer's hot path; [blocks_of] is O(blocks)). *)
+
+val freeze : t -> unit
+(** Force every memoized per-function artifact ([depgraph_of],
+    [reaching_of], …). Afterwards the structure is read-only and safe to
+    share across domains; the memoizing accessors themselves are not safe
+    to race on a cold entry. *)
+
 val loop_of : t -> region -> Loops.loop option
 
 val depth : t -> region -> int

@@ -98,18 +98,30 @@ let apply_choices prog ~config choices delinquent =
   }
 
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
-    ?(force_predict = false) ?(unroll = 1) ~config prog profile =
+    ?(force_predict = false) ?(unroll = 1) ?(jobs = 1) ~config prog profile =
   T.with_span "adapt" @@ fun () ->
   let delinquent = Delinquent.identify ~coverage prog profile in
   let regions = T.with_span "adapt.regions" (fun () -> Regions.compute prog) in
   let callgraph =
     T.with_span "adapt.callgraph" (fun () -> Callgraph.compute prog)
   in
+  (* The per-load slice/schedule/trigger pipeline is independent per
+     delinquent load; with [jobs > 1] it fans out across a domain pool.
+     The shared analysis state is made read-only first ([Regions.freeze]
+     forces the lazily memoized per-function artifacts), and the pool's
+     deterministic result ordering keeps the choice list — and therefore
+     everything downstream (combining, codegen, the report) — identical
+     to the sequential run. *)
   let choices =
     T.with_span "adapt.select" (fun () ->
-        List.filter_map
-          (fun load -> Select.choose regions callgraph profile config load)
-          delinquent.Delinquent.loads)
+        let select load = Select.choose regions callgraph profile config load in
+        if jobs <= 1 then List.filter_map select delinquent.Delinquent.loads
+        else begin
+          Regions.freeze regions;
+          Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+              Ssp_parallel.Pool.map pool select delinquent.Delinquent.loads)
+          |> List.filter_map Fun.id
+        end)
   in
   let choices =
     T.with_span "adapt.combine" (fun () ->

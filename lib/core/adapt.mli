@@ -24,6 +24,7 @@ val run :
   ?force_basic:bool ->
   ?force_predict:bool ->
   ?unroll:int ->
+  ?jobs:int ->
   config:Ssp_machine.Config.t ->
   Ssp_ir.Prog.t ->
   Ssp_profiling.Profile.t ->
@@ -32,7 +33,12 @@ val run :
     tool): [combining:false] keeps one slice per delinquent load;
     [force_basic] disables chaining SP; [force_predict] replaces computed
     spawn conditions with the chain-depth bound; [unroll] sets per-thread
-    iteration lookahead. *)
+    iteration lookahead.
+
+    [jobs] > 1 fans the per-delinquent-load slice/schedule/trigger
+    pipeline out across that many domains (shared analysis state is
+    frozen read-only first). The result is byte-identical to [jobs:1] —
+    parallelism is an execution detail, never a semantic knob. *)
 
 val apply_choices :
   Ssp_ir.Prog.t ->

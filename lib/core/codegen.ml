@@ -2,11 +2,14 @@ open Ssp_isa
 
 let depth_slot = Ssp_sim.Thread.lib_slots - 1
 
-let fresh_counter = ref 0
+(* Label gensym. [apply] threads its own counter (restarted per call, so
+   the emitted assembly is deterministic and concurrent applies on
+   different programs never share state); the exported [fresh_name] for
+   raw rewriting (hand adaptation) draws from a process-wide atomic. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_name stem =
-  incr fresh_counter;
-  Printf.sprintf "ssp_%s_%d" stem !fresh_counter
+  Printf.sprintf "ssp_%s_%d" stem (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 (* Renaming state for slice emission: original register -> slice register.
    Fresh registers come from the stacked partition of the (clean)
@@ -93,13 +96,13 @@ let append_blocks (f : Ssp_ir.Prog.func) blocks =
    iterations: the critical sub-slice is replicated K times (advancing the
    recurrences K steps) before the chained spawn, and the non-critical
    sub-slice runs once per step using that step's register versions. *)
-let emit_slice prog (choice : Select.choice) =
+let emit_slice ~fresh prog (choice : Select.choice) =
   let sched = choice.Select.schedule in
   let slice = sched.Schedule.slice in
   let unroll = max 1 choice.Select.unroll in
   let f = Ssp_ir.Prog.find_func prog slice.Slice.fn in
-  let l_slice = fresh_name "slice" in
-  let l_skip = fresh_name "skip" in
+  let l_slice = fresh "slice" in
+  let l_skip = fresh "skip" in
   let rn = rename_create () in
   (* Prefetch-site marks, for attribution: every emitted instruction that
      acts as a prefetch of a target load — the lfetches, and the slice
@@ -192,8 +195,8 @@ let emit_slice prog (choice : Select.choice) =
      copies the new versions back before the back edge. --- *)
   match (choice.Select.model, sched.Schedule.inner) with
   | Select.Basic, Some inner ->
-    let l_loop = fresh_name "sloop" in
-    let l_done = fresh_name "sdone" in
+    let l_loop = fresh "sloop" in
+    let l_done = fresh "sdone" in
     List.iter
       (fun i ->
         if is_vu i then mark l_slice body i;
@@ -327,14 +330,14 @@ let emit_slice prog (choice : Select.choice) =
 
 (* Insert a chk.c at a trigger point by splitting the block, appending the
    given stub body (without its final resume branch) as the recovery code. *)
-let insert_chk prog ~fn ~blk ~pos ~stub_ops =
+let insert_chk_gen ~fresh prog ~fn ~blk ~pos ~stub_ops =
   let f = Ssp_ir.Prog.find_func prog fn in
   let b = f.Ssp_ir.Prog.blocks.(blk) in
   let ops = b.Ssp_ir.Prog.ops in
   let n = Array.length ops in
   let pos = min pos n in
-  let l_stub = fresh_name "stub" in
-  let l_resume = fresh_name "resume" in
+  let l_stub = fresh "stub" in
+  let l_resume = fresh "resume" in
   let head = Array.sub ops 0 pos in
   let tail = Array.sub ops pos (n - pos) in
   (* The moved tail must not fall through past the resume block. *)
@@ -360,6 +363,9 @@ let insert_chk prog ~fn ~blk ~pos ~stub_ops =
       { Ssp_ir.Prog.label = l_resume; ops = tail };
     ]
 
+let insert_chk prog ~fn ~blk ~pos ~stub_ops =
+  insert_chk_gen ~fresh:fresh_name prog ~fn ~blk ~pos ~stub_ops
+
 let append_raw_blocks prog ~fn blocks =
   let f = Ssp_ir.Prog.find_func prog fn in
   append_blocks f
@@ -367,7 +373,7 @@ let append_raw_blocks prog ~fn blocks =
        (fun (label, ops) -> { Ssp_ir.Prog.label; ops = Array.of_list ops })
        blocks)
 
-let insert_trigger prog (choice : Select.choice) ~slice_label (t : Trigger.t) =
+let insert_trigger ~fresh prog (choice : Select.choice) ~slice_label (t : Trigger.t) =
   let sched = choice.Select.schedule in
   let slice = sched.Schedule.slice in
   (* Stub: copy live-ins (main-thread registers) to the buffer, seed the
@@ -384,15 +390,19 @@ let insert_trigger prog (choice : Select.choice) ~slice_label (t : Trigger.t) =
     emit (Op.Lib_st (depth_slot, 2))
   | _ -> ());
   emit (Op.Spawn (slice.Slice.fn, slice_label));
-  insert_chk prog ~fn:t.Trigger.fn ~blk:t.Trigger.blk ~pos:t.Trigger.pos
-    ~stub_ops:(List.rev !stub)
+  insert_chk_gen ~fresh prog ~fn:t.Trigger.fn ~blk:t.Trigger.blk
+    ~pos:t.Trigger.pos ~stub_ops:(List.rev !stub)
 
 let apply prog cfg (choices : Select.choice list) =
   ignore cfg;
-  (* Labels only need to be unique within the rewritten program; restarting
-     the gensym here keeps the emitted assembly deterministic across repeated
-     adapt runs in one process. *)
-  fresh_counter := 0;
+  (* Labels only need to be unique within the rewritten program; a local
+     gensym restarted per call keeps the emitted assembly deterministic
+     across repeated (or concurrent) adapt runs in one process. *)
+  let ctr = ref 0 in
+  let fresh stem =
+    Stdlib.incr ctr;
+    Printf.sprintf "ssp_%s_%d" stem !ctr
+  in
   (* Emit every slice first: appends never move existing instructions, so
      the position-based slice references of later choices stay valid. Then
      insert all triggers, globally ordered from the highest position down
@@ -403,7 +413,7 @@ let apply prog cfg (choices : Select.choice list) =
   let pending =
     List.concat_map
       (fun (choice : Select.choice) ->
-        let slice_label, marks = emit_slice prog choice in
+        let slice_label, marks = emit_slice ~fresh prog choice in
         List.iter
           (fun (site, target) ->
             prefetch_map := Ssp_ir.Iref.Map.add site target !prefetch_map)
@@ -419,7 +429,8 @@ let apply prog cfg (choices : Select.choice list) =
       pending
   in
   List.iter
-    (fun (choice, slice_label, t) -> insert_trigger prog choice ~slice_label t)
+    (fun (choice, slice_label, t) ->
+      insert_trigger ~fresh prog choice ~slice_label t)
     pending;
   (match Ssp_ir.Validate.check prog with
   | Ok () -> ()

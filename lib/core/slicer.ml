@@ -28,9 +28,29 @@ let slice_region regions profile ~region (d : Delinquent.load) =
   else if d.Delinquent.addr_reg = Reg.zero then None
   else begin
     let reach = Regions.reaching_of regions fn in
-    let blocks = Regions.blocks_of regions region in
     let in_region (i : Ssp_ir.Iref.t) =
-      String.equal i.fn fn && List.mem i.blk blocks
+      String.equal i.fn fn && Regions.in_region regions region i.blk
+    in
+    (* Reaching-defs queries repeat heavily while the slice is resolved
+       (the same (use, reg) pair recurs across the transitive walk and
+       again in recurrence detection); memoize them for this call. *)
+    let rdefs_memo = Hashtbl.create 64 in
+    let rdefs ~use r =
+      match Hashtbl.find_opt rdefs_memo (use, r) with
+      | Some ds -> ds
+      | None ->
+        let ds = Reaching.reaching_defs reach ~use r in
+        Hashtbl.replace rdefs_memo (use, r) ds;
+        ds
+    in
+    let intra_memo = Hashtbl.create 64 in
+    let intra_defs ~use r =
+      match Hashtbl.find_opt intra_memo (use, r) with
+      | Some ds -> ds
+      | None ->
+        let ds = Reaching.defs_without_back_edges reach ~use r in
+        Hashtbl.replace intra_memo (use, r) ds;
+        ds
     in
     if not (in_region d.Delinquent.iref) then None
     else begin
@@ -53,7 +73,7 @@ let slice_region regions profile ~region (d : Delinquent.load) =
       let rec resolve (use : Ssp_ir.Iref.t) (r : Reg.t) =
         if r <> Reg.zero && not (Hashtbl.mem visited (use, r)) then begin
           Hashtbl.replace visited (use, r) ();
-          let defs = Reaching.reaching_defs reach ~use r in
+          let defs = rdefs ~use r in
           List.iter
             (fun (df : Reaching.def) ->
               let site = df.Reaching.site in
@@ -100,8 +120,8 @@ let slice_region regions profile ~region (d : Delinquent.load) =
               let op = Ssp_ir.Prog.instr (Regions.prog regions) use in
               List.iter
                 (fun r ->
-                  let all = Reaching.reaching_defs reach ~use r in
-                  let intra = Reaching.defs_without_back_edges reach ~use r in
+                  let all = rdefs ~use r in
+                  let intra = intra_defs ~use r in
                   List.iter
                     (fun (df : Reaching.def) ->
                       let site = df.Reaching.site in

@@ -1,12 +1,12 @@
 type row = { variant : string; speedup : float; spawns : int; prefetches : int }
 
-let run ?(setting = Experiment.reference) () =
+let run ?(setting = Experiment.reference) ?(jobs = 1) () =
   let w = Ssp_workloads.Suite.find "mcf" in
   let prog = Ssp_workloads.Workload.program w ~scale:setting.Experiment.scale in
   let cfg = Experiment.config_for setting Ssp_machine.Config.In_order in
   let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
   let base = Ssp_sim.Inorder.run cfg prog in
-  let variant name adapt =
+  let variant name adapt () =
     let result = adapt () in
     let s = Ssp_sim.Inorder.run cfg result.Ssp.Adapt.prog in
     {
@@ -16,18 +16,26 @@ let run ?(setting = Experiment.reference) () =
       prefetches = s.Ssp_sim.Stats.prefetches;
     }
   in
-  [
-    variant "tool (chaining, combined, computed cond)" (fun () ->
-        Ssp.Adapt.run ~config:cfg prog profile);
-    variant "basic SP only" (fun () ->
-        Ssp.Adapt.run ~force_basic:true ~config:cfg prog profile);
-    variant "condition prediction forced" (fun () ->
-        Ssp.Adapt.run ~force_predict:true ~config:cfg prog profile);
-    variant "no slice combining" (fun () ->
-        Ssp.Adapt.run ~combining:false ~config:cfg prog profile);
-    variant "unroll 4 (hand-style lookahead)" (fun () ->
-        Ssp.Adapt.run ~unroll:4 ~config:cfg prog profile);
-  ]
+  (* Each variant is an independent adapt+sim over the shared read-only
+     program and profile; [Pool.map] keeps the row order fixed. *)
+  let variants =
+    [
+      variant "tool (chaining, combined, computed cond)" (fun () ->
+          Ssp.Adapt.run ~config:cfg prog profile);
+      variant "basic SP only" (fun () ->
+          Ssp.Adapt.run ~force_basic:true ~config:cfg prog profile);
+      variant "condition prediction forced" (fun () ->
+          Ssp.Adapt.run ~force_predict:true ~config:cfg prog profile);
+      variant "no slice combining" (fun () ->
+          Ssp.Adapt.run ~combining:false ~config:cfg prog profile);
+      variant "unroll 4 (hand-style lookahead)" (fun () ->
+          Ssp.Adapt.run ~unroll:4 ~config:cfg prog profile);
+    ]
+  in
+  if jobs <= 1 then List.map (fun v -> v ()) variants
+  else
+    Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+        Ssp_parallel.Pool.map pool (fun v -> v ()) variants)
 
 (* Dominator-walk vs max-flow min-cut trigger placement (§3.3): both must
    cut every frequent path to the delinquent load; the comparison is how
@@ -60,8 +68,8 @@ let trigger_placement ?(setting = Experiment.reference) () =
             Ssp.Mincut.dynamic_cost profile fn mincut_triggers ))
     d.Ssp.Delinquent.loads
 
-let print ?setting ppf () =
-  let rows = run ?setting () in
+let print ?setting ?jobs ppf () =
+  let rows = run ?setting ?jobs () in
   Format.fprintf ppf
     "@[<v>Ablations on mcf (in-order model, speedup over baseline)@,@,";
   Render.table ppf

@@ -14,5 +14,13 @@
 
 type row = { variant : string; speedup : float; spawns : int; prefetches : int }
 
-val run : ?setting:Experiment.setting -> unit -> row list
-val print : ?setting:Experiment.setting -> Format.formatter -> unit -> unit
+val run : ?setting:Experiment.setting -> ?jobs:int -> unit -> row list
+(** [jobs] > 1 runs the ablation variants (each an independent adapt+sim)
+    across a domain pool; row order and contents match the sequential run. *)
+
+val print :
+  ?setting:Experiment.setting ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit ->
+  unit

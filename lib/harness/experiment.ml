@@ -69,11 +69,17 @@ let attributed_run ?(setting = reference) ~pipeline
     a_attrib = Ssp_sim.Attrib.summary attrib;
   }
 
+(* The memo is shared by every figure; guard it so workloads primed from
+   pool workers can publish results concurrently. *)
 let cache : (string * string, runs) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
+let cache_find key = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
+let cache_put key r = Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r)
 
-let run_benchmark ?(setting = reference) (w : Ssp_workloads.Workload.t) =
+let run_benchmark ?(setting = reference) ?(jobs = 1)
+    (w : Ssp_workloads.Workload.t) =
   let key = (w.Ssp_workloads.Workload.name, setting.label) in
-  match Hashtbl.find_opt cache key with
+  match cache_find key with
   | Some r -> r
   | None ->
     let prog = Ssp_workloads.Workload.program w ~scale:setting.scale in
@@ -82,21 +88,44 @@ let run_benchmark ?(setting = reference) (w : Ssp_workloads.Workload.t) =
     let profile = Ssp_profiling.Collect.collect ~config:io_cfg prog in
     let d = Ssp.Delinquent.identify prog profile in
     let delinquent = Ssp.Delinquent.set d in
-    let adapted_io = Ssp.Adapt.run ~config:io_cfg prog profile in
-    let adapted_ooo = Ssp.Adapt.run ~config:ooo_cfg prog profile in
+    let adapted_io = Ssp.Adapt.run ~jobs ~config:io_cfg prog profile in
+    let adapted_ooo = Ssp.Adapt.run ~jobs ~config:ooo_cfg prog profile in
     let mode m cfg = Config.with_memory_mode cfg m in
+    (* The eight sim points are independent (each builds its own machine
+       over the read-only program), so with [jobs > 1] they fan out across
+       a pool; [map_array]'s positional results keep the record fields —
+       and therefore every downstream table — independent of scheduling. *)
+    let points =
+      [|
+        (fun () -> simulate io_cfg prog);
+        (fun () -> simulate io_cfg adapted_io.Ssp.Adapt.prog);
+        (fun () -> simulate (mode Config.Perfect_memory io_cfg) prog);
+        (fun () ->
+          simulate (mode (Config.Perfect_delinquent delinquent) io_cfg) prog);
+        (fun () -> simulate ooo_cfg prog);
+        (fun () -> simulate ooo_cfg adapted_ooo.Ssp.Adapt.prog);
+        (fun () -> simulate (mode Config.Perfect_memory ooo_cfg) prog);
+        (fun () ->
+          simulate (mode (Config.Perfect_delinquent delinquent) ooo_cfg) prog);
+      |]
+    in
+    let stats =
+      if jobs <= 1 then Array.map (fun f -> f ()) points
+      else
+        Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+            Ssp_parallel.Pool.map_array pool (fun f -> f ()) points)
+    in
     let r =
       {
         name = w.Ssp_workloads.Workload.name;
-        io_base = simulate io_cfg prog;
-        io_ssp = simulate io_cfg adapted_io.Ssp.Adapt.prog;
-        io_pmem = simulate (mode Config.Perfect_memory io_cfg) prog;
-        io_pdel = simulate (mode (Config.Perfect_delinquent delinquent) io_cfg) prog;
-        ooo_base = simulate ooo_cfg prog;
-        ooo_ssp = simulate ooo_cfg adapted_ooo.Ssp.Adapt.prog;
-        ooo_pmem = simulate (mode Config.Perfect_memory ooo_cfg) prog;
-        ooo_pdel =
-          simulate (mode (Config.Perfect_delinquent delinquent) ooo_cfg) prog;
+        io_base = stats.(0);
+        io_ssp = stats.(1);
+        io_pmem = stats.(2);
+        io_pdel = stats.(3);
+        ooo_base = stats.(4);
+        ooo_ssp = stats.(5);
+        ooo_pmem = stats.(6);
+        ooo_pdel = stats.(7);
         report = adapted_io.Ssp.Adapt.report;
         delinquent;
       }
@@ -110,8 +139,20 @@ let run_benchmark ?(setting = reference) (w : Ssp_workloads.Workload.t) =
                w.Ssp_workloads.Workload.name))
       [ r.io_ssp; r.io_pmem; r.io_pdel; r.ooo_base; r.ooo_ssp; r.ooo_pmem;
         r.ooo_pdel ];
-    Hashtbl.replace cache key r;
+    cache_put key r;
     r
+
+(* Fill the memo for a list of workloads, one pool task per workload (the
+   per-workload pipeline stays sequential — no nested pools). Two tasks
+   computing the same key produce identical records, so a racing double
+   insert is benign. *)
+let prime ?(setting = reference) ~jobs (ws : Ssp_workloads.Workload.t list) =
+  if jobs <= 1 then
+    List.iter (fun w -> ignore (run_benchmark ~setting w)) ws
+  else
+    Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
+        Ssp_parallel.Pool.run pool
+          (List.map (fun w () -> ignore (run_benchmark ~setting w)) ws))
 
 let speedup ~baseline x =
   float_of_int baseline.Ssp_sim.Stats.cycles

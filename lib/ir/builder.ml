@@ -13,15 +13,15 @@ type t = {
   labels : (string, unit) Hashtbl.t;
 }
 
-let next_code_id = ref 0
+(* Fallback for callers that don't pick ids themselves (the frontend
+   always does); atomic so concurrent builders never collide. *)
+let next_code_id = Atomic.make 0
 
 let create ?code_id ~name ~nparams () =
   let code_id =
     match code_id with
     | Some id -> id
-    | None ->
-      incr next_code_id;
-      !next_code_id
+    | None -> Atomic.fetch_and_add next_code_id 1 + 1
   in
   {
     name;

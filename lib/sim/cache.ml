@@ -2,6 +2,10 @@ module T = Ssp_telemetry.Telemetry
 
 type t = {
   sets : int;
+  set_mask : int;
+      (* [sets - 1] when [sets] is a power of two (the common geometry),
+         letting set selection be a single [land]; [-1] otherwise, falling
+         back to [mod] so odd set counts keep their exact behavior *)
   ways : int;
   line_bits : int;
   tags : int64 array;  (* sets * ways, -1 = invalid *)
@@ -20,6 +24,7 @@ let create ?name (g : Ssp_machine.Config.cache_geom) =
   let sets = max 1 (lines / g.ways) in
   {
     sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways = g.ways;
     line_bits;
     tags = Array.make (sets * g.ways) (-1L);
@@ -36,34 +41,40 @@ let create ?name (g : Ssp_machine.Config.cache_geom) =
 let line_of t addr = Int64.shift_right_logical addr t.line_bits
 
 let set_of t line =
-  (Int64.to_int line land max_int) mod t.sets
+  if t.set_mask >= 0 then Int64.to_int line land t.set_mask
+  else (Int64.to_int line land max_int) mod t.sets
 
-let find t addr =
+(* Index of the way holding [addr]'s line, or -1 on a miss. Returning an
+   int keeps the probe loop allocation-free (this runs once or more per
+   simulated cycle). *)
+let find_idx t addr =
   let line = line_of t addr in
   let s = set_of t line in
   let base = s * t.ways in
-  let rec go w =
-    if w >= t.ways then None
-    else if Int64.equal t.tags.(base + w) line then Some (base + w)
-    else go (w + 1)
+  let lim = base + t.ways in
+  let rec go i =
+    if i >= lim then -1
+    else if Int64.equal (Array.unsafe_get t.tags i) line then i
+    else go (i + 1)
   in
-  go 0
+  go base
 
-let probe t addr = Option.is_some (find t addr)
+let probe t addr = find_idx t addr >= 0
 
 let touch t addr =
-  match find t addr with
-  | Some i ->
+  let i = find_idx t addr in
+  if i >= 0 then begin
     t.clock <- t.clock + 1;
     t.lru.(i) <- t.clock
-  | None -> ()
+  end
 
 let install t addr =
-  match find t addr with
-  | Some i ->
+  let i = find_idx t addr in
+  if i >= 0 then begin
     t.clock <- t.clock + 1;
     t.lru.(i) <- t.clock
-  | None ->
+  end
+  else begin
     let line = line_of t addr in
     let s = set_of t line in
     let base = s * t.ways in
@@ -74,19 +85,22 @@ let install t addr =
     t.clock <- t.clock + 1;
     t.tags.(!victim) <- line;
     t.lru.(!victim) <- t.clock
+  end
 
 let access t addr =
   t.accesses <- t.accesses + 1;
-  match find t addr with
-  | Some i ->
+  let i = find_idx t addr in
+  if i >= 0 then begin
     t.clock <- t.clock + 1;
     t.lru.(i) <- t.clock;
     (match t.tel with Some (h, _) -> T.incr h | None -> ());
     true
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (match t.tel with Some (_, m) -> T.incr m | None -> ());
     false
+  end
 
 let line_addr t addr =
   Int64.shift_left (line_of t addr) t.line_bits

@@ -216,33 +216,37 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
       tel_last_misses := ms
     end
   in
-  (* Main loop. *)
+  (* Main loop. The helper closures are hoisted out of the loop (and the
+     per-cycle scratch refs reset instead of rebound) so the steady-state
+     cycle allocates nothing. *)
   let running = ref true in
+  (* A thread is only worth an issue slot if its next instruction's
+     operands are ready (Itanium stall-on-use would waste the slot
+     otherwise) — an ICOUNT-flavoured SMT policy. *)
+  let eligible (c : Smt.context) =
+    let th = c.Smt.thread in
+    th.Thread.active && c.Smt.redirect_until <= !now
+    &&
+    (Exec.normalize_pc prog th;
+     let op = Exec.instr_at prog th in
+     List.for_all (fun r -> c.Smt.reg_ready.(r) <= !now) (Op.uses op))
+  in
+  let main_issued = ref 0 in
+  let one_bundle (c : Smt.context) = c.Smt.bundle_left <- 1 in
+  let issue_chosen (c : Smt.context) =
+    let n = issue_thread c in
+    if c.Smt.thread.Thread.id = 0 then main_issued := n
+  in
   while !running do
     if !now > cfg.Config.max_cycles then
       failwith "Inorder.run: exceeded max_cycles";
-    (* A thread is only worth an issue slot if its next instruction's
-       operands are ready (Itanium stall-on-use would waste the slot
-       otherwise) — an ICOUNT-flavoured SMT policy. *)
-    let eligible (c : Smt.context) =
-      let th = c.Smt.thread in
-      th.Thread.active && c.Smt.redirect_until <= !now
-      &&
-      (Exec.normalize_pc prog th;
-       let op = Exec.instr_at prog th in
-       List.for_all (fun r -> c.Smt.reg_ready.(r) <= !now) (Op.uses op))
-    in
     mem_used := 0;
     let chosen = Smt.select_threads m ~eligible in
     (match chosen with
     | [ only ] -> only.Smt.bundle_left <- cfg.Config.issue_bundles
-    | cs -> List.iter (fun c -> c.Smt.bundle_left <- 1) cs);
-    let main_issued = ref 0 in
-    List.iter
-      (fun c ->
-        let n = issue_thread c in
-        if c.Smt.thread.Thread.id = 0 then main_issued := n)
-      chosen;
+    | cs -> List.iter one_bundle cs);
+    main_issued := 0;
+    List.iter issue_chosen chosen;
     (* Figure 10 accounting for the main thread. *)
     let outstanding = Smt.outstanding_level main ~now:!now in
     let cat =

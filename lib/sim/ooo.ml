@@ -229,33 +229,38 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
   in
   let main = oths.(0) in
   let running = ref true in
+  (* The per-cycle helpers are hoisted out of the main loop (budget passed
+     through a scratch ref) so the steady-state cycle allocates nothing. *)
+  (* Don't hand dispatch slots to threads that cannot accept work
+     (ROB full or reservation stations saturated). *)
+  let eligible (c : Smt.context) =
+    let ot = oths.(c.Smt.thread.Thread.id) in
+    c.Smt.thread.Thread.active
+    && c.Smt.redirect_until <= !now
+    && Queue.length ot.rob < cfg.Config.rob_entries
+    && ot.waiting < cfg.Config.rs_entries
+  in
+  let dispatch_budget = ref 0 in
+  let dispatch_chosen (c : Smt.context) =
+    let ot = oths.(c.Smt.thread.Thread.id) in
+    let budget = !dispatch_budget in
+    let k = ref 0 in
+    let go = ref true in
+    while !go && !k < budget do
+      go := dispatch_one ot;
+      incr k
+    done
+  in
   while !running do
     if !now > cfg.Config.max_cycles then failwith "Ooo.run: exceeded max_cycles";
     Array.iter begin_cycle oths;
     Array.iter retire oths;
-    (* Don't hand dispatch slots to threads that cannot accept work
-       (ROB full or reservation stations saturated). *)
-    let eligible (c : Smt.context) =
-      let ot = oths.(c.Smt.thread.Thread.id) in
-      c.Smt.thread.Thread.active
-      && c.Smt.redirect_until <= !now
-      && Queue.length ot.rob < cfg.Config.rob_entries
-      && ot.waiting < cfg.Config.rs_entries
-    in
     let chosen = Smt.select_threads m ~eligible in
-    let budget_for n = if n = 1 then cfg.Config.issue_bundles * 3 else 3 in
-    let nchosen = List.length chosen in
-    List.iter
-      (fun (c : Smt.context) ->
-        let ot = oths.(c.Smt.thread.Thread.id) in
-        let budget = budget_for nchosen in
-        let k = ref 0 in
-        let go = ref true in
-        while !go && !k < budget do
-          go := dispatch_one ot;
-          incr k
-        done)
-      chosen;
+    dispatch_budget :=
+      (match chosen with
+      | [ _ ] -> cfg.Config.issue_bundles * 3
+      | _ -> 3);
+    List.iter dispatch_chosen chosen;
     (* Figure 10 accounting: execution is "active" when the main thread
        retired something this cycle. *)
     let outstanding = Smt.outstanding_level main.ctx ~now:!now in

@@ -6,33 +6,22 @@
    is gated on [enabled], so an instrumented hot path costs a single branch
    when telemetry is off. Handles ([counter], [dist], [series]) are interned
    by name at creation time and stay valid across [reset] — a pass may hold
-   one for its whole lifetime. *)
+   one for its whole lifetime.
+
+   Domain safety is by sharding, not locking: every domain that records
+   anything gets its own shard (counters, distributions, series, span tree,
+   event buffer) through domain-local storage, registered once in a global
+   list. The hot recording paths therefore stay plain unsynchronized
+   mutations — same cost as before domains — and [report]/[events] merge
+   the shards by name at the (cold) reporting boundary. The one rule this
+   imposes on callers: use a handle on the domain that interned it (every
+   instrumented subsystem already creates its handles where it runs). *)
 
 let enabled = ref false
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
-(* ---- counters ---- *)
-
 type counter = { c_name : string; mutable count : int }
-
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; count = 0 } in
-    Hashtbl.replace counters name c;
-    c
-
-let incr c = if !enabled then c.count <- c.count + 1
-let add c n = if !enabled then c.count <- c.count + n
-
-(* Convenience for cold paths; interns by name on every call. *)
-let count name n = add (counter name) n
-
-(* ---- distributions (count / sum / min / max / mean / stddev) ---- *)
 
 type dist = {
   d_name : string;
@@ -43,14 +32,116 @@ type dist = {
   mutable sumsq : float;
 }
 
-let dists : (string, dist) Hashtbl.t = Hashtbl.create 64
+type series = {
+  s_name : string;
+  mutable points : (float * float) list; (* newest first *)
+}
+
+(* ---- spans: a tree of wall-clock timed phases ---- *)
+
+type span = {
+  sp_name : string;
+  mutable ms : float; (* accumulated wall-clock milliseconds *)
+  mutable calls : int;
+  mutable children : span list; (* newest first *)
+}
+
+let new_span name = { sp_name = name; ms = 0.; calls = 0; children = [] }
+
+(* ---- bounded timestamped event stream (Chrome trace-event export) ---- *)
+
+let pid_passes = 0
+let pid_sim = 1
+
+type event_phase = Ph_complete | Ph_instant
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_pid : int;
+  e_tid : int;
+  e_ts : float;
+  e_dur : float; (* Ph_complete only *)
+  e_ph : event_phase;
+  e_args : (string * string) list;
+}
+
+(* ---- per-domain shards ---- *)
+
+type shard = {
+  counters : (string, counter) Hashtbl.t;
+  dists : (string, dist) Hashtbl.t;
+  seriess : (string, series) Hashtbl.t;
+  root : span;
+  mutable stack : span list; (* innermost first *)
+  mutable events_rev : event list; (* newest first *)
+  mutable event_count : int;
+  mutable events_dropped : int;
+}
+
+let new_shard () =
+  {
+    counters = Hashtbl.create 64;
+    dists = Hashtbl.create 64;
+    seriess = Hashtbl.create 16;
+    root = new_span "root";
+    stack = [];
+    events_rev = [];
+    event_count = 0;
+    events_dropped = 0;
+  }
+
+(* Registration order is the merge order; the main domain's shard is
+   created eagerly here so it is always first. *)
+let shards_mutex = Mutex.create ()
+let main_shard = new_shard ()
+let shards : shard list ref = ref [ main_shard ]
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_shard () in
+      Mutex.lock shards_mutex;
+      shards := !shards @ [ s ];
+      Mutex.unlock shards_mutex;
+      s)
+
+(* The main domain reuses the eagerly created shard. *)
+let () = Domain.DLS.set shard_key main_shard
+
+let my_shard () = Domain.DLS.get shard_key
+
+let all_shards () =
+  Mutex.lock shards_mutex;
+  let l = !shards in
+  Mutex.unlock shards_mutex;
+  l
+
+(* ---- counters ---- *)
+
+let counter name =
+  let sh = my_shard () in
+  match Hashtbl.find_opt sh.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace sh.counters name c;
+    c
+
+let incr c = if !enabled then c.count <- c.count + 1
+let add c n = if !enabled then c.count <- c.count + n
+
+(* Convenience for cold paths; interns by name on every call. *)
+let count name n = add (counter name) n
+
+(* ---- distributions ---- *)
 
 let dist name =
-  match Hashtbl.find_opt dists name with
+  let sh = my_shard () in
+  match Hashtbl.find_opt sh.dists name with
   | Some d -> d
   | None ->
     let d = { d_name = name; n = 0; sum = 0.; lo = infinity; hi = neg_infinity; sumsq = 0. } in
-    Hashtbl.replace dists name d;
+    Hashtbl.replace sh.dists name d;
     d
 
 let observe d v =
@@ -75,78 +166,33 @@ let dist_stddev d =
 
 (* ---- series (x/y samples, e.g. per-interval simulator events) ---- *)
 
-type series = {
-  s_name : string;
-  mutable points : (float * float) list; (* newest first *)
-}
-
-let seriess : (string, series) Hashtbl.t = Hashtbl.create 16
-
 let series name =
-  match Hashtbl.find_opt seriess name with
+  let sh = my_shard () in
+  match Hashtbl.find_opt sh.seriess name with
   | Some s -> s
   | None ->
     let s = { s_name = name; points = [] } in
-    Hashtbl.replace seriess name s;
+    Hashtbl.replace sh.seriess name s;
     s
 
 let sample s ~x ~y = if !enabled then s.points <- (x, y) :: s.points
 
-(* ---- spans: a tree of wall-clock timed phases ---- *)
-
-type span = {
-  sp_name : string;
-  mutable ms : float; (* accumulated wall-clock milliseconds *)
-  mutable calls : int;
-  mutable children : span list; (* newest first *)
-}
-
-let new_span name = { sp_name = name; ms = 0.; calls = 0; children = [] }
-let root = new_span "root"
-let stack : span list ref = ref [] (* innermost first *)
-
-let child_of parent name =
-  match List.find_opt (fun s -> String.equal s.sp_name name) parent.children with
-  | Some s -> s
-  | None ->
-    let s = new_span name in
-    parent.children <- s :: parent.children;
-    s
-
-(* ---- bounded timestamped event stream (Chrome trace-event export) ----
+(* ---- events ----
 
    Events are a second, opt-in layer on top of [enabled]: pass spans and
    simulator timelines are recorded as individual timestamped events only
    when [set_events true] has been called, and the stream is bounded
-   (keep-first; overflow is counted, not silently discarded). Two
-   timelines share the stream, distinguished by pid:
+   (keep-first per shard; overflow is counted, not silently discarded).
+   Two timelines share the stream, distinguished by pid:
      pid 0  tool passes, timestamps in wall-clock microseconds since the
             first event of the run;
      pid 1  simulator, timestamps in cycles (exported in the trace's "ts"
             field; one "microsecond" on screen = one cycle). *)
 
-let pid_passes = 0
-let pid_sim = 1
-
-type event_phase = Ph_complete | Ph_instant
-
-type event = {
-  e_name : string;
-  e_cat : string;
-  e_pid : int;
-  e_tid : int;
-  e_ts : float;
-  e_dur : float; (* Ph_complete only *)
-  e_ph : event_phase;
-  e_args : (string * string) list;
-}
-
 let record_events = ref false
 let event_capacity = ref 65536
-let events_rev : event list ref = ref [] (* newest first *)
-let event_count = ref 0
-let events_dropped = ref 0
 let trace_t0 : float option ref = ref None
+let trace_t0_mutex = Mutex.create ()
 
 let set_events b = record_events := b
 let events_on () = !enabled && !record_events
@@ -155,19 +201,25 @@ let set_event_capacity n = event_capacity := max 1 n
 (* Wall-clock microseconds since the first event of the run (pid 0). *)
 let now_us () =
   let t = Unix.gettimeofday () in
-  match !trace_t0 with
-  | Some t0 -> (t -. t0) *. 1e6
-  | None ->
-    trace_t0 := Some t;
-    0.
+  Mutex.lock trace_t0_mutex;
+  let t0 =
+    match !trace_t0 with
+    | Some t0 -> t0
+    | None ->
+      trace_t0 := Some t;
+      t
+  in
+  Mutex.unlock trace_t0_mutex;
+  (t -. t0) *. 1e6
 
 let push_event ev =
   (* [incr] is shadowed by the counter API above. *)
-  if !event_count >= !event_capacity then
-    events_dropped := !events_dropped + 1
+  let sh = my_shard () in
+  if sh.event_count >= !event_capacity then
+    sh.events_dropped <- sh.events_dropped + 1
   else begin
-    events_rev := ev :: !events_rev;
-    event_count := !event_count + 1
+    sh.events_rev <- ev :: sh.events_rev;
+    sh.event_count <- sh.event_count + 1
   end
 
 let emit_complete ?(args = []) ~cat ~pid ~tid ~ts ~dur name =
@@ -198,20 +250,35 @@ let emit_instant ?(args = []) ~cat ~pid ~tid ~ts name =
         e_args = args;
       }
 
-let events () = List.rev !events_rev
-let events_dropped_count () = !events_dropped
+(* Merged view: shard streams concatenated in registration order (the
+   main domain first). Within a shard events keep insertion order; the
+   two pids deliberately use different time units, so no global sort. *)
+let events () =
+  all_shards () |> List.concat_map (fun sh -> List.rev sh.events_rev)
+
+let events_dropped_count () =
+  List.fold_left (fun acc sh -> acc + sh.events_dropped) 0 (all_shards ())
 
 (* Repeated spans of the same name under the same parent merge: time
    accumulates and [calls] counts the invocations (e.g. one "slice" node
    per region, not one per call). When the event stream is on each
    invocation additionally becomes one Complete event on the pass
    timeline, so merged spans still show up individually in the trace. *)
+let child_of parent name =
+  match List.find_opt (fun s -> String.equal s.sp_name name) parent.children with
+  | Some s -> s
+  | None ->
+    let s = new_span name in
+    parent.children <- s :: parent.children;
+    s
+
 let with_span name f =
   if not !enabled then f ()
   else begin
-    let parent = match !stack with s :: _ -> s | [] -> root in
+    let sh = my_shard () in
+    let parent = match sh.stack with s :: _ -> s | [] -> sh.root in
     let sp = child_of parent name in
-    stack := sp :: !stack;
+    sh.stack <- sp :: sh.stack;
     let ev_ts = if events_on () then Some (now_us ()) else None in
     let t0 = Unix.gettimeofday () in
     Fun.protect
@@ -224,31 +291,36 @@ let with_span name f =
             ~dur:((Unix.gettimeofday () -. t0) *. 1e6)
             name
         | None -> ());
-        match !stack with _ :: rest -> stack := rest | [] -> ())
+        match sh.stack with _ :: rest -> sh.stack <- rest | [] -> ())
       f
   end
 
 (* ---- reset ---- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ d ->
-      d.n <- 0;
-      d.sum <- 0.;
-      d.lo <- infinity;
-      d.hi <- neg_infinity;
-      d.sumsq <- 0.)
-    dists;
-  Hashtbl.iter (fun _ s -> s.points <- []) seriess;
-  root.children <- [];
-  root.ms <- 0.;
-  root.calls <- 0;
-  stack := [];
-  events_rev := [];
-  event_count := 0;
-  events_dropped := 0;
-  trace_t0 := None
+  List.iter
+    (fun sh ->
+      Hashtbl.iter (fun _ c -> c.count <- 0) sh.counters;
+      Hashtbl.iter
+        (fun _ d ->
+          d.n <- 0;
+          d.sum <- 0.;
+          d.lo <- infinity;
+          d.hi <- neg_infinity;
+          d.sumsq <- 0.)
+        sh.dists;
+      Hashtbl.iter (fun _ s -> s.points <- []) sh.seriess;
+      sh.root.children <- [];
+      sh.root.ms <- 0.;
+      sh.root.calls <- 0;
+      sh.stack <- [];
+      sh.events_rev <- [];
+      sh.event_count <- 0;
+      sh.events_dropped <- 0)
+    (all_shards ());
+  Mutex.lock trace_t0_mutex;
+  trace_t0 := None;
+  Mutex.unlock trace_t0_mutex
 
 (* ---- structured run report ---- *)
 
@@ -274,35 +346,88 @@ let rec copy_span sp =
     children = List.rev_map copy_span sp.children (* oldest first *);
   }
 
+(* Merge one shard's span tree into an accumulating copy: children match
+   by name, times and call counts add. Worker-domain spans that ran with
+   an empty stack surface as top-level phases next to the main domain's. *)
+let rec merge_span_into (dst : span) (src : span) =
+  dst.ms <- dst.ms +. src.ms;
+  dst.calls <- dst.calls + src.calls;
+  (* [src] comes from [copy_span]: children oldest first. [child_of]
+     prepends, so dst ends newest first — [merged_root] re-orients. *)
+  List.iter
+    (fun (c : span) ->
+      let dc = child_of dst c.sp_name in
+      merge_span_into dc c)
+    src.children
+
+let merged_root () =
+  let acc = new_span "root" in
+  List.iter (fun sh -> merge_span_into acc (copy_span sh.root)) (all_shards ());
+  (* merge_span_into prepends children; re-establish oldest-first. *)
+  let rec orient sp = { sp with children = List.rev_map orient sp.children } in
+  orient acc
+
+let merge_tables fold_shard merge =
+  let acc : (string, 'a) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun sh -> fold_shard sh (fun name v -> merge acc name v)) (all_shards ());
+  acc
+
 let report () =
   let by_name (a, _) (b, _) = String.compare a b in
+  let counters =
+    merge_tables
+      (fun sh f -> Hashtbl.iter (fun name c -> f name c.count) sh.counters)
+      (fun acc name v ->
+        Hashtbl.replace acc name
+          (v + Option.value ~default:0 (Hashtbl.find_opt acc name)))
+  in
+  let dists =
+    merge_tables
+      (fun sh f -> Hashtbl.iter (fun name d -> if d.n > 0 then f name d) sh.dists)
+      (fun acc name (d : dist) ->
+        match Hashtbl.find_opt acc name with
+        | None ->
+          Hashtbl.replace acc name
+            { d_name = name; n = d.n; sum = d.sum; lo = d.lo; hi = d.hi; sumsq = d.sumsq }
+        | Some m ->
+          m.n <- m.n + d.n;
+          m.sum <- m.sum +. d.sum;
+          if d.lo < m.lo then m.lo <- d.lo;
+          if d.hi > m.hi then m.hi <- d.hi;
+          m.sumsq <- m.sumsq +. d.sumsq)
+  in
+  let seriess =
+    merge_tables
+      (fun sh f ->
+        Hashtbl.iter
+          (fun name s -> if s.points <> [] then f name (List.rev s.points))
+          sh.seriess)
+      (fun acc name pts ->
+        Hashtbl.replace acc name
+          (Option.value ~default:[] (Hashtbl.find_opt acc name) @ pts))
+  in
   {
-    r_spans = (copy_span root).children;
+    r_spans = (merged_root ()).children;
     r_counters =
-      Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) counters []
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) counters []
       |> List.sort by_name;
     r_dists =
       Hashtbl.fold
-        (fun name d acc ->
-          if d.n = 0 then acc
-          else
-            ( name,
-              {
-                ds_n = d.n;
-                ds_sum = d.sum;
-                ds_min = d.lo;
-                ds_max = d.hi;
-                ds_mean = dist_mean d;
-                ds_stddev = dist_stddev d;
-              } )
-            :: acc)
+        (fun name (d : dist) acc ->
+          ( name,
+            {
+              ds_n = d.n;
+              ds_sum = d.sum;
+              ds_min = d.lo;
+              ds_max = d.hi;
+              ds_mean = dist_mean d;
+              ds_stddev = dist_stddev d;
+            } )
+          :: acc)
         dists []
       |> List.sort by_name;
     r_series =
-      Hashtbl.fold
-        (fun name s acc ->
-          if s.points = [] then acc else (name, List.rev s.points) :: acc)
-        seriess []
+      Hashtbl.fold (fun name pts acc -> (name, pts) :: acc) seriess []
       |> List.sort by_name;
   }
 
@@ -458,6 +583,7 @@ let buf_metadata b ~name ~pid ~tid ~key value =
 let trace_events_json () =
   let b = Buffer.create 4096 in
   let evs = events () in
+  let dropped = events_dropped_count () in
   Buffer.add_string b "{\"traceEvents\":[";
   buf_metadata b ~name:"process_name" ~pid:pid_passes ~tid:0 ~key:"name"
     "sspc passes (wall-clock us)";
@@ -469,7 +595,7 @@ let trace_events_json () =
       Buffer.add_char b ',';
       buf_trace_event b ev)
     evs;
-  if !events_dropped > 0 then begin
+  if dropped > 0 then begin
     Buffer.add_char b ',';
     buf_trace_event b
       {
@@ -480,7 +606,7 @@ let trace_events_json () =
         e_ts = 0.;
         e_dur = 0.;
         e_ph = Ph_instant;
-        e_args = [ ("dropped", string_of_int !events_dropped) ];
+        e_args = [ ("dropped", string_of_int dropped) ];
       }
   end;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";

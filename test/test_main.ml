@@ -11,5 +11,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("telemetry", Test_telemetry.suite);
       ("attrib", Test_attrib.suite);
+      ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
     ]

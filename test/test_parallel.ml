@@ -1,0 +1,161 @@
+(* Tests for the domain-pool parallel engine: combinator semantics,
+   deterministic result ordering under skewed task durations, exception
+   propagation, domain-sharded telemetry counters, and the end-to-end
+   invariant that a jobs=N adaptation + simulation is byte-identical to
+   the sequential run. *)
+
+module Pool = Ssp_parallel.Pool
+module T = Ssp_telemetry.Telemetry
+
+let test_map_matches_sequential () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "map" (List.map succ xs)
+        (Pool.map pool succ xs);
+      Alcotest.(check (array int))
+        "map_array"
+        (Array.map (fun i -> i * i) (Array.of_list xs))
+        (Pool.map_array pool (fun i -> i * i) (Array.of_list xs));
+      Alcotest.(check (list int))
+        "mapi"
+        (List.mapi (fun i x -> i + x) xs)
+        (Pool.mapi pool (fun i x -> i + x) xs))
+
+(* Skew the per-task work so completion order differs wildly from input
+   order; results must still come back in input order. *)
+let test_order_under_skew () =
+  let rec spin n = if n > 0 then spin (n - 1) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 64 Fun.id in
+      let f i =
+        spin ((i mod 7) * 20_000);
+        i * 3
+      in
+      Alcotest.(check (list int)) "ordered" (List.map f xs) (Pool.map pool f xs))
+
+let test_sequential_fallback () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+      Alcotest.(check (list int))
+        "map" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let test_exception_lowest_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let f i = if i >= 3 then failwith (string_of_int i) else i in
+      match Pool.map pool f (List.init 16 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest failing index wins" "3" msg);
+  (* The pool must survive a failed batch and run the next one. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.map pool (fun _ -> failwith "boom") [ 1; 2 ] with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure _ -> ());
+      Alcotest.(check (list int)) "reusable" [ 10; 20 ]
+        (Pool.map pool (fun x -> x * 10) [ 1; 2 ]))
+
+let test_map_reduce () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 101 Fun.id in
+      Alcotest.(check int)
+        "sum of squares"
+        (List.fold_left (fun a i -> a + (i * i)) 0 xs)
+        (Pool.map_reduce pool ~map:(fun i -> i * i) ~reduce:( + ) 0 xs))
+
+let test_run_side_effects () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let slots = Array.make 32 0 in
+      Pool.run pool
+        (List.init 32 (fun i () -> slots.(i) <- i + 1));
+      Alcotest.(check (array int))
+        "every task ran once"
+        (Array.init 32 (fun i -> i + 1))
+        slots)
+
+(* Concurrent counter increments from N domains must sum exactly: each
+   pool worker mutates its own domain-local shard unsynchronized, and the
+   report merge adds the shards up by name. *)
+let test_sharded_counters () =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    (fun () ->
+      let tasks = 40 and per_task = 1000 in
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Pool.run pool
+            (List.init tasks (fun _ () ->
+                 let c = T.counter "parallel.test" in
+                 for _ = 1 to per_task do
+                   T.incr c
+                 done)));
+      Alcotest.(check int)
+        "exact sum across domains" (tasks * per_task)
+        (List.assoc "parallel.test" (T.report ()).T.r_counters))
+
+(* The tentpole invariant: same input, same seed, jobs=4 must produce the
+   same adapted binary, report, cycle counts, attribution classification
+   and explain tables as jobs=1 — byte for byte. *)
+let check_workload name =
+  let w = Ssp_workloads.Suite.find name in
+  let cfg = Ssp_machine.Config.scale_caches Ssp_machine.Config.in_order 16 in
+  let prog = Ssp_workloads.Workload.program w ~scale:3 in
+  let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+  let full jobs =
+    let result = Ssp.Adapt.run ~jobs ~config:cfg prog profile in
+    let attrib =
+      Ssp_sim.Attrib.create ~prefetch_map:result.Ssp.Adapt.prefetch_map ()
+    in
+    let stats = Ssp_sim.Inorder.run ~attrib cfg result.Ssp.Adapt.prog in
+    let explain =
+      Ssp.Explain.build ~result ~stats ~attrib:(Ssp_sim.Attrib.summary attrib)
+    in
+    (result, stats, explain)
+  in
+  let r1, s1, e1 = full 1 in
+  let r4, s4, e4 = full 4 in
+  Alcotest.(check string)
+    (name ^ ": adapted binary")
+    (Format.asprintf "%a" Ssp_ir.Asm.print r1.Ssp.Adapt.prog)
+    (Format.asprintf "%a" Ssp_ir.Asm.print r4.Ssp.Adapt.prog);
+  Alcotest.(check string)
+    (name ^ ": adaptation report")
+    (Format.asprintf "%a" Ssp.Report.pp r1.Ssp.Adapt.report)
+    (Format.asprintf "%a" Ssp.Report.pp r4.Ssp.Adapt.report);
+  Alcotest.(check int)
+    (name ^ ": cycle count") s1.Ssp_sim.Stats.cycles s4.Ssp_sim.Stats.cycles;
+  Alcotest.(check string)
+    (name ^ ": sim stats")
+    (Format.asprintf "%a" Ssp_sim.Stats.pp s1)
+    (Format.asprintf "%a" Ssp_sim.Stats.pp s4);
+  Alcotest.(check string)
+    (name ^ ": explain JSON (attribution)")
+    (Ssp.Explain.to_json e1) (Ssp.Explain.to_json e4)
+
+let test_adapt_deterministic_mcf () = check_workload "mcf"
+let test_adapt_deterministic_em3d () = check_workload "em3d"
+
+let suite =
+  [
+    Alcotest.test_case "map/map_array/mapi match sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "result order survives skewed durations" `Quick
+      test_order_under_skew;
+    Alcotest.test_case "jobs=1 sequential fallback" `Quick
+      test_sequential_fallback;
+    Alcotest.test_case "lowest-index exception propagates" `Quick
+      test_exception_lowest_index;
+    Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+    Alcotest.test_case "run executes every task once" `Quick
+      test_run_side_effects;
+    Alcotest.test_case "sharded counters sum exactly" `Quick
+      test_sharded_counters;
+    Alcotest.test_case "jobs=4 byte-identical: mcf" `Slow
+      test_adapt_deterministic_mcf;
+    Alcotest.test_case "jobs=4 byte-identical: em3d" `Slow
+      test_adapt_deterministic_em3d;
+  ]
