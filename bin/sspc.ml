@@ -9,6 +9,8 @@
      explain    pipeline + attributed simulation: per-delinquent-load
                 prefetch effectiveness (coverage/accuracy/timeliness)
      stats      run the full pipeline and print the telemetry summary
+     chaos      fault-injection campaigns with speculative-safety
+                invariance checking (exits 1 on any violation)
      bench      list workloads
      table1     print the machine models
 
@@ -19,6 +21,22 @@
 
 open Cmdliner
 module T = Ssp_telemetry.Telemetry
+
+(* Robustness contract: anything wrong with the *input* — a missing or
+   unreadable file, source that doesn't compile, a corrupt assembly
+   listing, a malformed --faults spec — exits with code 2 and a one-line
+   diagnostic, never an uncaught exception with a backtrace. *)
+let fail2 msg =
+  Printf.eprintf "sspc: %s\n" msg;
+  exit 2
+
+let guard k =
+  try k () with
+  | Sys_error msg -> fail2 msg
+  | Ssp_minic.Frontend.Error msg -> fail2 msg
+  | Ssp_ir.Asm.Error (msg, line) ->
+    fail2 (Printf.sprintf "%s (line %d)" msg line)
+  | Ssp_ir.Error.Error e -> fail2 (Ssp_ir.Error.to_string e)
 
 let read_source path_or_workload scale =
   match Ssp_workloads.Suite.find path_or_workload with
@@ -101,6 +119,7 @@ let with_out out k =
 
 let compile_cmd =
   let run src scale out =
+    guard @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     with_out out (fun ppf -> Format.fprintf ppf "%a@." Ssp_ir.Asm.print prog)
   in
@@ -111,6 +130,7 @@ let compile_cmd =
 
 let exec_cmd =
   let run path =
+    guard @@ fun () ->
     let ic = open_in path in
     let n = in_channel_length ic in
     let text = really_input_string ic n in
@@ -128,6 +148,7 @@ let exec_cmd =
 
 let run_cmd =
   let run src scale =
+    guard @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let t0 = Unix.gettimeofday () in
     let r = Ssp_sim.Funcsim.run prog in
@@ -142,6 +163,7 @@ let run_cmd =
 
 let profile_cmd =
   let run src scale =
+    guard @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let profile = Ssp_profiling.Collect.collect prog in
     let d = Ssp.Delinquent.identify ~coverage:0.9 prog profile in
@@ -160,6 +182,7 @@ let jobs_arg =
 
 let adapt_cmd =
   let run src scale out trace jobs =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let profile = Ssp_profiling.Collect.collect prog in
@@ -203,6 +226,7 @@ let explain_flag =
 
 let sim_cmd =
   let run src scale pipeline ssp explain trace trace_events jobs =
+    guard @@ fun () ->
     with_trace trace @@ fun () ->
     with_trace_events trace_events @@ fun () ->
     let config = config_of_pipeline pipeline in
@@ -247,6 +271,7 @@ let sim_cmd =
 
 let explain_cmd =
   let run src scale pipeline json trace_events jobs =
+    guard @@ fun () ->
     with_trace_events trace_events @@ fun () ->
     let config = config_of_pipeline pipeline in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
@@ -285,6 +310,7 @@ let explain_cmd =
 
 let stats_cmd =
   let run src scale pipeline trace =
+    guard @@ fun () ->
     T.set_enabled true;
     let config =
       match pipeline with
@@ -311,6 +337,75 @@ let stats_cmd =
          "Run the full pipeline (compile, profile, adapt, simulate) with \
           telemetry on and print the phase-timing and counter summary")
     Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ trace_arg)
+
+let chaos_cmd =
+  let run seed campaigns faults json jobs workloads =
+    guard @@ fun () ->
+    let specs =
+      match faults with
+      | None -> Ssp_harness.Chaos.default_specs
+      | Some s -> (
+        match Ssp_fault.Fault.parse_specs s with
+        | Ok specs -> specs
+        | Error msg -> fail2 msg)
+    in
+    let ws =
+      match workloads with
+      | [] -> Ssp_workloads.Suite.all
+      | names ->
+        List.map
+          (fun n ->
+            match Ssp_workloads.Suite.find n with
+            | w -> w
+            | exception Not_found -> fail2 ("unknown workload " ^ n))
+          names
+    in
+    let report = Ssp_harness.Chaos.run ~jobs ~specs ~seed ~campaigns ws in
+    Format.printf "%a@." Ssp_harness.Chaos.pp report;
+    (match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Ssp_harness.Chaos.to_json report);
+      output_char oc '\n';
+      close_out oc
+    | None -> ());
+    if Ssp_harness.Chaos.violations report > 0 then exit 1
+  in
+  let seed_arg =
+    let doc = "Base seed for the fault campaigns." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let campaigns_arg =
+    let doc = "Fault campaigns (seeded plans) per workload." in
+    Arg.(value & opt int 8 & info [ "campaigns" ] ~docv:"N" ~doc)
+  in
+  let faults_arg =
+    let doc =
+      "Per-site fault probabilities as site=p[:limit],... (default: every \
+       registered site at a rate tuned to its query frequency)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "faults" ] ~docv:"SPECS" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the chaos report as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT.JSON" ~doc)
+  in
+  let workloads_arg =
+    let doc = "Workloads to sweep (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection campaigns: adapt and simulate every workload \
+          under seeded fault plans (killed speculative threads, dropped \
+          prefetches, broken chains, refused slices, stale profiles, ...) \
+          and verify main-thread outputs stay bit-identical to the \
+          fault-free unadapted run. Exits 1 on any safety violation.")
+    Term.(
+      const run $ seed_arg $ campaigns_arg $ faults_arg $ json_arg $ jobs_arg
+      $ workloads_arg)
 
 let bench_cmd =
   let run () =
@@ -346,6 +441,7 @@ let () =
             sim_cmd;
             explain_cmd;
             stats_cmd;
+            chaos_cmd;
             bench_cmd;
             table1_cmd;
           ]))

@@ -1,5 +1,8 @@
 open Ssp_analysis
 module T = Ssp_telemetry.Telemetry
+module F = Ssp_fault.Fault
+
+let site_stale = F.site "adapt.profile.stale"
 
 type result = {
   prog : Ssp_ir.Prog.t;
@@ -12,7 +15,8 @@ type result = {
 
 let region_string r = Format.asprintf "%a" Regions.pp r
 
-let report_of (d : Delinquent.t) (choices : Select.choice list) =
+let report_of ?(diags = []) (d : Delinquent.t) (choices : Select.choice list)
+    =
   let slices =
     List.map
       (fun (c : Select.choice) ->
@@ -47,7 +51,74 @@ let report_of (d : Delinquent.t) (choices : Select.choice list) =
     Report.slices;
     n_delinquent = List.length d.Delinquent.loads;
     coverage = d.Delinquent.covered;
+    diagnostics = diags;
   }
+
+(* The degradation ladder (tried top to bottom; a structured failure on
+   one rung retries the load on the next, the last failure skips the
+   load).  Rung order mirrors how much machinery each failure can blame:
+   interprocedural binding first, then chaining, then even basic SP. *)
+let ladder =
+  [
+    ("interprocedural", (* interproc *) true, (* chaining *) true);
+    ("intraprocedural", false, true);
+    ("basic", false, false);
+  ]
+
+(* One load through the ladder.  Decisions the fault engine takes inside
+   are keyed by the load's [Iref.hash], so the outcome is a pure function
+   of the load — identical whether this runs sequentially or on a domain
+   pool, and whatever order the pool schedules loads in. *)
+let select_one regions callgraph profile config (load : Delinquent.load) :
+    Select.choice option * Report.diag list =
+  let lstr = Ssp_ir.Iref.to_string load.Delinquent.iref in
+  let key = Ssp_ir.Iref.hash load.Delinquent.iref in
+  if F.fire ~key site_stale then
+    ( None,
+      [
+        {
+          Report.load = lstr;
+          stage = "profile";
+          action = "skip";
+          detail = "profile stale: samples disagree with the binary \
+                    [injected]";
+        };
+      ] )
+  else begin
+    let rec go diags = function
+      | [] -> (None, List.rev diags)
+      | (_rung, interproc, chaining) :: rest -> (
+        match
+          Select.choose ~interproc ~chaining regions callgraph profile config
+            load
+        with
+        | choice -> (choice, List.rev diags)
+        | exception Ssp_ir.Error.Error e ->
+          let action =
+            match rest with
+            | (next, _, _) :: _ -> "degrade:" ^ next
+            | [] -> "skip"
+          in
+          let d =
+            {
+              Report.load = lstr;
+              stage = e.Ssp_ir.Error.pass;
+              action;
+              detail = Ssp_ir.Error.to_string e;
+            }
+          in
+          go (d :: diags) rest
+        | exception (Failure msg | Invalid_argument msg) ->
+          (* Legacy unstructured failures: isolate them too, but don't
+             bother degrading — they don't name a recoverable stage. *)
+          ( None,
+            List.rev
+              ({ Report.load = lstr; stage = "select"; action = "skip";
+                 detail = msg }
+              :: diags) ))
+    in
+    go [] ladder
+  end
 
 (* Combine choices over the same region whose slices share dependence-graph
    nodes (§3.4.1): merge targets and live-ins, rebuild the schedule over
@@ -55,6 +126,17 @@ let report_of (d : Delinquent.t) (choices : Select.choice list) =
    slice shifts the basic/chaining trade-off — typically toward chaining,
    with one set of triggers instead of several). *)
 let combine regions callgraph profile config (choices : Select.choice list) =
+  let diags = ref [] in
+  let note (c : Select.choice) what =
+    diags :=
+      {
+        Report.load = Ssp_ir.Iref.to_string c.Select.load.Delinquent.iref;
+        stage = "combine";
+        action = "degrade:basic";
+        detail = what;
+      }
+      :: !diags
+  in
   let rec fold acc = function
     | [] -> List.rev acc
     | (c : Select.choice) :: rest -> (
@@ -76,25 +158,54 @@ let combine regions callgraph profile config (choices : Select.choice list) =
           Schedule.build regions profile config ~trips:host.Select.trips
             merged_slice
         in
+        (* The merged choice inherits the most conservative ladder rung of
+           its parts: combining must never re-promote a model or binding a
+           refusal already degraded.  [Select.refine] may lower the rung
+           further (a refusal while re-deciding the merged model). *)
+        let allow_interproc =
+          host.Select.allow_interproc && c.Select.allow_interproc
+        in
+        let allow_chaining =
+          host.Select.allow_chaining && c.Select.allow_chaining
+        in
         let merged =
           Select.refine regions callgraph profile config
-            { host with Select.schedule = sched }
+            { host with Select.schedule = sched; allow_interproc;
+              allow_chaining }
         in
+        if allow_chaining && not merged.Select.allow_chaining then
+          note merged "chaining model refused for combined slice [injected]";
+        if allow_interproc && not merged.Select.allow_interproc then
+          note merged
+            "interprocedural binding refused for combined slice [injected]";
         fold (merged :: (others @ keep)) rest)
   in
-  fold [] choices
+  let combined = fold [] choices in
+  (combined, List.rev !diags)
 
-let apply_choices prog ~config choices delinquent =
+let apply_choices ?(diags = []) prog ~config choices delinquent =
   let adapted = Ssp_ir.Prog.copy prog in
-  let prefetch_map =
+  let gen =
     T.with_span "adapt.codegen" (fun () -> Codegen.apply adapted config choices)
+  in
+  let diags =
+    diags
+    @ List.map
+        (fun (load, e) ->
+          {
+            Report.load = Ssp_ir.Iref.to_string load;
+            stage = "codegen";
+            action = "drop-trigger";
+            detail = Ssp_ir.Error.to_string e;
+          })
+        gen.Codegen.dropped
   in
   {
     prog = adapted;
-    report = report_of delinquent choices;
+    report = report_of ~diags delinquent choices;
     delinquent;
     choices;
-    prefetch_map;
+    prefetch_map = gen.Codegen.prefetch_map;
   }
 
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
@@ -112,20 +223,27 @@ let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
      deterministic result ordering keeps the choice list — and therefore
      everything downstream (combining, codegen, the report) — identical
      to the sequential run. *)
-  let choices =
+  let selected =
     T.with_span "adapt.select" (fun () ->
-        let select load = Select.choose regions callgraph profile config load in
-        if jobs <= 1 then List.filter_map select delinquent.Delinquent.loads
+        let select load = select_one regions callgraph profile config load in
+        if jobs <= 1 then List.map select delinquent.Delinquent.loads
         else begin
           Regions.freeze regions;
           Ssp_parallel.Pool.with_pool ~jobs (fun pool ->
               Ssp_parallel.Pool.map pool select delinquent.Delinquent.loads)
-          |> List.filter_map Fun.id
         end)
   in
+  let choices = List.filter_map fst selected in
+  let diags = ref (List.concat_map snd selected) in
   let choices =
     T.with_span "adapt.combine" (fun () ->
-        if combining then combine regions callgraph profile config choices
+        if combining then begin
+          let combined, cdiags =
+            combine regions callgraph profile config choices
+          in
+          diags := !diags @ cdiags;
+          combined
+        end
         else choices)
   in
   if T.is_enabled () then begin
@@ -168,4 +286,4 @@ let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
         { c with Select.unroll = max 1 unroll })
       choices
   in
-  apply_choices prog ~config choices delinquent
+  apply_choices ~diags:!diags prog ~config choices delinquent

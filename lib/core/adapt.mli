@@ -38,12 +38,22 @@ val run :
     [jobs] > 1 fans the per-delinquent-load slice/schedule/trigger
     pipeline out across that many domains (shared analysis state is
     frozen read-only first). The result is byte-identical to [jobs:1] —
-    parallelism is an execution detail, never a semantic knob. *)
+    parallelism is an execution detail, never a semantic knob.
+
+    Per-load failures ([Ssp_ir.Error.Error], from real refusals or the
+    fault-injection engine) never abort the run: each load walks a
+    degradation ladder (interprocedural → intraprocedural → basic → skip)
+    and every degradation or skip is recorded in
+    [result.report.diagnostics].  Ladder decisions are keyed by the
+    load's identity, so they are identical under any [jobs] value. *)
 
 val apply_choices :
+  ?diags:Report.diag list ->
   Ssp_ir.Prog.t ->
   config:Ssp_machine.Config.t ->
   Select.choice list ->
   Delinquent.t ->
   result
-(** Code generation only, for pre-built (e.g. hand-written) choices. *)
+(** Code generation only, for pre-built (e.g. hand-written) choices.
+    [diags] (selection-stage diagnostics) are prepended to the
+    codegen-stage ones in the report. *)

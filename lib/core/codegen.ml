@@ -1,4 +1,7 @@
 open Ssp_isa
+module F = Ssp_fault.Fault
+
+let site_refuse = F.site "adapt.codegen.refuse"
 
 let depth_slot = Ssp_sim.Thread.lib_slots - 1
 
@@ -27,7 +30,8 @@ let rename_create () =
   { map = []; next = Reg.first_stacked; by_site = Ssp_ir.Iref.Tbl.create 16 }
 
 let rename_fresh rn =
-  if rn.next >= Reg.count then failwith "Codegen: slice out of registers";
+  if rn.next >= Reg.count then
+    Ssp_ir.Error.raise_error ~pass:"codegen" "slice out of registers";
   let r = rn.next in
   rn.next <- r + 1;
   r
@@ -80,9 +84,8 @@ let rename_instr ?site rn op =
     let b' = rename_use rn b in
     Op.Load (w, record (rename_def rn d), b', off)
   | _ ->
-    invalid_arg
-      (Printf.sprintf "Codegen: non-replayable instruction in slice: %s"
-         (Op.to_string op))
+    Ssp_ir.Error.raise_error ~pass:"codegen" ~instr:(Op.to_string op)
+      "non-replayable instruction in slice"
 
 let append_blocks (f : Ssp_ir.Prog.func) blocks =
   f.Ssp_ir.Prog.blocks <-
@@ -125,7 +128,9 @@ let emit_slice ~fresh prog (choice : Select.choice) =
     let index_of label =
       let n = Array.length blocks in
       let rec go i =
-        if i >= n then invalid_arg ("Codegen: unresolved slice label " ^ label)
+        if i >= n then
+          Ssp_ir.Error.raise_error ~pass:"codegen" ~fn:slice.Slice.fn
+            (Printf.sprintf "unresolved slice label %s" label)
         else if String.equal blocks.(i).Ssp_ir.Prog.label label then i
         else go (i + 1)
       in
@@ -347,7 +352,9 @@ let insert_chk_gen ~fresh prog ~fn ~blk ~pos ~stub_ops =
     in
     if needs_br then begin
       if blk + 1 >= Array.length f.Ssp_ir.Prog.blocks then
-        invalid_arg "Codegen: fallthrough at function end";
+        Ssp_ir.Error.raise_error ~pass:"codegen" ~fn
+          ~instr:(Printf.sprintf "block %d, pos %d" blk pos)
+          "fallthrough at function end";
       let next = f.Ssp_ir.Prog.blocks.(blk + 1).Ssp_ir.Prog.label in
       Array.append tail [| Op.Br next |]
     end
@@ -393,6 +400,15 @@ let insert_trigger ~fresh prog (choice : Select.choice) ~slice_label (t : Trigge
   insert_chk_gen ~fresh prog ~fn:t.Trigger.fn ~blk:t.Trigger.blk
     ~pos:t.Trigger.pos ~stub_ops:(List.rev !stub)
 
+type apply_result = {
+  prefetch_map : Ssp_ir.Iref.t Ssp_ir.Iref.Map.t;
+  dropped : (Ssp_ir.Iref.t * Ssp_ir.Error.info) list;
+      (* (delinquent load of the failing choice, error); slice-emission
+         failures drop the whole choice, trigger failures only that
+         trigger — either way the program stays valid and the failure is
+         reported instead of aborting adaptation *)
+}
+
 let apply prog cfg (choices : Select.choice list) =
   ignore cfg;
   (* Labels only need to be unique within the rewritten program; a local
@@ -403,22 +419,44 @@ let apply prog cfg (choices : Select.choice list) =
     Stdlib.incr ctr;
     Printf.sprintf "ssp_%s_%d" stem !ctr
   in
+  let dropped = ref [] in
+  let drop (choice : Select.choice) e =
+    dropped := (choice.Select.load.Delinquent.iref, e) :: !dropped
+  in
   (* Emit every slice first: appends never move existing instructions, so
      the position-based slice references of later choices stay valid. Then
      insert all triggers, globally ordered from the highest position down
      within each block, so splits never invalidate a pending position.
      (Trigger insertion splits original blocks and appends stubs after the
-     slice blocks, so the prefetch-site refs collected here stay valid.) *)
+     slice blocks, so the prefetch-site refs collected here stay valid.)
+
+     Failures are isolated per choice: [emit_slice] only mutates the
+     program once emission has fully succeeded (blocks are appended at the
+     end), so a refusing choice is dropped cleanly; a failing trigger
+     leaves its block untouched, and a slice without (all of) its triggers
+     is merely dead speculative code — never a correctness hazard. *)
   let prefetch_map = ref Ssp_ir.Iref.Map.empty in
   let pending =
     List.concat_map
       (fun (choice : Select.choice) ->
-        let slice_label, marks = emit_slice ~fresh prog choice in
-        List.iter
-          (fun (site, target) ->
-            prefetch_map := Ssp_ir.Iref.Map.add site target !prefetch_map)
-          marks;
-        List.map (fun t -> (choice, slice_label, t)) choice.Select.triggers)
+        let load = choice.Select.load.Delinquent.iref in
+        match
+          if F.fire ~key:(Ssp_ir.Iref.hash load) site_refuse then
+            Ssp_ir.Error.raise_error ~injected:true ~pass:"codegen"
+              ~fn:choice.Select.schedule.Schedule.slice.Slice.fn
+              ~instr:(Ssp_ir.Iref.to_string load)
+              "codegen refused slice";
+          emit_slice ~fresh prog choice
+        with
+        | slice_label, marks ->
+          List.iter
+            (fun (site, target) ->
+              prefetch_map := Ssp_ir.Iref.Map.add site target !prefetch_map)
+            marks;
+          List.map (fun t -> (choice, slice_label, t)) choice.Select.triggers
+        | exception Ssp_ir.Error.Error e ->
+          drop choice e;
+          [])
       choices
   in
   let pending =
@@ -430,7 +468,8 @@ let apply prog cfg (choices : Select.choice list) =
   in
   List.iter
     (fun (choice, slice_label, t) ->
-      insert_trigger ~fresh prog choice ~slice_label t)
+      try insert_trigger ~fresh prog choice ~slice_label t
+      with Ssp_ir.Error.Error e -> drop choice e)
     pending;
   (match Ssp_ir.Validate.check prog with
   | Ok () -> ()
@@ -439,5 +478,6 @@ let apply prog cfg (choices : Select.choice list) =
       String.concat "; "
         (List.map (fun e -> Format.asprintf "%a" Ssp_ir.Validate.pp_error e) es)
     in
-    invalid_arg ("Codegen.apply: invalid program after rewriting: " ^ msg));
-  !prefetch_map
+    Ssp_ir.Error.raise_error ~pass:"codegen"
+      ("invalid program after rewriting: " ^ msg));
+  { prefetch_map = !prefetch_map; dropped = List.rev !dropped }

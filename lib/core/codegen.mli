@@ -25,18 +25,24 @@ val depth_slot : int
 (** Live-in buffer slot carrying the chain-depth bound of predicted spawn
     conditions (the last slot). *)
 
+type apply_result = {
+  prefetch_map : Ssp_ir.Iref.t Ssp_ir.Iref.Map.t;
+      (** every emitted instruction that acts as a prefetch — each
+          [lfetch], and each slice copy of a value-used target load (no
+          lfetch is emitted for those; the load itself is the prefetch) —
+          mapped to the original delinquent load it precomputes *)
+  dropped : (Ssp_ir.Iref.t * Ssp_ir.Error.info) list;
+      (** per-choice failures survived: the delinquent load whose choice
+          (or trigger) was dropped, and why.  A dropped slice or trigger
+          only costs prefetches — the rewritten program stays valid. *)
+}
+
 val apply :
-  Ssp_ir.Prog.t ->
-  Ssp_machine.Config.t ->
-  Select.choice list ->
-  Ssp_ir.Iref.t Ssp_ir.Iref.Map.t
-(** Mutates the program; returns the prefetch-site map for attribution:
-    every emitted instruction that acts as a prefetch — each [lfetch],
-    and each slice copy of a value-used target load (no lfetch is emitted
-    for those; the load itself is the prefetch) — mapped to the original
-    delinquent load it precomputes. Raises [Invalid_argument] if the
-    rewritten program fails validation or a slice contains a
-    non-replayable instruction. *)
+  Ssp_ir.Prog.t -> Ssp_machine.Config.t -> Select.choice list -> apply_result
+(** Mutates the program.  Per-choice emission failures (including
+    injected [adapt.codegen.refuse] faults) are isolated — the choice is
+    dropped and reported in [dropped].  Raises [Ssp_ir.Error.Error] only
+    if the fully rewritten program fails validation. *)
 
 (** {2 Raw rewriting (hand adaptation)}
 

@@ -13,7 +13,21 @@ type slice_info = {
   spawn_condition : string;
 }
 
-type t = { slices : slice_info list; n_delinquent : int; coverage : float }
+(* One degradation-ladder event: a per-load pipeline stage failed and the
+   pipeline either retried the load on a lower rung or dropped it. *)
+type diag = {
+  load : string;  (* delinquent load (Iref.to_string) *)
+  stage : string;  (* failing pass: "profile", "slicer", "select", "codegen" *)
+  action : string;  (* "degrade:<rung>", "skip" or "drop-trigger" *)
+  detail : string;
+}
+
+type t = {
+  slices : slice_info list;
+  n_delinquent : int;
+  coverage : float;
+  diagnostics : diag list;
+}
 
 let table2_row t =
   let n = List.length t.slices in
@@ -44,4 +58,9 @@ let pp ppf t =
         s.slack1 s.available_ilp s.spawn_condition
         (if s.interprocedural then ", interprocedural" else ""))
     t.slices;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  ! %s: %s failed -> %s (%s)@," d.load d.stage
+        d.action d.detail)
+    t.diagnostics;
   Format.fprintf ppf "@]"

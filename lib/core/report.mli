@@ -16,10 +16,21 @@ type slice_info = {
   spawn_condition : string;  (** "computed" or "predicted" *)
 }
 
+type diag = {
+  load : string;  (** delinquent load ([Iref.to_string]) *)
+  stage : string;  (** failing pass: "profile", "slicer", "select", "codegen" *)
+  action : string;  (** ["degrade:<rung>"], ["skip"] or ["drop-trigger"] *)
+  detail : string;
+}
+(** One degradation-ladder event: a per-load pipeline stage failed and the
+    pipeline either retried the load on a lower rung or dropped it. *)
+
 type t = {
   slices : slice_info list;
   n_delinquent : int;
   coverage : float;  (** miss-cycle coverage of the selected loads *)
+  diagnostics : diag list;
+      (** per-load failures survived via the degradation ladder *)
 }
 
 val table2_row : t -> int * int * float * float

@@ -1,4 +1,8 @@
 open Ssp_analysis
+module F = Ssp_fault.Fault
+
+let site_interproc = F.site "adapt.interproc.refuse"
+let site_chaining = F.site "adapt.chaining.refuse"
 
 type model = Chaining | Basic
 
@@ -13,6 +17,10 @@ type choice = {
       (* iterations one speculative thread precomputes; the automatic tool
          uses 1 (§3.2.1: "one chaining thread targets one iteration"), hand
          adaptation uses more *)
+  allow_interproc : bool;
+  allow_chaining : bool;
+      (* the degradation-ladder rung this choice was approved under;
+         [refine] must not re-promote past it when slices are combined *)
 }
 
 let cutoff = 0.3
@@ -83,8 +91,8 @@ let mcpi_of_slice profile (s : Slice.t) =
       | Some _ | None -> acc)
     0 s.Slice.targets
 
-let decide_model regions (cfg : Ssp_machine.Config.t) (sched : Schedule.t)
-    ~trips ~entries ~mcpi =
+let decide_model ?(chaining = true) regions (cfg : Ssp_machine.Config.t)
+    (sched : Schedule.t) ~trips ~entries ~mcpi =
   let slice = sched.Schedule.slice in
   let nlive = List.length slice.Slice.live_ins in
   (* Trigger overhead on the main thread (§3.3: communication slows the
@@ -136,7 +144,8 @@ let decide_model regions (cfg : Ssp_machine.Config.t) (sched : Schedule.t)
         - (entries * full_trigger))
   in
   let forced_basic =
-    has_in_region_cut regions slice
+    (not chaining)
+    || has_in_region_cut regions slice
     || Regions.loop_of regions slice.Slice.region = None
     (* chaining needs something to chain: a recurrence the thread advances *)
     || sched.Schedule.order_critical = []
@@ -147,26 +156,57 @@ let decide_model regions (cfg : Ssp_machine.Config.t) (sched : Schedule.t)
   else if red_bsp >= red_csp then (Basic, red_bsp)
   else (Chaining, red_csp)
 
-let triggers_for regions callgraph profile model (slice : Slice.t) =
+let triggers_for ?(interproc = true) regions callgraph profile model
+    (slice : Slice.t) =
   match model with
   | Chaining -> (slice, Trigger.for_chaining regions slice)
   | Basic -> (
     match Regions.loop_of regions slice.Slice.region with
     | Some _ -> (slice, Trigger.for_basic regions slice)
+    | None when not interproc -> (slice, Trigger.for_basic regions slice)
     | None -> (
       match Slicer.bind_at_callers regions callgraph profile slice with
       | Some (s', sites) -> (s', Trigger.for_call_sites sites)
       | None -> (slice, Trigger.for_basic regions slice)))
 
+(* Combining can shift the model decision (typically toward chaining), so
+   refusals apply here too: a refusal at this stage degrades the merged
+   choice in place — there is no ladder to rerun — and lowers its ceiling
+   so later merges cannot re-promote it. *)
 let refine regions callgraph profile cfg (c : choice) =
   let sched = c.schedule in
   let slice = sched.Schedule.slice in
+  let key = Ssp_ir.Iref.hash c.load.Delinquent.iref in
   let entries, trips =
     trips_of regions profile slice.Slice.region slice.Slice.fn
   in
   let mcpi = mcpi_of_slice profile slice in
-  let model, red = decide_model regions cfg sched ~trips ~entries ~mcpi in
-  let slice', triggers = triggers_for regions callgraph profile model slice in
+  let model, red =
+    decide_model ~chaining:c.allow_chaining regions cfg sched ~trips ~entries
+      ~mcpi
+  in
+  let allow_chaining =
+    c.allow_chaining
+    && not (model = Chaining && F.fire ~key site_chaining)
+  in
+  let model, red =
+    if model = Chaining && not allow_chaining then
+      decide_model ~chaining:false regions cfg sched ~trips ~entries ~mcpi
+    else (model, red)
+  in
+  let slice', triggers =
+    triggers_for ~interproc:c.allow_interproc regions callgraph profile model
+      slice
+  in
+  let allow_interproc =
+    c.allow_interproc
+    && not (slice'.Slice.interprocedural && F.fire ~key site_interproc)
+  in
+  let slice', triggers =
+    if slice'.Slice.interprocedural && not allow_interproc then
+      triggers_for ~interproc:false regions callgraph profile model slice
+    else (slice', triggers)
+  in
   {
     c with
     schedule = { sched with Schedule.slice = slice' };
@@ -174,9 +214,13 @@ let refine regions callgraph profile cfg (c : choice) =
     triggers;
     trips;
     reduced_misscycles = red;
+    allow_interproc;
+    allow_chaining;
   }
 
-let choose regions callgraph profile cfg (load : Delinquent.load) =
+let choose ?(interproc = true) ?(chaining = true) regions callgraph profile
+    cfg (load : Delinquent.load) =
+  let key = Ssp_ir.Iref.hash load.Delinquent.iref in
   let evaluate region =
     match Slicer.slice_region regions profile ~region load with
     | None -> None
@@ -187,7 +231,9 @@ let choose regions callgraph profile cfg (load : Delinquent.load) =
       let mcpi =
         load.Delinquent.miss_cycles / max 1 load.Delinquent.accesses
       in
-      let model, red = decide_model regions cfg sched ~trips ~entries ~mcpi in
+      let model, red =
+        decide_model ~chaining regions cfg sched ~trips ~entries ~mcpi
+      in
       Some (slice, sched, model, red, trips)
   in
   let candidates = List.filter_map evaluate (candidate_regions regions load) in
@@ -224,13 +270,26 @@ let choose regions callgraph profile cfg (load : Delinquent.load) =
   | Some (slice, sched, model, red, trips) ->
     if red <= 0 then None
     else begin
+      if model = Chaining && F.fire ~key site_chaining then
+        Ssp_ir.Error.raise_error ~injected:true ~pass:"select"
+          ~fn:slice.Slice.fn
+          ~instr:(Ssp_ir.Iref.to_string load.Delinquent.iref)
+          "chaining model refused";
       (* Interprocedural binding for whole-procedure slices. *)
-      let slice', triggers = triggers_for regions callgraph profile model slice in
+      let slice', triggers =
+        triggers_for ~interproc regions callgraph profile model slice
+      in
+      if slice'.Slice.interprocedural && F.fire ~key site_interproc then
+        Ssp_ir.Error.raise_error ~injected:true ~pass:"select"
+          ~fn:slice'.Slice.fn
+          ~instr:(Ssp_ir.Iref.to_string load.Delinquent.iref)
+          "interprocedural binding refused";
       if triggers = [] then None
       else begin
         let sched = { sched with Schedule.slice = slice' } in
         Some
           { schedule = sched; model; triggers; trips;
-            reduced_misscycles = red; load; unroll = 1 }
+            reduced_misscycles = red; load; unroll = 1;
+            allow_interproc = interproc; allow_chaining = chaining }
       end
     end

@@ -30,6 +30,11 @@ type choice = {
   unroll : int;
       (** iterations one speculative thread precomputes; 1 for the
           automatic tool, > 1 for hand adaptation (§4.5) *)
+  allow_interproc : bool;
+  allow_chaining : bool;
+      (** the degradation-ladder rung this choice was approved under
+          ([choose]'s [interproc]/[chaining] arguments); {!refine} will
+          not re-promote past it when slices are combined *)
 }
 
 val cutoff : float
@@ -40,12 +45,20 @@ val max_region_depth : int
 (** How many region expansions outward are considered. *)
 
 val choose :
+  ?interproc:bool ->
+  ?chaining:bool ->
   Ssp_analysis.Regions.t ->
   Ssp_analysis.Callgraph.t ->
   Ssp_profiling.Profile.t ->
   Ssp_machine.Config.t ->
   Delinquent.load ->
   choice option
+(** [interproc:false] disables interprocedural (call-site) binding,
+    [chaining:false] forces the basic model — the lower rungs of the
+    per-load degradation ladder ([Adapt.run] retries a load with these
+    after a structured failure).  May raise [Ssp_ir.Error.Error] (real
+    refusals and injected faults alike); [Adapt.run] isolates these per
+    load. *)
 
 val trips_of :
   Ssp_analysis.Regions.t -> Ssp_profiling.Profile.t ->
@@ -61,4 +74,5 @@ val refine :
   choice ->
   choice
 (** Re-decide model and triggers for a (merged) choice: the combined slice
-    may shift the basic/chaining trade-off. *)
+    may shift the basic/chaining trade-off — but never past the choice's
+    [allow_interproc]/[allow_chaining] ceiling. *)

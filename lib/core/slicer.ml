@@ -1,8 +1,18 @@
 open Ssp_isa
 open Ssp_analysis
 module T = Ssp_telemetry.Telemetry
+module F = Ssp_fault.Fault
 
 let max_slice_size = 48
+
+(* The transitive slice walk is bounded by distinct (use, reg) pairs, so
+   this budget never binds on real programs; it exists so adversarial (or
+   fault-injected) inputs fail with a structured error instead of
+   spinning. *)
+let max_worklist_steps = 100_000
+
+let site_budget = F.site "adapt.slicer.budget"
+let site_oversized = F.site "adapt.slice.oversized"
 
 (* Can a speculative thread re-execute this instruction? Stores, calls,
    allocation, I/O and randomness are out; so are the SSP instructions
@@ -54,6 +64,13 @@ let slice_region regions profile ~region (d : Delinquent.load) =
     in
     if not (in_region d.Delinquent.iref) then None
     else begin
+      let key = Ssp_ir.Iref.hash d.Delinquent.iref in
+      if F.fire ~key site_oversized then
+        Ssp_ir.Error.raise_error ~injected:true ~pass:"slicer" ~fn
+          ~instr:(Ssp_ir.Iref.to_string d.Delinquent.iref)
+          "oversized region: slice exceeds the size bound";
+      let budget_injected = F.fire ~key site_budget in
+      let budget = ref (if budget_injected then 4 else max_worklist_steps) in
       let instrs = ref Ssp_ir.Iref.Set.empty in
       (* live-in register -> def sites seen *)
       let live : (Reg.t, Ssp_ir.Iref.Set.t) Hashtbl.t = Hashtbl.create 8 in
@@ -72,6 +89,12 @@ let slice_region regions profile ~region (d : Delinquent.load) =
       let overflow = ref false in
       let rec resolve (use : Ssp_ir.Iref.t) (r : Reg.t) =
         if r <> Reg.zero && not (Hashtbl.mem visited (use, r)) then begin
+          decr budget;
+          if !budget < 0 then
+            Ssp_ir.Error.raise_error ~injected:budget_injected ~pass:"slicer"
+              ~fn
+              ~instr:(Ssp_ir.Iref.to_string d.Delinquent.iref)
+              "slicing worklist budget exhausted";
           Hashtbl.replace visited (use, r) ();
           let defs = rdefs ~use r in
           List.iter

@@ -1,0 +1,203 @@
+(* Deterministic, seed-driven fault injection.
+
+   Every place in the adaptation pipeline or the simulator that can be
+   perturbed registers a *site* (a stable string name) and asks the
+   ambient *plan* whether to fire at each opportunity.  Decisions are
+   pure functions of (plan seed, site name, key), so a campaign replays
+   identically across runs and — when callers key decisions by stable
+   identifiers such as a load's [Iref.hash] — identically across the
+   jobs=1 and jobs>1 adaptation paths.
+
+   With no plan installed (the default) every query is a single ref read
+   plus a match, mirroring the telemetry subsystem's off-cost discipline:
+   production runs pay nothing. *)
+
+module T = Ssp_telemetry.Telemetry
+
+(* ---------- site registry ---------- *)
+
+type site = { id : int; name : string }
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 32
+let reg_order : site list ref = ref []
+let reg_mutex = Mutex.create ()
+
+let site name =
+  Mutex.protect reg_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s
+      | None ->
+        let s = { id = Hashtbl.length registry; name } in
+        Hashtbl.replace registry name s;
+        reg_order := s :: !reg_order;
+        s)
+
+let site_name s = s.name
+let all_sites () = List.rev !reg_order
+
+(* ---------- plans ---------- *)
+
+type spec = { prob : float; limit : int option }
+
+let spec ?limit prob = { prob; limit }
+
+type stats = {
+  mutable queried : int;
+  mutable fired : int;
+  mutable stream : int;  (* per-site decision counter for unkeyed queries *)
+}
+
+type plan = {
+  seed : int;
+  specs : (string * spec) list;
+  by_site : (int, spec * stats) Hashtbl.t;  (* site id -> config *)
+  plan_mutex : Mutex.t;
+}
+
+let make ~seed specs =
+  let p =
+    {
+      seed;
+      specs;
+      by_site = Hashtbl.create 16;
+      plan_mutex = Mutex.create ();
+    }
+  in
+  List.iter
+    (fun (name, sp) ->
+      let s = site name in
+      Hashtbl.replace p.by_site s.id
+        (sp, { queried = 0; fired = 0; stream = 0 }))
+    specs;
+  p
+
+(* Ambient plan.  Installed before the pipeline runs; domain-pool workers
+   are spawned afterwards, so Domain.spawn's happens-before makes the
+   plan visible without further synchronisation. *)
+let current : plan option ref = ref None
+let install p = current := Some p
+let clear () = current := None
+
+let with_plan p f =
+  install p;
+  Fun.protect ~finally:clear f
+
+(* ---------- deterministic decision function ---------- *)
+
+(* splitmix64 finalizer: cheap, well-mixed; good enough to turn
+   (seed, site, key) into an independent uniform draw. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw ~seed ~salt ~key =
+  let z =
+    mix64
+      (Int64.logxor
+         (mix64 (Int64.of_int (seed lxor (salt * 0x9e3779b9))))
+         (Int64.of_int key))
+  in
+  (* top 53 bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+
+(* Salt each site by a stable hash of its *name* (not its registration
+   id) so decisions don't depend on registration order. *)
+let salt_of s = Hashtbl.hash s.name
+
+(* Should site [s] fire now?  [key] ties the decision to a stable
+   identity (e.g. a delinquent load); without it the decision stream is
+   indexed by a per-site counter — fine for the single-threaded
+   simulator, not for parallel adaptation. *)
+let fire ?key s =
+  match !current with
+  | None -> false
+  | Some p -> (
+    match Hashtbl.find_opt p.by_site s.id with
+    | None -> false
+    | Some (sp, st) ->
+      Mutex.protect p.plan_mutex (fun () ->
+          st.queried <- st.queried + 1;
+          let k =
+            match key with
+            | Some k -> k
+            | None ->
+              let k = st.stream in
+              st.stream <- st.stream + 1;
+              k
+          in
+          let over_limit =
+            match sp.limit with Some l -> st.fired >= l | None -> false
+          in
+          let hit =
+            (not over_limit) && draw ~seed:p.seed ~salt:(salt_of s) ~key:k < sp.prob
+          in
+          if hit then begin
+            st.fired <- st.fired + 1;
+            T.count ("fault." ^ s.name) 1
+          end;
+          hit))
+
+let active () = !current <> None
+
+(* ---------- reporting ---------- *)
+
+type count = { site : string; queried : int; fired : int }
+
+let counts p =
+  Hashtbl.fold
+    (fun id ((_, st) : spec * stats) acc ->
+      let name =
+        match
+          List.find_opt (fun s -> s.id = id) !reg_order
+        with
+        | Some s -> s.name
+        | None -> Printf.sprintf "site#%d" id
+      in
+      { site = name; queried = st.queried; fired = st.fired } :: acc)
+    p.by_site []
+  |> List.sort (fun a b -> compare a.site b.site)
+
+let fired_total p =
+  List.fold_left (fun acc c -> acc + c.fired) 0 (counts p)
+
+(* ---------- spec parsing: "site=p" / "site=p:limit" lists ---------- *)
+
+let parse_spec_item item =
+  match String.index_opt item '=' with
+  | None -> Error (Printf.sprintf "bad fault spec %S (want site=prob)" item)
+  | Some i -> (
+    let name = String.sub item 0 i in
+    let rest = String.sub item (i + 1) (String.length item - i - 1) in
+    let prob_s, limit =
+      match String.index_opt rest ':' with
+      | None -> (rest, None)
+      | Some j ->
+        ( String.sub rest 0 j,
+          int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1))
+        )
+    in
+    if name = "" then Error (Printf.sprintf "bad fault spec %S (empty site)" item)
+    else
+      match float_of_string_opt prob_s with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (name, { prob = p; limit })
+      | _ ->
+        Error
+          (Printf.sprintf "bad fault spec %S (probability must be in [0,1])"
+             item))
+
+let parse_specs s =
+  let items =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | it :: rest -> (
+      match parse_spec_item it with
+      | Ok sp -> go (sp :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] items

@@ -38,9 +38,7 @@ let create ?code_id ~name ~nparams () =
 
 let fresh_reg b =
   if b.next_reg >= Ssp_isa.Reg.count then
-    failwith
-      (Printf.sprintf "Builder.fresh_reg: out of stacked registers in %s"
-         b.name);
+    Error.raise_error ~pass:"builder" ~fn:b.name "out of stacked registers";
   let r = b.next_reg in
   b.next_reg <- r + 1;
   r
@@ -63,7 +61,8 @@ let seal b =
 
 let start_block b label =
   if Hashtbl.mem b.labels label then
-    invalid_arg (Printf.sprintf "Builder.start_block: duplicate label %s" label);
+    Error.raise_error ~pass:"builder" ~fn:b.name
+      (Printf.sprintf "duplicate label %s" label);
   Hashtbl.replace b.labels label ();
   seal b;
   b.pending_split <- false;
@@ -88,7 +87,7 @@ let emit b op =
 let current_label b =
   match b.cur_label with
   | Some l -> l
-  | None -> invalid_arg "Builder.current_label: no open block"
+  | None -> Error.raise_error ~pass:"builder" ~fn:b.name "no open block"
 
 let finish b : Prog.func =
   seal b;

@@ -1,0 +1,46 @@
+(* Structured pipeline errors.
+
+   Every pass that can refuse an input raises [Error] instead of a bare
+   [Failure]/[Invalid_argument], carrying enough context (pass, function,
+   region, instruction) for the driver to render a one-line diagnostic and
+   for the adaptation pipeline's degradation ladder to record which load
+   failed at which stage. [injected] marks faults planted by the
+   fault-injection engine, so chaos reports can separate deliberate faults
+   from genuine refusals. *)
+
+type info = {
+  pass : string;  (* "builder", "codegen", "slicer", "select", ... *)
+  what : string;
+  fn : string option;
+  region : string option;
+  instr : string option;
+  injected : bool;
+}
+
+exception Error of info
+
+let make ?(injected = false) ?fn ?region ?instr ~pass what =
+  { pass; what; fn; region; instr; injected }
+
+let raise_error ?injected ?fn ?region ?instr ~pass what =
+  raise (Error (make ?injected ?fn ?region ?instr ~pass what))
+
+let to_string (e : info) =
+  let ctx =
+    List.filter_map Fun.id
+      [
+        Option.map (fun f -> "fn " ^ f) e.fn;
+        Option.map (fun r -> "region " ^ r) e.region;
+        Option.map (fun i -> "at " ^ i) e.instr;
+      ]
+  in
+  Printf.sprintf "%s: %s%s%s" e.pass e.what
+    (if ctx = [] then "" else " (" ^ String.concat ", " ctx ^ ")")
+    (if e.injected then " [injected]" else "")
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Ssp error: " ^ to_string e)
+    | _ -> None)

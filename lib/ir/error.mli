@@ -1,0 +1,40 @@
+(** Structured pipeline errors.
+
+    Passes raise {!Error} instead of bare [Failure]/[Invalid_argument] so
+    that the driver can render a one-line diagnostic and the adaptation
+    pipeline's degradation ladder can attribute a failure to a load and a
+    stage. [injected] marks faults planted by the fault-injection engine
+    ([Ssp_fault.Fault]), letting chaos reports separate deliberate faults
+    from genuine refusals. *)
+
+type info = {
+  pass : string;  (** originating pass ("builder", "codegen", "slicer", ...) *)
+  what : string;  (** human-readable description *)
+  fn : string option;  (** enclosing function, when known *)
+  region : string option;  (** enclosing region, when known *)
+  instr : string option;  (** instruction reference, when known *)
+  injected : bool;  (** planted by the fault-injection engine *)
+}
+
+exception Error of info
+
+val make :
+  ?injected:bool ->
+  ?fn:string ->
+  ?region:string ->
+  ?instr:string ->
+  pass:string ->
+  string ->
+  info
+
+val raise_error :
+  ?injected:bool ->
+  ?fn:string ->
+  ?region:string ->
+  ?instr:string ->
+  pass:string ->
+  string ->
+  'a
+
+val to_string : info -> string
+val pp : Format.formatter -> info -> unit

@@ -1,5 +1,9 @@
 open Ssp_machine
 module T = Ssp_telemetry.Telemetry
+module F = Ssp_fault.Fault
+
+let site_pf_drop = F.site "sim.prefetch.drop"
+let site_fill_exhaust = F.site "sim.fill.exhaust"
 
 type level = L1 | L2 | L3 | Mem
 
@@ -102,7 +106,11 @@ let access_real t ~now ~instruction ~nt ~low_priority ~pf_tag ~demand_iref
          buffer is full; speculative loads wait as if it were full. *)
       let reserve = max 0 (t.cfg.fill_buffer_entries - 4) in
       let full = full || (low_priority && used >= reserve) in
-      if nt && full then begin
+      (* Injected fill-buffer exhaustion: pretend the buffer is full (only
+         meaningful while fills are actually in flight — the delay is
+         computed from the earliest outstanding entry). *)
+      let full = full || (t.fills <> [] && F.fire site_fill_exhaust) in
+      if nt && (full || F.fire site_pf_drop) then begin
         T.incr t.tel_dropped;
         attr_pf (fun a tag -> Attrib.prefetch_dropped a tag);
         { level = L1; partial = false; ready = now + 1 }

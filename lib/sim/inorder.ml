@@ -42,7 +42,13 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
       chk_free = (fun () -> Smt.chk_allowed m ~now:!now !stepping);
       spawn =
         (fun ~src ~fn ~blk ~live_in ->
-          Smt.try_spawn m ~now:!now ~src ~fn ~blk ~live_in);
+          (* Injected chained-spawn breakage: a speculative thread's spawn
+             silently fails, cutting the chain. *)
+          if
+            (!stepping).Smt.thread.Thread.speculative
+            && Ssp_fault.Fault.fire Smt.site_chain_break
+          then false
+          else Smt.try_spawn m ~now:!now ~src ~fn ~blk ~live_in);
       output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
     }
   in

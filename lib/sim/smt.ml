@@ -1,5 +1,16 @@
 open Ssp_machine
 module T = Ssp_telemetry.Telemetry
+module F = Ssp_fault.Fault
+
+(* Simulator fault sites (see lib/fault): all of them perturb only the
+   speculative machinery or the memory-system timing, so under any fault
+   plan the main thread's architectural outputs stay bit-identical —
+   the invariant the chaos harness checks. *)
+let site_kill = F.site "sim.spec.kill"
+let site_spawn_deny = F.site "sim.spawn.deny"
+let site_spawn_delay = F.site "sim.spawn.delay"
+let site_starve = F.site "sim.context.starve"
+let site_chain_break = F.site "sim.chain.break"
 
 type pcmap = {
   bases : (string, int array) Hashtbl.t;  (* per func: block start offsets *)
@@ -123,6 +134,7 @@ let free_count m =
 let chk_allowed m ~now (ctx : context) =
   free_count m >= m.cfg.Config.chk_min_free
   && now - ctx.last_chk_fire >= m.cfg.Config.chk_refractory
+  && (not (F.fire site_starve))
   && (ctx.last_chk_fire <- now;
       true)
 
@@ -158,7 +170,7 @@ let note_thread_end m (ctx : context) ~now ~watchdog =
   end
 
 let try_spawn m ~now ~src ~fn ~blk ~live_in =
-  match free_context m with
+  match if F.fire site_spawn_deny then None else free_context m with
   | None ->
     T.incr m.tel_spawn_denied;
     (match m.attrib with Some a -> Attrib.spawn_denied a ~src | None -> ());
@@ -173,7 +185,8 @@ let try_spawn m ~now ~src ~fn ~blk ~live_in =
     Array.fill ctx.reg_level 0 (Array.length ctx.reg_level) None;
     ctx.fills <- [];
     ctx.redirect_until <-
-      now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency;
+      now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency
+      + (if F.fire site_spawn_delay then 64 else 0);
     ctx.spawned_at <- now;
     ctx.spawn_src <- Some src;
     ctx.spawn_target <-
@@ -265,10 +278,15 @@ let demand_access m ~now ~ctx ~iref addr =
 
 let watchdog_check m ~now ctx =
   let th = ctx.thread in
-  if th.Thread.speculative && th.Thread.active
-     && th.Thread.instrs > m.cfg.Config.spec_watchdog
-  then begin
-    T.incr m.tel_watchdog_kills;
-    th.Thread.active <- false;
-    note_thread_end m ctx ~now ~watchdog:true
-  end
+  if th.Thread.speculative && th.Thread.active then
+    if th.Thread.instrs > m.cfg.Config.spec_watchdog then begin
+      T.incr m.tel_watchdog_kills;
+      th.Thread.active <- false;
+      note_thread_end m ctx ~now ~watchdog:true
+    end
+    else if F.fire site_kill then begin
+      (* Injected random spec-thread kill: ends the occupancy exactly the
+         way a watchdog kill does, minus the watchdog counter. *)
+      th.Thread.active <- false;
+      note_thread_end m ctx ~now ~watchdog:true
+    end

@@ -2,6 +2,11 @@
     program-counter numbering (for the branch predictor and the instruction
     cache), round-robin thread selection, and the spawn policy. *)
 
+val site_chain_break : Ssp_fault.Fault.site
+(** Fault site for injected chained-spawn breakage; queried by the cycle
+    models when a {e speculative} thread executes a [Spawn] (only they
+    know which context is stepping). *)
+
 type pcmap
 
 val pcmap_of : Ssp_ir.Prog.t -> pcmap

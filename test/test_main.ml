@@ -12,5 +12,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("attrib", Test_attrib.suite);
       ("parallel", Test_parallel.suite);
+      ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
     ]

@@ -56,6 +56,33 @@ let test_exception_lowest_index () =
       Alcotest.(check (list int)) "reusable" [ 10; 20 ]
         (Pool.map pool (fun x -> x * 10) [ 1; 2 ]))
 
+(* The winning (lowest-index) exception must carry the *worker's*
+   backtrace: the pool stores the raw backtrace captured at the raise
+   site and re-raises with [Printexc.raise_with_backtrace], so the trace
+   names this file, not the pool's re-raise site. *)
+let test_exception_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  (* Non-tail recursion so the raise site leaves real frames. *)
+  let rec deep n = if n = 0 then failwith "deep-raise" else 1 + deep (n - 1) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let f i =
+        Printexc.record_backtrace true;
+        if i = 2 then deep 10 else i
+      in
+      match Pool.map pool f (List.init 8 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        let bt = Printexc.get_backtrace () in
+        Alcotest.(check string) "original exception" "deep-raise" msg;
+        let mentions_worker =
+          let n = String.length bt and sub = "test_parallel" in
+          let m = String.length sub in
+          let rec go i = i + m <= n && (String.sub bt i m = sub || go (i + 1)) in
+          go 0
+        in
+        if not mentions_worker then
+          Alcotest.failf "backtrace lost the worker's frames:@.%s" bt)
+
 let test_map_reduce () =
   Pool.with_pool ~jobs:4 (fun pool ->
       let xs = List.init 101 Fun.id in
@@ -149,6 +176,8 @@ let suite =
       test_sequential_fallback;
     Alcotest.test_case "lowest-index exception propagates" `Quick
       test_exception_lowest_index;
+    Alcotest.test_case "exception keeps worker backtrace" `Quick
+      test_exception_backtrace_preserved;
     Alcotest.test_case "map_reduce" `Quick test_map_reduce;
     Alcotest.test_case "run executes every task once" `Quick
       test_run_side_effects;
