@@ -4,8 +4,9 @@
    Usage: main.exe [--quick] [--jobs N] [--trace OUT.JSON] [--json BENCH.JSON]
                    [--check-perf] [--update-baseline] [--baseline PATH]
                    [table1] [fig2] [table2] [fig8] [fig9] [fig10]
-                   [hand] [ablate] [perf] [scaling] [micro]
-   With no selection, everything except [scaling] runs in paper order.
+                   [hand] [ablate] [perf] [scaling] [serving] [micro]
+   With no selection, everything except [scaling] and [serving] runs in
+   paper order.
    [--quick] switches to small working sets and scaled-down caches (same
    shapes, seconds instead of minutes). [--jobs N] runs the heavy
    simulation/adaptation work across N domains (outputs are identical to
@@ -16,7 +17,9 @@
    coverage / accuracy / timeliness) as machine-readable JSON — and the
    [scaling] section its jobs=1 vs jobs=N wall-clock comparison (the
    BENCH_3 artifact), which also re-checks that parallel output is
-   byte-identical to sequential and exits non-zero if not.
+   byte-identical to sequential and exits non-zero if not — and the
+   [serving] section its daemon cold/warm adapt latency and warm
+   requests/sec.
    [--check-perf] is a regression gate: it times the jobs=1 pipeline and
    sim phases under --quick and fails (exit 1) if either regressed more
    than 25% against the committed baseline ([--baseline PATH], default
@@ -263,6 +266,94 @@ let scaling ~setting ~jobs ~json () =
     exit 1
   end
 
+(* ---- serving: daemon cold/warm latency and warm throughput ---- *)
+
+(* Host the daemon in-process on a thread, time one cold and one warm
+   'adapt mcf' (the warm one must be a cache hit), then measure warm
+   requests/sec with two client threads against a jobs=2 pool. Uses the
+   test scale: serving latency is about the store, not the working set. *)
+let serving ~json () =
+  let dir = Filename.temp_dir "sspc_bench_serving" "" in
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    {
+      Ssp_server.Server.socket;
+      jobs = 2;
+      cache =
+        Some (Ssp_store.Store.Cache.open_dir (Filename.concat dir "cache"));
+      max_frame = Ssp_server.Proto.default_max_frame;
+      timeout_s = 300.;
+    }
+  in
+  let th = Thread.create Ssp_server.Server.serve cfg in
+  let rec wait tries =
+    if tries = 0 then failwith "serving bench: daemon never came up";
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      Thread.delay 0.05;
+      wait (tries - 1)
+  in
+  wait 100;
+  let scale = Ssp_workloads.Suite.test_scale in
+  let adapt name =
+    match
+      Ssp_server.Client.request ~socket
+        (Ssp_server.Proto.Adapt
+           { prog = Ssp_server.Proto.Workload name; scale;
+             pipeline = "inorder" })
+    with
+    | Ssp_server.Proto.Adapted { cache; _ } -> cache
+    | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+      failwith (Printf.sprintf "serving bench: server error [%s]: %s" pass what)
+    | _ -> failwith "serving bench: unexpected reply"
+  in
+  let cold_status, cold_s = time (fun () -> adapt "mcf") in
+  let warm_status, warm_s = time (fun () -> adapt "mcf") in
+  ignore (adapt "em3d");
+  let n_requests = 40 in
+  let (), total_s =
+    time (fun () ->
+        let clients =
+          List.init 2 (fun i ->
+              Thread.create
+                (fun () ->
+                  for k = 1 to n_requests / 2 do
+                    ignore (adapt (if (i + k) mod 2 = 0 then "mcf" else "em3d"))
+                  done)
+                ())
+        in
+        List.iter Thread.join clients)
+  in
+  let rps = float_of_int n_requests /. total_s in
+  (match Ssp_server.Client.request ~socket Ssp_server.Proto.Shutdown with
+  | Ssp_server.Proto.Ok_reply -> ()
+  | _ -> failwith "serving bench: shutdown not acknowledged");
+  Thread.join th;
+  Format.fprintf ppf "%-34s %8.3fs  (cache %s)@." "cold adapt mcf" cold_s
+    cold_status;
+  Format.fprintf ppf "%-34s %8.3fs  (cache %s, %.1fx faster)@."
+    "warm adapt mcf" warm_s warm_status
+    (cold_s /. Float.max 1e-9 warm_s);
+  Format.fprintf ppf "%-34s %8.1f req/s  (%d warm requests, jobs=2)@."
+    "warm throughput" rps n_requests;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"section\":\"serving\",\"jobs\":2,\"cold\":{\"seconds\":%.4f,\
+       \"cache\":\"%s\"},\"warm\":{\"seconds\":%.4f,\"cache\":\"%s\"},\
+       \"warm_speedup\":%.3f,\"throughput\":{\"requests\":%d,\
+       \"seconds\":%.4f,\"rps\":%.2f}}\n"
+      cold_s cold_status warm_s warm_status
+      (cold_s /. Float.max 1e-9 warm_s)
+      n_requests total_s rps;
+    close_out oc;
+    Format.fprintf ppf "@.serving JSON written to %s@." path
+
 (* ---- --check-perf: jobs=1 wall-clock regression gate ---- *)
 
 let read_file path =
@@ -506,6 +597,12 @@ let () =
   if List.mem "scaling" wanted then begin
     section "scaling";
     wall (scaling ~setting ~jobs ~json)
+  end;
+  (* The serving bench hosts a daemon in-process; like scaling, it only
+     runs when asked for explicitly. *)
+  if List.mem "serving" wanted then begin
+    section "serving";
+    wall (serving ~json)
   end;
   run "micro" micro;
   (match trace with

@@ -37,6 +37,10 @@ let guard k =
   | Ssp_ir.Asm.Error (msg, line) ->
     fail2 (Printf.sprintf "%s (line %d)" msg line)
   | Ssp_ir.Error.Error e -> fail2 (Ssp_ir.Error.to_string e)
+  | Unix.Unix_error (e, _, arg) ->
+    fail2
+      (if String.equal arg "" then Unix.error_message e
+       else arg ^ ": " ^ Unix.error_message e)
 
 let read_source path_or_workload scale =
   match Ssp_workloads.Suite.find path_or_workload with
@@ -180,14 +184,39 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let store_arg =
+  let doc =
+    "Use the content-addressed artifact store in $(docv): profiles and \
+     adaptation results are looked up by content hash before being \
+     recomputed. The cache status (hit/miss) is reported on stderr; stdout \
+     stays byte-identical to an uncached run."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let cache_status_string = function
+  | `Hit -> "hit"
+  | `Miss -> "miss"
+  | `Off -> "off"
+
 let adapt_cmd =
-  let run src scale out trace jobs =
+  let run src scale out trace jobs store =
     guard @@ fun () ->
     with_trace trace @@ fun () ->
+    let config = Ssp_machine.Config.in_order in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
-    let profile = Ssp_profiling.Collect.collect prog in
     let adapted =
-      Ssp.Adapt.run ~jobs ~config:Ssp_machine.Config.in_order prog profile
+      match store with
+      | None ->
+        let profile = Ssp_profiling.Collect.collect prog in
+        Ssp.Adapt.run ~jobs ~config prog profile
+      | Some dir ->
+        let cache = Ssp_store.Store.Cache.open_dir dir in
+        let profile, _ = Ssp_store.Store.cached_profile ~cache ~config prog in
+        let result, status =
+          Ssp_store.Store.run_cached ~cache ~jobs ~config prog profile
+        in
+        Printf.eprintf "sspc: cache %s\n%!" (cache_status_string status);
+        result
     in
     Format.printf "%a@." Ssp.Report.pp adapted.Ssp.Adapt.report;
     with_out out (fun ppf ->
@@ -196,7 +225,9 @@ let adapt_cmd =
   Cmd.v
     (Cmd.info "adapt"
        ~doc:"Run the SSP post-pass; emit the adapted binary as assembly")
-    Term.(const run $ src_arg $ scale_arg $ out_arg $ trace_arg $ jobs_arg)
+    Term.(
+      const run $ src_arg $ scale_arg $ out_arg $ trace_arg $ jobs_arg
+      $ store_arg)
 
 let pipeline_arg =
   let doc = "Pipeline model: inorder or ooo." in
@@ -427,6 +458,168 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table 1 machine models")
     Term.(const run $ const ())
 
+(* ---- the adaptation service (sspc serve / sspc client ...) ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the adaptation daemon." in
+  Arg.(
+    value & opt string "/tmp/sspc.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket jobs store no_cache max_frame timeout trace =
+    guard @@ fun () ->
+    with_trace trace @@ fun () ->
+    let cache =
+      if no_cache then None
+      else begin
+        let dir =
+          match store with
+          | Some d -> d
+          | None -> Ssp_store.Store.Cache.default_dir ()
+        in
+        Some (Ssp_store.Store.Cache.open_dir dir)
+      end
+    in
+    Ssp_server.Server.serve
+      {
+        Ssp_server.Server.socket;
+        jobs;
+        cache;
+        max_frame;
+        timeout_s = timeout;
+      }
+  in
+  let store_dir_arg =
+    let doc =
+      "Artifact-store directory (default: $SSPC_CACHE_DIR, else \
+       $XDG_CACHE_HOME/sspc, else ~/.cache/sspc)."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_flag =
+    let doc = "Serve without the content-addressed artifact store." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Reject request frames larger than $(docv) bytes." in
+    Arg.(
+      value
+      & opt int Ssp_server.Proto.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-request budget in seconds: queued requests and half-received \
+       frames older than this get a structured timeout error."
+    in
+    Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the adaptation daemon: a Unix-domain-socket service that \
+          batches concurrent adapt/sim requests across a domain pool and \
+          answers repeated requests from the content-addressed artifact \
+          store")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ store_dir_arg $ no_cache_flag
+      $ max_frame_arg $ timeout_arg $ trace_arg)
+
+(* Workload names travel by name (the server compiles them); anything
+   else is read here and shipped as source text. *)
+let prog_ref_of src scale =
+  match Ssp_workloads.Suite.find src with
+  | _ -> Ssp_server.Proto.Workload src
+  | exception Not_found ->
+    let ic = open_in src in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    ignore scale;
+    Ssp_server.Proto.Source text
+
+let server_error_to_exit2 = function
+  | Ssp_server.Proto.Error_reply { pass; what; injected = _ } ->
+    fail2 (Printf.sprintf "server error [%s]: %s" pass what)
+  | resp -> resp
+
+let write_text out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+
+let client_adapt_cmd =
+  let run src scale pipeline socket out =
+    guard @@ fun () ->
+    let req =
+      Ssp_server.Proto.Adapt { prog = prog_ref_of src scale; scale; pipeline }
+    in
+    match server_error_to_exit2 (Ssp_server.Client.request ~socket req) with
+    | Ssp_server.Proto.Adapted { report; asm; cache } ->
+      (* Cache status goes to stderr so stdout stays byte-identical to
+         the offline 'sspc adapt'. *)
+      Printf.eprintf "sspc: cache %s\n%!" cache;
+      print_string report;
+      write_text out asm
+    | _ -> fail2 "unexpected reply to adapt request"
+  in
+  Cmd.v
+    (Cmd.info "adapt" ~doc:"Adapt via the daemon (output matches 'sspc adapt')")
+    Term.(
+      const run $ src_arg $ scale_arg $ pipeline_arg $ socket_arg $ out_arg)
+
+let client_sim_cmd =
+  let run src scale pipeline ssp socket =
+    guard @@ fun () ->
+    let req =
+      Ssp_server.Proto.Sim
+        { prog = prog_ref_of src scale; scale; pipeline; ssp }
+    in
+    match server_error_to_exit2 (Ssp_server.Client.request ~socket req) with
+    | Ssp_server.Proto.Simmed { stats } -> print_string stats
+    | _ -> fail2 "unexpected reply to sim request"
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Cycle-simulate via the daemon")
+    Term.(
+      const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ socket_arg)
+
+let client_stats_cmd =
+  let run socket =
+    guard @@ fun () ->
+    match
+      server_error_to_exit2
+        (Ssp_server.Client.request ~socket Ssp_server.Proto.Stats)
+    with
+    | Ssp_server.Proto.Stats_reply { summary } -> print_string summary
+    | _ -> fail2 "unexpected reply to stats request"
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's telemetry summary")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    guard @@ fun () ->
+    match
+      server_error_to_exit2
+        (Ssp_server.Client.request ~socket Ssp_server.Proto.Shutdown)
+    with
+    | Ssp_server.Proto.Ok_reply -> ()
+    | _ -> fail2 "unexpected reply to shutdown request"
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop the daemon (acknowledged before exit)")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running adaptation daemon (see 'sspc serve')")
+    [ client_adapt_cmd; client_sim_cmd; client_stats_cmd; client_shutdown_cmd ]
+
 let () =
   let info = Cmd.info "sspc" ~doc:"SSP post-pass binary adaptation tool" in
   exit
@@ -442,6 +635,8 @@ let () =
             explain_cmd;
             stats_cmd;
             chaos_cmd;
+            serve_cmd;
+            client_cmd;
             bench_cmd;
             table1_cmd;
           ]))

@@ -208,6 +208,30 @@ let apply_choices ?(diags = []) prog ~config choices delinquent =
     prefetch_map = gen.Codegen.prefetch_map;
   }
 
+type knobs = {
+  coverage : float;
+  combining : bool;
+  force_basic : bool;
+  force_predict : bool;
+  unroll : int;
+}
+
+let default_knobs =
+  {
+    coverage = 0.9;
+    combining = true;
+    force_basic = false;
+    force_predict = false;
+    unroll = 1;
+  }
+
+(* Canonical, injective rendering: part of the content-addressed cache
+   key, so any knob change must change this string. %h renders the float
+   exactly. *)
+let knobs_string k =
+  Printf.sprintf "coverage=%h;combining=%b;force_basic=%b;force_predict=%b;unroll=%d"
+    k.coverage k.combining k.force_basic k.force_predict k.unroll
+
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
     ?(force_predict = false) ?(unroll = 1) ?(jobs = 1) ~config prog profile =
   T.with_span "adapt" @@ fun () ->
@@ -287,3 +311,8 @@ let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
       choices
   in
   apply_choices ~diags:!diags prog ~config choices delinquent
+
+let run_knobs ?(jobs = 1) ~knobs ~config prog profile =
+  run ~coverage:knobs.coverage ~combining:knobs.combining
+    ~force_basic:knobs.force_basic ~force_predict:knobs.force_predict
+    ~unroll:knobs.unroll ~jobs ~config prog profile

@@ -47,6 +47,33 @@ val run :
     [result.report.diagnostics].  Ladder decisions are keyed by the
     load's identity, so they are identical under any [jobs] value. *)
 
+type knobs = {
+  coverage : float;
+  combining : bool;
+  force_basic : bool;
+  force_predict : bool;
+  unroll : int;
+}
+(** The ablation knobs of {!run} as a first-class record, so callers that
+    memoize adaptation results (the content-addressed store, the serving
+    daemon) can canonicalize the full configuration. *)
+
+val default_knobs : knobs
+(** The defaults of {!run} (the paper's tool). *)
+
+val knobs_string : knobs -> string
+(** Canonical injective rendering — any knob change changes the string.
+    Used as a cache-key component by [Ssp_store]. *)
+
+val run_knobs :
+  ?jobs:int ->
+  knobs:knobs ->
+  config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  result
+(** {!run} with the knobs passed as a record. *)
+
 val apply_choices :
   ?diags:Report.diag list ->
   Ssp_ir.Prog.t ->

@@ -34,6 +34,7 @@ type t = {
   sites : Attrib.site_summary list;
   profile_coverage : float; (* miss-cycle coverage of the selected loads *)
   cycles : int; (* simulated cycles of the attributed run *)
+  diagnostics : Report.diag list; (* degradation-ladder decisions *)
 }
 
 let region_string r = Format.asprintf "%a" Ssp_analysis.Regions.pp r
@@ -92,6 +93,7 @@ let build ~(result : Adapt.result) ~(stats : Ssp_sim.Stats.t)
     sites = attrib.Attrib.sites;
     profile_coverage = d.Delinquent.covered;
     cycles = stats.Ssp_sim.Stats.cycles;
+    diagnostics = result.Adapt.report.Report.diagnostics;
   }
 
 (* ---- table rendering ---- *)
@@ -163,6 +165,14 @@ let pp ppf t =
           (Iref.to_string s.Attrib.ss_site)
           s.Attrib.ss_spawns s.Attrib.ss_denied)
       t.sites
+  end;
+  if t.diagnostics <> [] then begin
+    Format.fprintf ppf "degradations (%d):@," (List.length t.diagnostics);
+    List.iter
+      (fun (d : Report.diag) ->
+        Format.fprintf ppf "  %-20s %-10s %-16s %s@," d.Report.load
+          d.Report.stage d.Report.action d.Report.detail)
+      t.diagnostics
   end;
   Format.fprintf ppf "@]"
 
@@ -304,6 +314,16 @@ let to_json t =
                   ("site", str (Iref.to_string s.Attrib.ss_site));
                   ("spawns", int s.Attrib.ss_spawns);
                   ("denied", int s.Attrib.ss_denied);
+                ]) );
+      ( "diagnostics",
+        fun () ->
+          buf_list b t.diagnostics (fun (d : Report.diag) ->
+              buf_obj b
+                [
+                  ("load", str d.Report.load);
+                  ("stage", str d.Report.stage);
+                  ("action", str d.Report.action);
+                  ("detail", str d.Report.detail);
                 ]) );
     ];
   Buffer.contents b

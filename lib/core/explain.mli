@@ -37,6 +37,11 @@ type t = {
   sites : Ssp_sim.Attrib.site_summary list;
   profile_coverage : float;
   cycles : int;  (** simulated cycles of the attributed run *)
+  diagnostics : Report.diag list;
+      (** the adaptation run's degradation-ladder decisions (per-load
+          rung downgrades and skips), verbatim from
+          [result.report.diagnostics] — rendered as a table section by
+          {!pp} and a ["diagnostics"] array by {!to_json} *)
 }
 
 val build :

@@ -83,7 +83,14 @@ let adapt_health ~config prog profile =
         sorted;
       (match Ssp_ir.Validate.check adapted with
       | Ok () -> ()
-      | Error _ -> invalid_arg "Hand.adapt_health: invalid rewrite");
+      | Error (e :: _) ->
+        Ssp_ir.Error.raise_error ~pass:"hand"
+          ?instr:(Option.map Ssp_ir.Iref.to_string e.Ssp_ir.Validate.where)
+          ("adapt_health produced an invalid rewrite: "
+          ^ e.Ssp_ir.Validate.message)
+      | Error [] ->
+        Ssp_ir.Error.raise_error ~pass:"hand"
+          "adapt_health produced an invalid rewrite");
       Some auto
     end
   end

@@ -409,9 +409,13 @@ let build regions profile cfg ~trips (slice : Slice.t) =
                       :: !new_live)
                 (Reaching.reaching_defs reach ~use r))
             (Op.uses op))
-        (extra @ [ (match continue_branch regions slice with
-                    | Some (br, _, _) -> br
-                    | None -> List.hd extra) ]);
+        (extra @ [ (match (continue_branch regions slice, extra) with
+                    | Some (br, _, _), _ -> br
+                    | None, e :: _ -> e
+                    | None, [] ->
+                      Ssp_ir.Error.raise_error ~pass:"schedule" ~fn
+                        "chaining schedule: region has neither a continue \
+                         branch nor chained uses to seed live-ins from") ]);
       ignore reg;
       { slice with Slice.live_ins = slice.Slice.live_ins @ List.rev !new_live }
   in

@@ -104,6 +104,37 @@ let scale_caches t factor =
   in
   { t with l1 = sc t.l1; l2 = sc t.l2; l3 = sc t.l3 }
 
+(* Canonical identity string: every field that can change simulation or
+   adaptation behaviour, in a fixed order. Content-addressed caching keys
+   on this, so two configs fingerprint equal iff they are the same
+   machine. *)
+let fingerprint t =
+  let geom (g : cache_geom) =
+    Printf.sprintf "%d/%d/%d/%d" g.size_bytes g.ways g.line_bytes g.latency
+  in
+  let mm =
+    match t.memory_mode with
+    | Normal -> "normal"
+    | Perfect_memory -> "perfect"
+    | Perfect_delinquent s ->
+      "perfect-delinquent:"
+      ^ String.concat ","
+          (List.map Ssp_ir.Iref.to_string (Ssp_ir.Iref.Set.elements s))
+  in
+  Printf.sprintf
+    "%s|ctx=%d|fetch=%d/%d|issue=%d/%d|units=%d/%d/%d|eq=%d|rob=%d|rs=%d|\
+     retire=%d|fep=%d|l1=%s|l2=%s|l3=%s|mem=%d|fill=%d|gshare=%d|btb=%d/%d|\
+     spawnflush=%b|chkfree=%d|chkrefr=%d|lib=%d|spawn=%d|watchdog=%d|\
+     maxcyc=%d|mm=%s"
+    (match t.pipeline with In_order -> "inorder" | Out_of_order -> "ooo")
+    t.n_contexts t.fetch_bundles t.fetch_threads t.issue_bundles
+    t.issue_threads t.int_units t.mem_ports t.br_units
+    t.expansion_queue_bundles t.rob_entries t.rs_entries t.retire_width
+    t.front_end_penalty (geom t.l1) (geom t.l2) (geom t.l3) t.mem_latency
+    t.fill_buffer_entries t.gshare_entries t.btb_entries t.btb_ways
+    t.spawn_flush t.chk_min_free t.chk_refractory t.lib_latency
+    t.spawn_latency t.spec_watchdog t.max_cycles mm
+
 let pp ppf t =
   let pipe =
     match t.pipeline with

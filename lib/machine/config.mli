@@ -78,5 +78,11 @@ val scale_caches : t -> int -> t
 (** Divide every cache size by the factor (for fast tests; geometry kept
     legal). *)
 
+val fingerprint : t -> string
+(** Canonical identity string covering every behaviour-affecting field;
+    two configs fingerprint equal iff they describe the same machine.
+    Content-addressed caching ({!Ssp_store}) keys adapted artifacts on
+    it. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders the Table 1 parameter block. *)

@@ -1,0 +1,12 @@
+let request ?max_frame ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Proto.write_frame fd (Proto.encode_request req);
+  match Proto.read_frame ?max_frame fd with
+  | Some payload -> Proto.decode_response payload
+  | None ->
+    Ssp_ir.Error.raise_error ~pass:"proto"
+      "server closed the connection without replying"

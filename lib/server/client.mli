@@ -1,0 +1,8 @@
+(** Blocking client for the adaptation daemon: connect, send one framed
+    request, read the framed response, close. *)
+
+val request :
+  ?max_frame:int -> socket:string -> Proto.request -> Proto.response
+(** Raises [Unix.Unix_error] when the socket cannot be reached and
+    [Ssp_ir.Error.Error] (pass ["proto"]) when the server's reply is
+    malformed or the connection dies mid-reply. *)

@@ -1,0 +1,184 @@
+(* Wire protocol: 4-byte big-endian length framing, then a magic +
+   version + tag + Bin-encoded body. Shares the binary primitives with
+   the artifact store so the two layers cannot drift apart. *)
+
+module Bin = Ssp_store.Store.Bin
+
+let proto_version = 1
+let default_max_frame = 8 * 1024 * 1024
+let req_magic = "SSPQ"
+let resp_magic = "SSPR"
+
+let malformed what = Ssp_ir.Error.raise_error ~pass:"proto" what
+
+type program_ref = Workload of string | Source of string
+
+type request =
+  | Adapt of { prog : program_ref; scale : int; pipeline : string }
+  | Sim of { prog : program_ref; scale : int; pipeline : string; ssp : bool }
+  | Stats
+  | Shutdown
+
+type error_info = { pass : string; what : string; injected : bool }
+
+type response =
+  | Adapted of { report : string; asm : string; cache : string }
+  | Simmed of { stats : string }
+  | Stats_reply of { summary : string }
+  | Ok_reply
+  | Error_reply of error_info
+
+(* ---- body codecs ---- *)
+
+let w_program_ref b = function
+  | Workload name ->
+    Bin.w_u8 b 0;
+    Bin.w_str b name
+  | Source text ->
+    Bin.w_u8 b 1;
+    Bin.w_str b text
+
+let r_program_ref r =
+  match Bin.r_u8 r with
+  | 0 -> Workload (Bin.r_str r)
+  | 1 -> Source (Bin.r_str r)
+  | t -> malformed (Printf.sprintf "unknown program-ref tag %d" t)
+
+let encode magic emit =
+  let b = Bin.writer () in
+  Bin.w_str b magic;
+  Bin.w_u8 b proto_version;
+  emit b;
+  Bin.contents b
+
+let decode magic payload k =
+  let r = Bin.reader payload in
+  let m = Bin.r_str r in
+  if not (String.equal m magic) then malformed "bad payload magic";
+  let v = Bin.r_u8 r in
+  if v <> proto_version then
+    malformed (Printf.sprintf "protocol version %d (want %d)" v proto_version);
+  let x = k r in
+  Bin.expect_end r;
+  x
+
+let encode_request req =
+  encode req_magic (fun b ->
+      match req with
+      | Adapt { prog; scale; pipeline } ->
+        Bin.w_u8 b 1;
+        w_program_ref b prog;
+        Bin.w_int b scale;
+        Bin.w_str b pipeline
+      | Sim { prog; scale; pipeline; ssp } ->
+        Bin.w_u8 b 2;
+        w_program_ref b prog;
+        Bin.w_int b scale;
+        Bin.w_str b pipeline;
+        Bin.w_bool b ssp
+      | Stats -> Bin.w_u8 b 3
+      | Shutdown -> Bin.w_u8 b 4)
+
+let decode_request payload =
+  decode req_magic payload (fun r ->
+      match Bin.r_u8 r with
+      | 1 ->
+        let prog = r_program_ref r in
+        let scale = Bin.r_int r in
+        let pipeline = Bin.r_str r in
+        Adapt { prog; scale; pipeline }
+      | 2 ->
+        let prog = r_program_ref r in
+        let scale = Bin.r_int r in
+        let pipeline = Bin.r_str r in
+        let ssp = Bin.r_bool r in
+        Sim { prog; scale; pipeline; ssp }
+      | 3 -> Stats
+      | 4 -> Shutdown
+      | t -> malformed (Printf.sprintf "unknown request tag %d" t))
+
+let encode_response resp =
+  encode resp_magic (fun b ->
+      match resp with
+      | Adapted { report; asm; cache } ->
+        Bin.w_u8 b 1;
+        Bin.w_str b report;
+        Bin.w_str b asm;
+        Bin.w_str b cache
+      | Simmed { stats } ->
+        Bin.w_u8 b 2;
+        Bin.w_str b stats
+      | Stats_reply { summary } ->
+        Bin.w_u8 b 3;
+        Bin.w_str b summary
+      | Ok_reply -> Bin.w_u8 b 4
+      | Error_reply { pass; what; injected } ->
+        Bin.w_u8 b 255;
+        Bin.w_str b pass;
+        Bin.w_str b what;
+        Bin.w_bool b injected)
+
+let decode_response payload =
+  decode resp_magic payload (fun r ->
+      match Bin.r_u8 r with
+      | 1 ->
+        let report = Bin.r_str r in
+        let asm = Bin.r_str r in
+        let cache = Bin.r_str r in
+        Adapted { report; asm; cache }
+      | 2 -> Simmed { stats = Bin.r_str r }
+      | 3 -> Stats_reply { summary = Bin.r_str r }
+      | 4 -> Ok_reply
+      | 255 ->
+        let pass = Bin.r_str r in
+        let what = Bin.r_str r in
+        let injected = Bin.r_bool r in
+        Error_reply { pass; what; injected }
+      | t -> malformed (Printf.sprintf "unknown response tag %d" t))
+
+(* ---- framing ---- *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Buffer.create (n + 4) in
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w = 0 then malformed "short write";
+    off := !off + w
+  done
+
+let write_frame fd payload = write_all fd (frame payload)
+
+let read_exact fd n ~eof_ok =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while !off < n && not !eof do
+    match Unix.read fd b !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  if !eof then
+    if !off = 0 && eof_ok then None else malformed "truncated frame"
+  else Some (Bytes.to_string b)
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exact fd 4 ~eof_ok:true with
+  | None -> None
+  | Some hdr ->
+    let n = Int32.to_int (String.get_int32_be hdr 0) in
+    if n < 0 || n > max_frame then
+      malformed (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_frame);
+    if n = 0 then Some ""
+    else (
+      match read_exact fd n ~eof_ok:false with
+      | Some payload -> Some payload
+      | None -> malformed "truncated frame")

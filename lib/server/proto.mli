@@ -1,0 +1,53 @@
+(** Wire protocol of the adaptation service.
+
+    Length-prefixed framing (4-byte big-endian frame length, then the
+    frame payload) over a Unix-domain stream socket. Each payload starts
+    with a direction magic (["SSPQ"] request / ["SSPR"] response) and a
+    protocol version byte, then a {!Ssp_store.Store.Bin}-encoded body.
+    Decoders raise structured {!Ssp_ir.Error.Error}s (pass ["proto"]) on
+    anything malformed — a bad frame becomes an error reply, never a dead
+    connection or a crash. *)
+
+val proto_version : int
+
+val default_max_frame : int
+(** Frames larger than this are rejected (8 MiB). *)
+
+type program_ref =
+  | Workload of string  (** a named suite workload, compiled server-side *)
+  | Source of string  (** mini-C source text shipped in the request *)
+
+type request =
+  | Adapt of { prog : program_ref; scale : int; pipeline : string }
+      (** run the post-pass; reply carries the report and the adapted
+          binary as assembly text *)
+  | Sim of { prog : program_ref; scale : int; pipeline : string; ssp : bool }
+      (** cycle simulation, optionally adapting first *)
+  | Stats  (** the server's telemetry summary *)
+  | Shutdown  (** acknowledge, then stop serving *)
+
+type error_info = { pass : string; what : string; injected : bool }
+
+type response =
+  | Adapted of { report : string; asm : string; cache : string }
+      (** [cache] is ["hit"], ["miss"] or ["off"] *)
+  | Simmed of { stats : string }
+  | Stats_reply of { summary : string }
+  | Ok_reply
+  | Error_reply of error_info
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+val frame : string -> string
+(** Prefix a payload with its 4-byte big-endian length. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write [frame payload] fully (blocking). *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string option
+(** Read one complete frame (blocking). [None] on clean EOF before any
+    byte; raises [Ssp_ir.Error.Error] (pass ["proto"]) on a truncated
+    frame or one larger than [max_frame]. *)

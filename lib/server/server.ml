@@ -1,0 +1,275 @@
+module T = Ssp_telemetry.Telemetry
+module Store = Ssp_store.Store
+
+type config = {
+  socket : string;
+  jobs : int;
+  cache : Store.Cache.t option;
+  max_frame : int;
+  timeout_s : float;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    jobs = 2;
+    cache = Some (Store.Cache.open_dir (Store.Cache.default_dir ()));
+    max_frame = Proto.default_max_frame;
+    timeout_s = 60.;
+  }
+
+(* ---- request execution (runs on pool workers; must never raise) ---- *)
+
+let config_of_pipeline = function
+  | "ooo" -> Ssp_machine.Config.out_of_order
+  | _ -> Ssp_machine.Config.in_order
+
+let compile_ref prog_ref scale =
+  match prog_ref with
+  | Proto.Workload name -> (
+    match Ssp_workloads.Suite.find name with
+    | w -> Ssp_minic.Frontend.compile (w.Ssp_workloads.Workload.source scale)
+    | exception Not_found ->
+      Ssp_ir.Error.raise_error ~pass:"server" ("unknown workload " ^ name))
+  | Proto.Source text -> Ssp_minic.Frontend.compile text
+
+let cache_status = function `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
+
+(* Profile + adapt through the store. The reported status is the adapt
+   lookup's: that is the expensive artifact, and the one whose hit makes
+   the reply byte-identical-but-fast. *)
+let adapted_for cache ~config prog =
+  let profile, _ = Store.cached_profile ?cache ~config prog in
+  let result, status = Store.run_cached ?cache ~config prog profile in
+  (result, cache_status status)
+
+let error_reply (e : Ssp_ir.Error.info) =
+  T.count "server.errors" 1;
+  Proto.Error_reply
+    { pass = e.Ssp_ir.Error.pass;
+      what = Ssp_ir.Error.to_string e;
+      injected = e.Ssp_ir.Error.injected }
+
+let plain_error pass what =
+  T.count "server.errors" 1;
+  Proto.Error_reply { pass; what; injected = false }
+
+let handle cfg req =
+  try
+    match req with
+    | Proto.Adapt { prog; scale; pipeline } ->
+      let config = config_of_pipeline pipeline in
+      let prog = compile_ref prog scale in
+      let result, status = adapted_for cfg.cache ~config prog in
+      if String.equal status "hit" then T.count "server.cache_hit" 1;
+      Proto.Adapted
+        {
+          report = Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report;
+          asm = Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog;
+          cache = status;
+        }
+    | Proto.Sim { prog; scale; pipeline; ssp } ->
+      let config = config_of_pipeline pipeline in
+      let prog = compile_ref prog scale in
+      let prog =
+        if ssp then
+          let result, _ = adapted_for cfg.cache ~config prog in
+          result.Ssp.Adapt.prog
+        else prog
+      in
+      let stats =
+        match config.Ssp_machine.Config.pipeline with
+        | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run config prog
+        | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
+      in
+      Proto.Simmed { stats = Format.asprintf "%a@." Ssp_sim.Stats.pp stats }
+    | Proto.Stats | Proto.Shutdown ->
+      (* Control requests are answered inline by the loop. *)
+      plain_error "server" "control request routed to a worker"
+  with
+  | Ssp_ir.Error.Error e -> error_reply e
+  | Ssp_minic.Frontend.Error msg -> plain_error "frontend" msg
+  | Ssp_ir.Asm.Error (msg, line) ->
+    plain_error "asm" (Printf.sprintf "%s (line %d)" msg line)
+  | Failure msg | Invalid_argument msg -> plain_error "server" msg
+  | Stack_overflow -> plain_error "server" "stack overflow"
+  | e -> plain_error "server" (Printexc.to_string e)
+
+(* ---- connection state ---- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (** bytes received, not yet framed *)
+  mutable last : float;  (** last activity, for partial-frame timeouts *)
+  mutable closing : bool;
+}
+
+(* Greedily split complete frames off [c.pending]. Returns the payloads
+   plus a protocol error if the next frame declares an illegal length. *)
+let pop_frames max_frame c =
+  let frames = ref [] in
+  let err = ref None in
+  let continue = ref true in
+  while !continue do
+    let len = String.length c.pending in
+    if len < 4 then continue := false
+    else begin
+      let n = Int32.to_int (String.get_int32_be c.pending 0) in
+      if n < 0 || n > max_frame then begin
+        err :=
+          Some (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_frame);
+        continue := false
+      end
+      else if len < 4 + n then continue := false
+      else begin
+        frames := String.sub c.pending 4 n :: !frames;
+        c.pending <- String.sub c.pending (4 + n) (len - 4 - n)
+      end
+    end
+  done;
+  (List.rev !frames, !err)
+
+let serve cfg =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd 16;
+  let pool = Ssp_parallel.Pool.create ~jobs:(max 1 cfg.jobs) in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let running = ref true in
+  let depth_series = T.series "server.queue_depth" in
+  let batch_no = ref 0 in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  (* A reply the peer won't take (gone, or not draining) only loses that
+     connection, never the loop. *)
+  let send c resp =
+    try Proto.write_frame c.fd (Proto.encode_response resp)
+    with Unix.Unix_error _ | Ssp_ir.Error.Error _ -> c.closing <- true
+  in
+  let chunk = Bytes.create 65536 in
+  let finally () =
+    Ssp_parallel.Pool.shutdown pool;
+    Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  while !running do
+    let fds =
+      listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    in
+    let readable =
+      match Unix.select fds [] [] 1.0 with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    let now = Unix.gettimeofday () in
+    let batch = ref [] in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then begin
+          match Unix.accept listen_fd with
+          | afd, _ ->
+            Hashtbl.replace conns afd
+              { fd = afd; pending = ""; last = now; closing = false }
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              (* EOF. Any half-received frame is a mid-request disconnect;
+                 there is nobody left to send an error to. *)
+              close_conn c
+            | k ->
+              c.last <- now;
+              c.pending <- c.pending ^ Bytes.sub_string chunk 0 k;
+              let frames, err = pop_frames cfg.max_frame c in
+              List.iter
+                (fun payload ->
+                  match Proto.decode_request payload with
+                  | req -> batch := (c, req, now) :: !batch
+                  | exception Ssp_ir.Error.Error e ->
+                    send c (error_reply e);
+                    c.closing <- true)
+                frames;
+              (match err with
+              | Some what ->
+                send c (plain_error "proto" what);
+                c.closing <- true
+              | None -> ())
+            | exception Unix.Unix_error _ -> close_conn c))
+      readable;
+    (* Partial frames that stopped growing get a structured timeout. *)
+    Hashtbl.iter
+      (fun _ c ->
+        if
+          (not c.closing)
+          && String.length c.pending > 0
+          && now -. c.last > cfg.timeout_s
+        then begin
+          send c (plain_error "server" "request timed out (incomplete frame)");
+          c.closing <- true
+        end)
+      conns;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      incr batch_no;
+      T.count "server.batches" 1;
+      (* Control requests are cheap and answered inline; work requests
+         are batched across the pool. *)
+      List.iter
+        (fun (c, req, _) ->
+          match req with
+          | Proto.Stats ->
+            T.count "server.requests" 1;
+            send c
+              (Proto.Stats_reply
+                 { summary = Format.asprintf "%a" T.pp_summary (T.report ()) })
+          | Proto.Shutdown ->
+            T.count "server.requests" 1;
+            send c Proto.Ok_reply;
+            running := false
+          | Proto.Adapt _ | Proto.Sim _ -> ())
+        batch;
+      let work =
+        List.filter
+          (fun (_, req, _) ->
+            match req with
+            | Proto.Adapt _ | Proto.Sim _ -> true
+            | Proto.Stats | Proto.Shutdown -> false)
+          batch
+      in
+      T.sample depth_series ~x:(float_of_int !batch_no)
+        ~y:(float_of_int (List.length work));
+      let replies =
+        Ssp_parallel.Pool.map pool
+          (fun (_, req, t0) ->
+            if Unix.gettimeofday () -. t0 > cfg.timeout_s then
+              plain_error "server" "request timed out in queue"
+            else T.with_span "server.request" (fun () -> handle cfg req))
+          work
+      in
+      List.iter2
+        (fun (c, _, _) resp ->
+          T.count "server.requests" 1;
+          send c resp)
+        work replies
+    end;
+    (* Sweep connections marked for closing (outside any Hashtbl.iter). *)
+    let doomed =
+      Hashtbl.fold (fun _ c acc -> if c.closing then c :: acc else acc) conns
+        []
+    in
+    List.iter close_conn doomed
+  done

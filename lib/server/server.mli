@@ -1,0 +1,42 @@
+(** The adaptation daemon: a Unix-domain-socket service front-ending the
+    post-pass pipeline.
+
+    One [serve] call binds the socket and runs a single-threaded
+    [Unix.select] accept/read loop. Complete request frames collected in
+    one loop round form a batch; work requests ([Adapt]/[Sim]) fan out
+    across a long-lived {!Ssp_parallel.Pool} (created once at start-up,
+    shut down at exit), so concurrent clients share the domain pool
+    instead of forking pipelines. Adapt requests go through the
+    content-addressed store ({!Ssp_store.Store.run_cached} /
+    [cached_profile]) when a cache is configured, so a repeated request
+    is a disk lookup, not a recompute.
+
+    Robustness: every per-request failure — unknown workload, source
+    that does not compile, a malformed or oversized frame, an injected
+    fault — becomes a structured {!Proto.response.Error_reply}; client
+    misbehaviour (mid-request disconnect, a partial frame left to rot
+    past the timeout) closes that connection only. The daemon itself
+    stops only on a [Shutdown] request. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (unlinked on exit) *)
+  jobs : int;  (** domain-pool width for batched work requests *)
+  cache : Ssp_store.Store.Cache.t option;
+      (** [None] disables the artifact store ([cache = "off"] replies) *)
+  max_frame : int;  (** per-frame byte limit, {!Proto.default_max_frame} *)
+  timeout_s : float;
+      (** per-request budget: a request still queued (or a partial frame
+          still unfinished) after this many seconds gets a structured
+          timeout error instead of service *)
+}
+
+val default_config : socket:string -> config
+(** [jobs = 2], a cache in {!Ssp_store.Store.Cache.default_dir},
+    [max_frame = Proto.default_max_frame], [timeout_s = 60.]. *)
+
+val serve : config -> unit
+(** Bind, listen and serve until a [Shutdown] request (blocking). Raises
+    [Unix.Unix_error] if the socket cannot be bound. Telemetry (when
+    enabled): [server.requests], [server.errors], [server.cache_hit],
+    [server.batches], a [server.queue_depth] series sampled per batch,
+    and a [server.request] span per served request. *)

@@ -1,0 +1,576 @@
+(* Content-addressed artifact store: canonical binary codecs for the
+   pipeline's durable artifacts inside a versioned, hash-sealed envelope,
+   plus the on-disk cache and the cache-aware pipeline fast paths.
+
+   Canonical means: hash-table contents are emitted in sorted key order
+   and programs travel as their assembly text (the one serialization the
+   repo already guarantees round-trips structurally). Decode -> encode is
+   therefore byte-identical, which is what lets a blob's digest double as
+   the artifact's identity. *)
+
+module Iref = Ssp_ir.Iref
+module Profile = Ssp_profiling.Profile
+module T = Ssp_telemetry.Telemetry
+
+let format_version = 1
+let magic = "SSPA"
+
+let corrupt what = Ssp_ir.Error.raise_error ~pass:"store" what
+
+(* ---- binary primitives ---- *)
+
+module Bin = struct
+  type writer = Buffer.t
+
+  let writer () = Buffer.create 1024
+  let contents = Buffer.contents
+  let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+  let w_int b v = Buffer.add_int64_be b (Int64.of_int v)
+  let w_bool b v = w_u8 b (if v then 1 else 0)
+  let w_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+  let w_str b s =
+    w_int b (String.length s);
+    Buffer.add_string b s
+
+  type reader = { data : string; mutable pos : int }
+
+  let reader data = { data; pos = 0 }
+
+  let need r n =
+    if r.pos + n > String.length r.data then corrupt "payload truncated"
+
+  let r_u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let r_int r =
+    need r 8;
+    let v = Int64.to_int (String.get_int64_be r.data r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let r_bool r =
+    match r_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | _ -> corrupt "malformed boolean"
+
+  let r_float r =
+    need r 8;
+    let v = Int64.float_of_bits (String.get_int64_be r.data r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let r_str r =
+    let n = r_int r in
+    if n < 0 then corrupt "negative string length";
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let at_end r = r.pos = String.length r.data
+  let expect_end r = if not (at_end r) then corrupt "trailing bytes in payload"
+end
+
+(* ---- envelope: magic | version | kind | payload length | payload | md5 ---- *)
+
+let header_len = 4 + 2 + 1 + 8
+let digest_len = 16
+
+let kind_name = function
+  | 1 -> "program"
+  | 2 -> "profile"
+  | 3 -> "report"
+  | 4 -> "adapted"
+  | _ -> "unknown"
+
+let seal ~kind payload =
+  let b = Buffer.create (String.length payload + header_len + digest_len) in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_be b format_version;
+  Buffer.add_uint8 b kind;
+  Buffer.add_int64_be b (Int64.of_int (String.length payload));
+  Buffer.add_string b payload;
+  let body = Buffer.contents b in
+  body ^ Digest.string body
+
+let unseal ~kind blob =
+  let len = String.length blob in
+  if len < header_len + digest_len then corrupt "blob truncated";
+  if not (String.equal (String.sub blob 0 4) magic) then corrupt "bad magic";
+  let ver = (Char.code blob.[4] lsl 8) lor Char.code blob.[5] in
+  if ver <> format_version then
+    corrupt (Printf.sprintf "format version %d (want %d)" ver format_version);
+  let k = Char.code blob.[6] in
+  if k <> kind then
+    corrupt
+      (Printf.sprintf "artifact kind %s (want %s)" (kind_name k)
+         (kind_name kind));
+  let plen = Int64.to_int (String.get_int64_be blob 7) in
+  if plen < 0 || plen <> len - header_len - digest_len then
+    corrupt "payload length mismatch";
+  let body = String.sub blob 0 (len - digest_len) in
+  let dig = String.sub blob (len - digest_len) digest_len in
+  if not (String.equal (Digest.string body) dig) then
+    corrupt "content hash mismatch";
+  String.sub blob header_len plen
+
+(* ---- iref / common sub-codecs ---- *)
+
+let w_iref b (i : Iref.t) =
+  Bin.w_str b i.Iref.fn;
+  Bin.w_int b i.Iref.blk;
+  Bin.w_int b i.Iref.ins
+
+let r_iref r =
+  let fn = Bin.r_str r in
+  let blk = Bin.r_int r in
+  let ins = Bin.r_int r in
+  Iref.make fn blk ins
+
+let w_list b xs emit =
+  Bin.w_int b (List.length xs);
+  List.iter (emit b) xs
+
+let r_list r read =
+  let n = Bin.r_int r in
+  if n < 0 then corrupt "negative list length";
+  List.init n (fun _ -> read r)
+
+(* ---- program ----
+
+   The payload is the assembly text: the repo's one canonical program
+   serialization, validated on parse, and stable under print -> parse ->
+   print. *)
+
+let encode_program p = seal ~kind:1 (Ssp_ir.Asm.to_string p)
+
+let decode_program blob =
+  let text = unseal ~kind:1 blob in
+  match Ssp_ir.Asm.parse text with
+  | p -> p
+  | exception Ssp_ir.Asm.Error (msg, line) ->
+    corrupt (Printf.sprintf "embedded program rejected: %s (line %d)" msg line)
+
+(* ---- profile ---- *)
+
+let sorted_tbl tbl fold cmp =
+  fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let profile_payload (p : Profile.t) =
+  let b = Bin.writer () in
+  let blocks =
+    sorted_tbl p.Profile.blocks
+      (fun f tbl acc -> Hashtbl.fold f tbl acc)
+      String.compare
+  in
+  w_list b blocks (fun b (fn, arr) ->
+      Bin.w_str b fn;
+      Bin.w_int b (Array.length arr);
+      Array.iter (Bin.w_int b) arr);
+  let branches =
+    sorted_tbl p.Profile.branches
+      (fun f tbl acc -> Iref.Tbl.fold f tbl acc)
+      Iref.compare
+  in
+  w_list b branches (fun b (i, (s : Profile.branch_stats)) ->
+      w_iref b i;
+      Bin.w_int b s.Profile.taken;
+      Bin.w_int b s.Profile.not_taken);
+  let loads =
+    sorted_tbl p.Profile.loads
+      (fun f tbl acc -> Iref.Tbl.fold f tbl acc)
+      Iref.compare
+  in
+  w_list b loads (fun b (i, (s : Profile.load_stats)) ->
+      w_iref b i;
+      Bin.w_int b s.Profile.accesses;
+      Bin.w_int b s.Profile.l1_hits;
+      Bin.w_int b s.Profile.l2_hits;
+      Bin.w_int b s.Profile.l3_hits;
+      Bin.w_int b s.Profile.mem_hits;
+      Bin.w_int b s.Profile.partial_hits;
+      Bin.w_int b s.Profile.miss_cycles);
+  let calls =
+    sorted_tbl p.Profile.calls
+      (fun f tbl acc -> Iref.Tbl.fold f tbl acc)
+      Iref.compare
+  in
+  w_list b calls (fun b (i, tbl) ->
+      w_iref b i;
+      let callees =
+        sorted_tbl tbl (fun f t acc -> Hashtbl.fold f t acc) String.compare
+      in
+      w_list b callees (fun b (callee, n) ->
+          Bin.w_str b callee;
+          Bin.w_int b n));
+  Bin.w_int b p.Profile.total_instrs;
+  Bin.contents b
+
+let encode_profile p = seal ~kind:2 (profile_payload p)
+
+let profile_of_payload payload =
+  let r = Bin.reader payload in
+  let p = Profile.create () in
+  List.iter
+    (fun (fn, arr) -> Hashtbl.replace p.Profile.blocks fn arr)
+    (r_list r (fun r ->
+         let fn = Bin.r_str r in
+         let n = Bin.r_int r in
+         if n < 0 then corrupt "negative block count";
+         (fn, Array.init n (fun _ -> Bin.r_int r))));
+  List.iter
+    (fun (i, s) -> Iref.Tbl.replace p.Profile.branches i s)
+    (r_list r (fun r ->
+         let i = r_iref r in
+         let taken = Bin.r_int r in
+         let not_taken = Bin.r_int r in
+         (i, { Profile.taken; not_taken })));
+  List.iter
+    (fun (i, s) -> Iref.Tbl.replace p.Profile.loads i s)
+    (r_list r (fun r ->
+         let i = r_iref r in
+         let accesses = Bin.r_int r in
+         let l1_hits = Bin.r_int r in
+         let l2_hits = Bin.r_int r in
+         let l3_hits = Bin.r_int r in
+         let mem_hits = Bin.r_int r in
+         let partial_hits = Bin.r_int r in
+         let miss_cycles = Bin.r_int r in
+         ( i,
+           {
+             Profile.accesses;
+             l1_hits;
+             l2_hits;
+             l3_hits;
+             mem_hits;
+             partial_hits;
+             miss_cycles;
+           } )));
+  List.iter
+    (fun (i, tbl) -> Iref.Tbl.replace p.Profile.calls i tbl)
+    (r_list r (fun r ->
+         let i = r_iref r in
+         let callees =
+           r_list r (fun r ->
+               let callee = Bin.r_str r in
+               let n = Bin.r_int r in
+               (callee, n))
+         in
+         let tbl = Hashtbl.create (max 4 (List.length callees)) in
+         List.iter (fun (c, n) -> Hashtbl.replace tbl c n) callees;
+         (i, tbl)));
+  p.Profile.total_instrs <- Bin.r_int r;
+  Bin.expect_end r;
+  p
+
+let decode_profile blob = profile_of_payload (unseal ~kind:2 blob)
+
+(* ---- report ---- *)
+
+let report_payload_into b (t : Ssp.Report.t) =
+  w_list b t.Ssp.Report.slices (fun b (s : Ssp.Report.slice_info) ->
+      Bin.w_str b s.Ssp.Report.fn;
+      Bin.w_str b s.Ssp.Report.region;
+      Bin.w_str b s.Ssp.Report.model;
+      Bin.w_int b s.Ssp.Report.size;
+      Bin.w_int b s.Ssp.Report.live_ins;
+      Bin.w_bool b s.Ssp.Report.interprocedural;
+      Bin.w_int b s.Ssp.Report.targets;
+      Bin.w_int b s.Ssp.Report.triggers;
+      Bin.w_int b s.Ssp.Report.trips;
+      Bin.w_int b s.Ssp.Report.slack1;
+      Bin.w_float b s.Ssp.Report.available_ilp;
+      Bin.w_str b s.Ssp.Report.spawn_condition);
+  w_list b t.Ssp.Report.diagnostics (fun b (d : Ssp.Report.diag) ->
+      Bin.w_str b d.Ssp.Report.load;
+      Bin.w_str b d.Ssp.Report.stage;
+      Bin.w_str b d.Ssp.Report.action;
+      Bin.w_str b d.Ssp.Report.detail);
+  Bin.w_int b t.Ssp.Report.n_delinquent;
+  Bin.w_float b t.Ssp.Report.coverage
+
+let report_of_reader r =
+  let slices =
+    r_list r (fun r ->
+        let fn = Bin.r_str r in
+        let region = Bin.r_str r in
+        let model = Bin.r_str r in
+        let size = Bin.r_int r in
+        let live_ins = Bin.r_int r in
+        let interprocedural = Bin.r_bool r in
+        let targets = Bin.r_int r in
+        let triggers = Bin.r_int r in
+        let trips = Bin.r_int r in
+        let slack1 = Bin.r_int r in
+        let available_ilp = Bin.r_float r in
+        let spawn_condition = Bin.r_str r in
+        {
+          Ssp.Report.fn;
+          region;
+          model;
+          size;
+          live_ins;
+          interprocedural;
+          targets;
+          triggers;
+          trips;
+          slack1;
+          available_ilp;
+          spawn_condition;
+        })
+  in
+  let diagnostics =
+    r_list r (fun r ->
+        let load = Bin.r_str r in
+        let stage = Bin.r_str r in
+        let action = Bin.r_str r in
+        let detail = Bin.r_str r in
+        { Ssp.Report.load; stage; action; detail })
+  in
+  let n_delinquent = Bin.r_int r in
+  let coverage = Bin.r_float r in
+  { Ssp.Report.slices; n_delinquent; coverage; diagnostics }
+
+let encode_report t =
+  let b = Bin.writer () in
+  report_payload_into b t;
+  seal ~kind:3 (Bin.contents b)
+
+let decode_report blob =
+  let r = Bin.reader (unseal ~kind:3 blob) in
+  let t = report_of_reader r in
+  Bin.expect_end r;
+  t
+
+(* ---- adapted result ---- *)
+
+type adapted = {
+  prog : Ssp_ir.Prog.t;
+  report : Ssp.Report.t;
+  prefetch_map : Iref.t Iref.Map.t;
+}
+
+let encode_adapted a =
+  let b = Bin.writer () in
+  Bin.w_str b (Ssp_ir.Asm.to_string a.prog);
+  report_payload_into b a.report;
+  (* Map bindings are already sorted by key. *)
+  w_list b (Iref.Map.bindings a.prefetch_map) (fun b (site, load) ->
+      w_iref b site;
+      w_iref b load);
+  seal ~kind:4 (Bin.contents b)
+
+let decode_adapted blob =
+  let r = Bin.reader (unseal ~kind:4 blob) in
+  let text = Bin.r_str r in
+  let prog =
+    match Ssp_ir.Asm.parse text with
+    | p -> p
+    | exception Ssp_ir.Asm.Error (msg, line) ->
+      corrupt
+        (Printf.sprintf "embedded adapted program rejected: %s (line %d)" msg
+           line)
+  in
+  let report = report_of_reader r in
+  let prefetch_map =
+    List.fold_left
+      (fun acc (site, load) -> Iref.Map.add site load acc)
+      Iref.Map.empty
+      (r_list r (fun r ->
+           let site = r_iref r in
+           let load = r_iref r in
+           (site, load)))
+  in
+  Bin.expect_end r;
+  { prog; report; prefetch_map }
+
+(* ---- content hashes and cache keys ---- *)
+
+let hash_program p = Digest.to_hex (Digest.string (Ssp_ir.Asm.to_string p))
+let hash_profile p = Digest.to_hex (Digest.string (profile_payload p))
+let cache_key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* ---- on-disk cache ---- *)
+
+module Cache = struct
+  type t = { dir : string; max_bytes : int }
+
+  let default_dir () =
+    match Sys.getenv_opt "SSPC_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "sspc"
+      | _ ->
+        let home = Option.value ~default:"." (Sys.getenv_opt "HOME") in
+        Filename.concat (Filename.concat home ".cache") "sspc")
+
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let open_dir ?(max_bytes = 256 * 1024 * 1024) dir =
+    mkdir_p dir;
+    { dir; max_bytes = max 0 max_bytes }
+
+  let dir t = t.dir
+  let path t key = Filename.concat t.dir (key ^ ".blob")
+
+  let entries t =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> []
+    | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if Filename.check_suffix name ".blob" then
+               let p = Filename.concat t.dir name in
+               match Unix.stat p with
+               | st when st.Unix.st_kind = Unix.S_REG ->
+                 Some (p, st.Unix.st_size, st.Unix.st_mtime)
+               | _ | (exception Unix.Unix_error _) -> None
+             else None)
+
+  let size_bytes t = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 (entries t)
+  let entry_count t = List.length (entries t)
+
+  let touch p =
+    try Unix.utimes p 0.0 0.0 (* both zero: set atime/mtime to now *)
+    with Unix.Unix_error _ -> ()
+
+  let find t key =
+    let p = path t key in
+    match open_in_bin p with
+    | exception Sys_error _ -> None
+    | ic ->
+      let blob =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      touch p;
+      Some blob
+
+  let remove t key = try Sys.remove (path t key) with Sys_error _ -> ()
+
+  (* Oldest-mtime-first eviction until the total fits the cap. *)
+  let evict t =
+    let es = entries t in
+    let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 es in
+    if total > t.max_bytes then begin
+      let oldest_first =
+        List.sort (fun (_, _, a) (_, _, b) -> compare a b) es
+      in
+      let excess = ref (total - t.max_bytes) in
+      List.iter
+        (fun (p, sz, _) ->
+          if !excess > 0 then begin
+            (try Sys.remove p with Sys_error _ -> ());
+            excess := !excess - sz;
+            T.count "store.evict" 1
+          end)
+        oldest_first
+    end
+
+  let put t key blob =
+    let tmp =
+      Filename.concat t.dir
+        (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) key)
+    in
+    (try
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc blob);
+       Unix.rename tmp (path t key);
+       T.count "store.put" 1
+     with Sys_error _ | Unix.Unix_error _ ->
+       (try Sys.remove tmp with Sys_error _ -> ()));
+    evict t
+
+  let get t key ~decode =
+    match find t key with
+    | None ->
+      T.count "store.miss" 1;
+      None
+    | Some blob -> (
+      match decode blob with
+      | v ->
+        T.count "store.hit" 1;
+        Some v
+      | exception Ssp_ir.Error.Error _ ->
+        T.count "store.corrupt" 1;
+        remove t key;
+        None)
+end
+
+(* ---- cache-aware pipeline fast paths ---- *)
+
+let cached_profile ?cache ?(config = Ssp_machine.Config.in_order) prog =
+  match cache with
+  | None -> (Ssp_profiling.Collect.collect ~config prog, `Off)
+  | Some c -> (
+    let key =
+      cache_key
+        [
+          "profile";
+          string_of_int format_version;
+          hash_program prog;
+          Ssp_machine.Config.fingerprint config;
+        ]
+    in
+    match Cache.get c key ~decode:decode_profile with
+    | Some p -> (p, `Hit)
+    | None ->
+      let p = Ssp_profiling.Collect.collect ~config prog in
+      Cache.put c key (encode_profile p);
+      (p, `Miss))
+
+let run_cached ?cache ?(jobs = 1) ?(knobs = Ssp.Adapt.default_knobs) ~config
+    prog profile =
+  match cache with
+  | None -> (Ssp.Adapt.run_knobs ~jobs ~knobs ~config prog profile, `Off)
+  | Some c -> (
+    let key =
+      cache_key
+        [
+          "adapted";
+          string_of_int format_version;
+          hash_program prog;
+          hash_profile profile;
+          Ssp_machine.Config.fingerprint config;
+          Ssp.Adapt.knobs_string knobs;
+        ]
+    in
+    match
+      T.with_span "store.lookup" (fun () ->
+          Cache.get c key ~decode:decode_adapted)
+    with
+    | Some a ->
+      let delinquent =
+        Ssp.Delinquent.identify ~coverage:knobs.Ssp.Adapt.coverage prog profile
+      in
+      ( {
+          Ssp.Adapt.prog = a.prog;
+          report = a.report;
+          delinquent;
+          choices = [];
+          prefetch_map = a.prefetch_map;
+        },
+        `Hit )
+    | None ->
+      let r = Ssp.Adapt.run_knobs ~jobs ~knobs ~config prog profile in
+      Cache.put c key
+        (encode_adapted
+           {
+             prog = r.Ssp.Adapt.prog;
+             report = r.Ssp.Adapt.report;
+             prefetch_map = r.Ssp.Adapt.prefetch_map;
+           });
+      (r, `Miss))

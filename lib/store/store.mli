@@ -1,0 +1,156 @@
+(** Content-addressed artifact store.
+
+    Versioned, integrity-checked binary serialization for the pipeline's
+    three durable artifacts — programs ({!Ssp_ir.Prog.t}), profiles
+    ({!Ssp_profiling.Profile.t}) and adaptation results (adapted program +
+    {!Ssp.Report.t} + prefetch map) — plus an on-disk content-addressed
+    cache keyed by [hash(program) x hash(profile) x canonicalized adapt
+    configuration].
+
+    Every blob is an envelope: 4-byte magic, format version, artifact
+    kind, payload length, payload, and an MD5 content hash over
+    everything before it. Decoding verifies all of them and raises a
+    structured {!Ssp_ir.Error.Error} (pass ["store"]) on any mismatch, so
+    a truncated or bit-flipped blob is always rejected, never
+    misinterpreted. Encoding is canonical (hash-table contents are
+    emitted in sorted order), so serialize -> deserialize -> serialize is
+    byte-identical — the property the cache keys rely on.
+
+    The cache publishes atomically (write to a dot-temporary in the same
+    directory, then rename), caps its total size LRU-by-mtime, and treats
+    a corrupt entry as a miss: the entry is deleted, the
+    [store.corrupt] telemetry counter is bumped, and the caller
+    recomputes. *)
+
+val format_version : int
+(** Bumped whenever any payload encoding changes; part of every envelope
+    and of every cache key, so stale-format entries simply miss. *)
+
+(** Low-level binary reader/writer used by every codec (and by the wire
+    protocol of {!Ssp_server}). Integers are 8-byte big-endian, strings
+    length-prefixed, floats bit-exact via their IEEE-754 image. Readers
+    raise [Ssp_ir.Error.Error] (pass ["store"]) on underflow. *)
+module Bin : sig
+  type writer
+
+  val writer : unit -> writer
+  val contents : writer -> string
+  val w_u8 : writer -> int -> unit
+  val w_int : writer -> int -> unit
+  val w_bool : writer -> bool -> unit
+  val w_float : writer -> float -> unit
+  val w_str : writer -> string -> unit
+
+  type reader
+
+  val reader : string -> reader
+  val r_u8 : reader -> int
+  val r_int : reader -> int
+  val r_bool : reader -> bool
+  val r_float : reader -> float
+  val r_str : reader -> string
+  val at_end : reader -> bool
+  val expect_end : reader -> unit
+  (** Raises if trailing bytes remain (catches mis-framed payloads). *)
+end
+
+(** {1 Artifact codecs} *)
+
+val encode_program : Ssp_ir.Prog.t -> string
+val decode_program : string -> Ssp_ir.Prog.t
+
+val encode_profile : Ssp_profiling.Profile.t -> string
+val decode_profile : string -> Ssp_profiling.Profile.t
+
+val encode_report : Ssp.Report.t -> string
+val decode_report : string -> Ssp.Report.t
+
+type adapted = {
+  prog : Ssp_ir.Prog.t;  (** the adapted binary *)
+  report : Ssp.Report.t;
+  prefetch_map : Ssp_ir.Iref.t Ssp_ir.Iref.Map.t;
+}
+(** The cacheable part of an {!Ssp.Adapt.result}: everything a served
+    [adapt] or [sim] needs. (Selection-stage [choices] are not
+    serialized; a cache hit carries an empty choice list.) *)
+
+val encode_adapted : adapted -> string
+val decode_adapted : string -> adapted
+
+(** {1 Content hashes and cache keys} *)
+
+val hash_program : Ssp_ir.Prog.t -> string
+(** Hex digest of the program's canonical serialization. *)
+
+val hash_profile : Ssp_profiling.Profile.t -> string
+
+val cache_key : string list -> string
+(** Hex digest of the joined key parts (order-sensitive). *)
+
+(** {1 On-disk content-addressed cache} *)
+
+module Cache : sig
+  type t
+
+  val default_dir : unit -> string
+  (** [$SSPC_CACHE_DIR], else [$XDG_CACHE_HOME/sspc], else
+      [~/.cache/sspc]. *)
+
+  val open_dir : ?max_bytes:int -> string -> t
+  (** Creates the directory (and parents) if missing. [max_bytes]
+      (default 256 MiB) caps the total size of cached blobs; the
+      least-recently-used entries (by mtime; hits touch) are evicted
+      after each [put]. *)
+
+  val dir : t -> string
+
+  val find : t -> string -> string option
+  (** Raw blob by key; touches the entry's mtime on hit. No integrity
+      check — use {!get}. *)
+
+  val put : t -> string -> string -> unit
+  (** Atomic write-then-rename publication, then LRU eviction. I/O
+      errors are swallowed (the cache is best-effort; computation never
+      fails because the cache is unwritable). *)
+
+  val remove : t -> string -> unit
+
+  val get : t -> string -> decode:(string -> 'a) -> 'a option
+  (** {!find} + decode. A blob the decoder rejects is deleted and
+      counted under the [store.corrupt] telemetry counter, and the call
+      returns [None] — corruption is indistinguishable from a miss.
+      Bumps [store.hit] / [store.miss] accordingly. *)
+
+  val size_bytes : t -> int
+  (** Total bytes of cached blobs currently on disk. *)
+
+  val entry_count : t -> int
+end
+
+(** {1 Cache-aware pipeline fast paths} *)
+
+val cached_profile :
+  ?cache:Cache.t ->
+  ?config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t * [ `Hit | `Miss | `Off ]
+(** {!Ssp_profiling.Collect.collect}, memoized by
+    [hash(program) x config]. Profiling runs the whole program on the
+    functional simulator, so for a long-lived service this is the
+    dominant cost a warm cache removes. *)
+
+val run_cached :
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?knobs:Ssp.Adapt.knobs ->
+  config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  Ssp.Adapt.result * [ `Hit | `Miss | `Off ]
+(** {!Ssp.Adapt.run}, memoized by
+    [hash(program) x hash(profile) x fingerprint(config) x knobs]. On a
+    hit the adapted program, report and prefetch map are decoded from
+    the store ([result.choices] is empty; the delinquent-load set is
+    re-identified, which is cheap); the adapted program is byte-identical
+    to what the cold run produced. On a miss the result is computed and
+    published. [`Off] means no cache was supplied. *)

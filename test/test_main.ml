@@ -13,5 +13,7 @@ let () =
       ("attrib", Test_attrib.suite);
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
+      ("store", Test_store.suite);
+      ("server", Test_server.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,257 @@
+(* The adaptation daemon, hosted in-process on a thread: served replies
+   must be byte-identical to the offline pipeline, a warm cache must
+   hit, and chaos clients (malformed frames, oversized frames,
+   mid-request disconnects) must get structured errors — or lose only
+   their own connection — while the daemon keeps serving. *)
+
+module Server = Ssp_server.Server
+module Client = Ssp_server.Client
+module Proto = Ssp_server.Proto
+module Store = Ssp_store.Store
+module Suite = Ssp_workloads.Suite
+module Workload = Ssp_workloads.Workload
+
+let scale = Suite.test_scale
+let config = Ssp_machine.Config.in_order
+
+let wait_for_socket socket =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "server socket never came up";
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      Thread.delay 0.05;
+      go (tries - 1)
+  in
+  go 100
+
+let with_server ?(jobs = 2) ?(with_cache = true) ?(timeout_s = 60.) f =
+  let dir = Filename.temp_dir "sspc_server_test" "" in
+  let socket = Filename.concat dir "d.sock" in
+  let cache =
+    if with_cache then
+      Some (Store.Cache.open_dir (Filename.concat dir "cache"))
+    else None
+  in
+  let cfg =
+    {
+      Server.socket;
+      jobs;
+      cache;
+      max_frame = Proto.default_max_frame;
+      timeout_s;
+    }
+  in
+  let th = Thread.create Server.serve cfg in
+  wait_for_socket socket;
+  let shut () =
+    (try ignore (Client.request ~socket Proto.Shutdown)
+     with Unix.Unix_error _ | Ssp_ir.Error.Error _ -> ());
+    Thread.join th
+  in
+  Fun.protect ~finally:shut (fun () -> f socket)
+
+let offline_adapt name =
+  let prog = Workload.program (Suite.find name) ~scale in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let result = Ssp.Adapt.run ~config prog profile in
+  ( Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report,
+    Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog )
+
+let adapt_req name =
+  Proto.Adapt { prog = Proto.Workload name; scale; pipeline = "inorder" }
+
+let expect_adapted = function
+  | Proto.Adapted { report; asm; cache } -> (report, asm, cache)
+  | Proto.Error_reply { pass; what; _ } ->
+    Alcotest.fail (Printf.sprintf "server error [%s]: %s" pass what)
+  | _ -> Alcotest.fail "expected an Adapted reply"
+
+let test_adapt_cold_warm_identical () =
+  with_server @@ fun socket ->
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let r1, a1, c1 = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  let r2, a2, c2 = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  Alcotest.(check string) "cold request misses" "miss" c1;
+  Alcotest.(check string) "warm request hits" "hit" c2;
+  Alcotest.(check bool) "cold report matches offline" true
+    (String.equal exp_report r1);
+  Alcotest.(check bool) "cold asm matches offline" true
+    (String.equal exp_asm a1);
+  Alcotest.(check bool) "warm report identical" true (String.equal r1 r2);
+  Alcotest.(check bool) "warm asm identical" true (String.equal a1 a2)
+
+let test_no_cache_serves_off () =
+  with_server ~with_cache:false @@ fun socket ->
+  let _, _, c = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  Alcotest.(check string) "cacheless server reports off" "off" c
+
+let test_sim_matches_offline () =
+  with_server @@ fun socket ->
+  let prog = Workload.program (Suite.find "em3d") ~scale in
+  let expected =
+    Format.asprintf "%a@." Ssp_sim.Stats.pp (Ssp_sim.Inorder.run config prog)
+  in
+  match
+    Client.request ~socket
+      (Proto.Sim
+         { prog = Proto.Workload "em3d"; scale; pipeline = "inorder";
+           ssp = false })
+  with
+  | Proto.Simmed { stats } ->
+    Alcotest.(check bool) "sim stats match offline" true
+      (String.equal expected stats)
+  | _ -> Alcotest.fail "expected a Simmed reply"
+
+let test_stats_and_errors () =
+  with_server @@ fun socket ->
+  (match Client.request ~socket Proto.Stats with
+  | Proto.Stats_reply _ -> ()
+  | _ -> Alcotest.fail "expected a Stats reply");
+  (match Client.request ~socket (adapt_req "no-such-workload") with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "unknown workload is a server error" "server" pass
+  | _ -> Alcotest.fail "expected an error for an unknown workload");
+  match
+    Client.request ~socket
+      (Proto.Adapt
+         { prog = Proto.Source "int main( {"; scale; pipeline = "inorder" })
+  with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "bad source is a frontend error" "frontend" pass
+  | _ -> Alcotest.fail "expected an error for unparsable source"
+
+(* ---- chaos clients ---- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let test_malformed_frame () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  (* A well-framed payload of garbage: decoding must fail structurally. *)
+  Proto.write_frame fd "this is not a request";
+  (match Proto.read_frame fd with
+  | Some payload -> (
+    match Proto.decode_response payload with
+    | Proto.Error_reply _ -> ()
+    | _ -> Alcotest.fail "expected an error reply to garbage")
+  | None -> Alcotest.fail "server closed without replying");
+  Unix.close fd;
+  (* The daemon survived. *)
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  ()
+
+let test_oversized_frame () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  (* Only the 4-byte header, declaring an absurd length. *)
+  let b = Buffer.create 4 in
+  Buffer.add_int32_be b (Int32.of_int (Proto.default_max_frame + 1));
+  let n = Unix.write_substring fd (Buffer.contents b) 0 4 in
+  Alcotest.(check int) "header sent" 4 n;
+  (match Proto.read_frame fd with
+  | Some payload -> (
+    match Proto.decode_response payload with
+    | Proto.Error_reply { pass; _ } ->
+      Alcotest.(check string) "oversized frame is a proto error" "proto" pass
+    | _ -> Alcotest.fail "expected an error reply to an oversized frame")
+  | None -> Alcotest.fail "server closed without replying");
+  Unix.close fd;
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  ()
+
+let test_mid_request_disconnect () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  (* Declare 100 payload bytes, deliver 10, vanish. *)
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b 100l;
+  Buffer.add_string b "partialpay";
+  ignore (Unix.write_substring fd (Buffer.contents b) 0 (Buffer.length b));
+  Unix.close fd;
+  (* The daemon shrugs and keeps serving. *)
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  ()
+
+let test_partial_frame_times_out () =
+  with_server ~timeout_s:0.2 @@ fun socket ->
+  let fd = raw_connect socket in
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b 100l;
+  Buffer.add_string b "stalled";
+  ignore (Unix.write_substring fd (Buffer.contents b) 0 (Buffer.length b));
+  (* Don't finish the frame; the server's sweep must reply with a
+     structured timeout (its select tick is 1s). *)
+  (match Proto.read_frame fd with
+  | Some payload -> (
+    match Proto.decode_response payload with
+    | Proto.Error_reply { pass; what; _ } ->
+      Alcotest.(check string) "timeout is a server error" "server" pass;
+      Alcotest.(check bool) "mentions the timeout" true
+        (String.length what > 0)
+    | _ -> Alcotest.fail "expected a timeout error reply")
+  | None -> Alcotest.fail "server closed without replying");
+  Unix.close fd
+
+let test_concurrent_clients () =
+  with_server ~jobs:2 @@ fun socket ->
+  let results = Array.make 4 None in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let name = if i mod 2 = 0 then "em3d" else "mst" in
+            results.(i) <- Some (Client.request ~socket (adapt_req name)))
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Proto.Adapted _) -> ()
+      | Some (Proto.Error_reply { pass; what; _ }) ->
+        Alcotest.fail
+          (Printf.sprintf "client %d got server error [%s]: %s" i pass what)
+      | _ -> Alcotest.fail (Printf.sprintf "client %d got no reply" i))
+    results
+
+let test_shutdown () =
+  let dir = Filename.temp_dir "sspc_server_test" "" in
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      Server.cache = None;
+      jobs = 1;
+    }
+  in
+  let th = Thread.create Server.serve cfg in
+  wait_for_socket socket;
+  (match Client.request ~socket Proto.Shutdown with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "expected shutdown to be acknowledged");
+  Thread.join th;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let suite =
+  [
+    Alcotest.test_case "adapt: cold/warm, byte-identical to offline" `Quick
+      test_adapt_cold_warm_identical;
+    Alcotest.test_case "adapt without a cache" `Quick test_no_cache_serves_off;
+    Alcotest.test_case "sim matches offline" `Quick test_sim_matches_offline;
+    Alcotest.test_case "stats + structured request errors" `Quick
+      test_stats_and_errors;
+    Alcotest.test_case "chaos: malformed frame" `Quick test_malformed_frame;
+    Alcotest.test_case "chaos: oversized frame" `Quick test_oversized_frame;
+    Alcotest.test_case "chaos: mid-request disconnect" `Quick
+      test_mid_request_disconnect;
+    Alcotest.test_case "chaos: stalled partial frame times out" `Quick
+      test_partial_frame_times_out;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "clean shutdown" `Quick test_shutdown;
+  ]

@@ -1,0 +1,230 @@
+(* The artifact store: canonical round-trips for every artifact kind on
+   every suite workload, rejection of truncated/bit-flipped blobs, and
+   the cache's corruption-is-a-miss / LRU behaviour. *)
+
+module Store = Ssp_store.Store
+module Workload = Ssp_workloads.Workload
+module Suite = Ssp_workloads.Suite
+
+let config = Ssp_machine.Config.in_order
+
+let program_of w = Workload.program w ~scale:Suite.test_scale
+
+let raises_store_error f =
+  match f () with
+  | _ -> false
+  | exception Ssp_ir.Error.Error _ -> true
+
+(* encode -> decode -> encode must be byte-identical: the property the
+   content-addressed keys rely on. *)
+let roundtrip ~what encode decode blob =
+  let decoded = decode blob in
+  Alcotest.(check bool)
+    (what ^ ": re-encoding is byte-identical")
+    true
+    (String.equal blob (encode decoded))
+
+let test_program_roundtrip (w : Workload.t) () =
+  let prog = program_of w in
+  let blob = Store.encode_program prog in
+  roundtrip ~what:"program" Store.encode_program Store.decode_program blob;
+  (* The decoded program is the same program: same functional outputs. *)
+  let a = Ssp_sim.Funcsim.run prog in
+  let b = Ssp_sim.Funcsim.run (Store.decode_program blob) in
+  Alcotest.(check (list int64))
+    "decoded program computes the same outputs" a.Ssp_sim.Funcsim.outputs
+    b.Ssp_sim.Funcsim.outputs
+
+let test_profile_roundtrip (w : Workload.t) () =
+  let prog = program_of w in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let blob = Store.encode_profile profile in
+  roundtrip ~what:"profile" Store.encode_profile Store.decode_profile blob
+
+let test_report_and_adapted_roundtrip (w : Workload.t) () =
+  let prog = program_of w in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let result = Ssp.Adapt.run ~config prog profile in
+  let rblob = Store.encode_report result.Ssp.Adapt.report in
+  roundtrip ~what:"report" Store.encode_report Store.decode_report rblob;
+  let adapted =
+    {
+      Store.prog = result.Ssp.Adapt.prog;
+      report = result.Ssp.Adapt.report;
+      prefetch_map = result.Ssp.Adapt.prefetch_map;
+    }
+  in
+  let ablob = Store.encode_adapted adapted in
+  roundtrip ~what:"adapted" Store.encode_adapted Store.decode_adapted ablob;
+  let back = Store.decode_adapted ablob in
+  Alcotest.(check bool)
+    "adapted program text survives" true
+    (String.equal
+       (Ssp_ir.Asm.to_string result.Ssp.Adapt.prog)
+       (Ssp_ir.Asm.to_string back.Store.prog))
+
+let test_rejects_corruption () =
+  let prog = program_of (Suite.find "em3d") in
+  let profile = Ssp_profiling.Collect.collect prog in
+  List.iter
+    (fun (what, blob) ->
+      let len = String.length blob in
+      (* Truncation at the magic, inside the header, mid-payload, and
+         one byte short of complete. *)
+      List.iter
+        (fun cut ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s truncated at %d rejected" what cut)
+            true
+            (raises_store_error (fun () ->
+                 Store.decode_program (String.sub blob 0 cut))))
+        [ 0; 3; 7; len / 2; len - 1 ];
+      (* A single flipped bit anywhere breaks either a header check or
+         the content hash. *)
+      List.iter
+        (fun pos ->
+          let b = Bytes.of_string blob in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+          let flipped = Bytes.to_string b in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bit-flipped at %d rejected" what pos)
+            true
+            (raises_store_error (fun () ->
+                 ignore (Store.decode_program flipped);
+                 ignore (Store.decode_profile flipped))))
+        [ 0; 5; 10; len / 2; len - 3 ])
+    [
+      ("program", Store.encode_program prog);
+      ("profile", Store.encode_profile profile);
+    ];
+  (* Kind confusion: a valid profile blob is not a program. *)
+  Alcotest.(check bool)
+    "wrong artifact kind rejected" true
+    (raises_store_error (fun () ->
+         Store.decode_program (Store.encode_profile profile)))
+
+let with_temp_cache ?max_bytes f =
+  let dir = Filename.temp_dir "sspc_store_test" "" in
+  f (Store.Cache.open_dir ?max_bytes dir)
+
+let status_string = function `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
+
+let test_run_cached_hit_identical () =
+  with_temp_cache @@ fun cache ->
+  let prog = program_of (Suite.find "em3d") in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let clean = Ssp.Adapt.run ~config prog profile in
+  let cold, s1 = Store.run_cached ~cache ~config prog profile in
+  let warm, s2 = Store.run_cached ~cache ~config prog profile in
+  Alcotest.(check string) "first lookup misses" "miss" (status_string s1);
+  Alcotest.(check string) "second lookup hits" "hit" (status_string s2);
+  List.iter
+    (fun (what, r) ->
+      Alcotest.(check bool)
+        (what ^ " adapted program byte-identical to the uncached run")
+        true
+        (String.equal
+           (Ssp_ir.Asm.to_string clean.Ssp.Adapt.prog)
+           (Ssp_ir.Asm.to_string r.Ssp.Adapt.prog));
+      Alcotest.(check bool)
+        (what ^ " report identical")
+        true
+        (String.equal
+           (Store.encode_report clean.Ssp.Adapt.report)
+           (Store.encode_report r.Ssp.Adapt.report)))
+    [ ("cold", cold); ("warm", warm) ];
+  Alcotest.(check bool)
+    "hit re-identifies the delinquent loads" true
+    (List.length warm.Ssp.Adapt.delinquent.Ssp.Delinquent.loads
+    = List.length clean.Ssp.Adapt.delinquent.Ssp.Delinquent.loads)
+
+let test_corrupt_entry_recomputes () =
+  with_temp_cache @@ fun cache ->
+  let prog = program_of (Suite.find "em3d") in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let clean, _ = Store.run_cached ~cache ~config prog profile in
+  Alcotest.(check int) "one entry cached" 1 (Store.Cache.entry_count cache);
+  (* Scribble over the middle of the published blob. *)
+  let dir = Store.Cache.dir cache in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".blob" then begin
+        let path = Filename.concat dir name in
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.lseek fd 40 Unix.SEEK_SET);
+        ignore (Unix.write_substring fd "corrupted!" 0 10);
+        Unix.close fd
+      end)
+    (Sys.readdir dir);
+  let recomputed, status = Store.run_cached ~cache ~config prog profile in
+  Alcotest.(check string) "corrupt entry is a miss" "miss"
+    (status_string status);
+  Alcotest.(check bool)
+    "recomputed result identical to the clean run" true
+    (String.equal
+       (Ssp_ir.Asm.to_string clean.Ssp.Adapt.prog)
+       (Ssp_ir.Asm.to_string recomputed.Ssp.Adapt.prog));
+  let _, again = Store.run_cached ~cache ~config prog profile in
+  Alcotest.(check string) "republished entry hits again" "hit"
+    (status_string again)
+
+let test_cached_profile () =
+  with_temp_cache @@ fun cache ->
+  let prog = program_of (Suite.find "mst") in
+  let direct = Ssp_profiling.Collect.collect prog in
+  let cold, s1 = Store.cached_profile ~cache ~config prog in
+  let warm, s2 = Store.cached_profile ~cache ~config prog in
+  Alcotest.(check string) "profile cold miss" "miss" (status_string s1);
+  Alcotest.(check string) "profile warm hit" "hit" (status_string s2);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "cached profile identical to a fresh collection" true
+        (String.equal (Store.encode_profile direct) (Store.encode_profile p)))
+    [ cold; warm ];
+  let off, s3 = Store.cached_profile ~config prog in
+  Alcotest.(check string) "no cache means off" "off" (status_string s3);
+  Alcotest.(check bool) "off path still collects" true
+    (String.equal (Store.encode_profile direct) (Store.encode_profile off))
+
+let test_lru_eviction () =
+  let blob n = String.make 1000 (Char.chr (Char.code 'a' + n)) in
+  with_temp_cache ~max_bytes:2500 @@ fun cache ->
+  for i = 0 to 4 do
+    Store.Cache.put cache (Printf.sprintf "%032x" i) (blob i);
+    (* mtime granularity: make the LRU order unambiguous *)
+    Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool)
+    "size capped" true
+    (Store.Cache.size_bytes cache <= 2500);
+  Alcotest.(check int) "oldest entries evicted" 2
+    (Store.Cache.entry_count cache);
+  Alcotest.(check bool)
+    "most recent entry survives" true
+    (Store.Cache.find cache (Printf.sprintf "%032x" 4) <> None);
+  Alcotest.(check bool)
+    "oldest entry evicted" true
+    (Store.Cache.find cache (Printf.sprintf "%032x" 0) = None)
+
+let per_workload name f =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %s" w.Workload.name name)
+        `Quick (f w))
+    Suite.all
+
+let suite =
+  per_workload "program round-trip" test_program_roundtrip
+  @ per_workload "profile round-trip" test_profile_roundtrip
+  @ per_workload "report+adapted round-trip" test_report_and_adapted_roundtrip
+  @ [
+      Alcotest.test_case "corruption rejected" `Quick test_rejects_corruption;
+      Alcotest.test_case "run_cached hit is byte-identical" `Quick
+        test_run_cached_hit_identical;
+      Alcotest.test_case "corrupt cache entry recomputes" `Quick
+        test_corrupt_entry_recomputes;
+      Alcotest.test_case "cached_profile" `Quick test_cached_profile;
+      Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    ]
