@@ -98,36 +98,82 @@ let handle cfg req =
 (* ---- connection state ---- *)
 
 type conn = {
-  fd : Unix.file_descr;
-  mutable pending : string;  (** bytes received, not yet framed *)
-  mutable last : float;  (** last activity, for partial-frame timeouts *)
-  mutable closing : bool;
+  fd : Unix.file_descr;  (** non-blocking *)
+  inbuf : Buffer.t;  (** bytes received, not yet framed *)
+  mutable inpos : int;  (** consumed prefix of [inbuf] *)
+  mutable out : string;  (** encoded replies the socket has not taken *)
+  mutable outpos : int;  (** flushed prefix of [out] *)
+  mutable last : float;  (** last activity, for stalled-peer timeouts *)
+  mutable closing : bool;  (** stop reading; close once [out] drains *)
 }
 
-(* Greedily split complete frames off [c.pending]. Returns the payloads
-   plus a protocol error if the next frame declares an illegal length. *)
+let in_pending c = Buffer.length c.inbuf - c.inpos
+let out_pending c = String.length c.out - c.outpos
+
+(* Greedily split complete frames off [c.inbuf]. Chunks accumulate in
+   the buffer and only complete frames are materialized, so reassembling
+   a frame that arrives in N reads costs O(frame), not O(N x frame).
+   Returns the payloads plus a protocol error if the next frame declares
+   an illegal length. *)
 let pop_frames max_frame c =
   let frames = ref [] in
   let err = ref None in
   let continue = ref true in
   while !continue do
-    let len = String.length c.pending in
-    if len < 4 then continue := false
+    let avail = in_pending c in
+    if avail < 4 then continue := false
     else begin
-      let n = Int32.to_int (String.get_int32_be c.pending 0) in
+      let n = Int32.to_int (String.get_int32_be (Buffer.sub c.inbuf c.inpos 4) 0) in
       if n < 0 || n > max_frame then begin
         err :=
           Some (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_frame);
         continue := false
       end
-      else if len < 4 + n then continue := false
+      else if avail < 4 + n then continue := false
       else begin
-        frames := String.sub c.pending 4 n :: !frames;
-        c.pending <- String.sub c.pending (4 + n) (len - 4 - n)
+        frames := Buffer.sub c.inbuf (c.inpos + 4) n :: !frames;
+        c.inpos <- c.inpos + 4 + n
       end
     end
   done;
+  (* Reclaim the consumed prefix: free when fully drained, compact when
+     the dead prefix dominates a large buffer. *)
+  if c.inpos > 0 then
+    if c.inpos = Buffer.length c.inbuf then begin
+      Buffer.clear c.inbuf;
+      c.inpos <- 0
+    end
+    else if c.inpos > 65536 && c.inpos > Buffer.length c.inbuf / 2 then begin
+      let rest = Buffer.sub c.inbuf c.inpos (in_pending c) in
+      Buffer.clear c.inbuf;
+      Buffer.add_string c.inbuf rest;
+      c.inpos <- 0
+    end;
   (List.rev !frames, !err)
+
+(* Push as much of [c.out] as the (non-blocking) socket will take right
+   now. A full socket buffer parks the rest for select's write set; a
+   dead peer marks the connection closing. Never blocks, never raises. *)
+let flush_out c =
+  (try
+     while out_pending c > 0 do
+       let w = Unix.write_substring c.fd c.out c.outpos (out_pending c) in
+       if w = 0 then raise Exit;
+       c.outpos <- c.outpos + w;
+       c.last <- Unix.gettimeofday ()
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+  | Exit ->
+    ()
+  | Unix.Unix_error _ ->
+    c.outpos <- 0;
+    c.out <- "";
+    c.closing <- true);
+  if out_pending c = 0 then begin
+    c.out <- "";
+    c.outpos <- 0
+  end
 
 let serve cfg =
   (match Sys.os_type with
@@ -146,14 +192,45 @@ let serve cfg =
     Hashtbl.remove conns c.fd;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
-  (* A reply the peer won't take (gone, or not draining) only loses that
-     connection, never the loop. *)
+  (* Queue a reply and opportunistically flush. Writes are non-blocking:
+     a peer that stops draining parks its bytes in [c.out] (drained via
+     select's write set, dropped after the timeout) — it can lose its
+     own connection, but never stall the loop. *)
   let send c resp =
-    try Proto.write_frame c.fd (Proto.encode_response resp)
-    with Unix.Unix_error _ | Ssp_ir.Error.Error _ -> c.closing <- true
+    match Proto.frame (Proto.encode_response resp) with
+    | framed ->
+      if out_pending c = 0 then begin
+        c.out <- framed;
+        c.outpos <- 0
+      end
+      else begin
+        c.out <- String.sub c.out c.outpos (out_pending c) ^ framed;
+        c.outpos <- 0
+      end;
+      flush_out c
+    | exception _ -> c.closing <- true
   in
   let chunk = Bytes.create 65536 in
   let finally () =
+    (* Best-effort drain of queued replies (notably Shutdown's ack)
+       before the fds go away; bounded, so a dead peer can't hold up
+       exit. *)
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec drain () =
+      let waiting =
+        Hashtbl.fold
+          (fun fd c acc -> if out_pending c > 0 then (fd, c) :: acc else acc)
+          conns []
+      in
+      if waiting <> [] && Unix.gettimeofday () < deadline then begin
+        (match Unix.select [] (List.map fst waiting) [] 0.2 with
+        | _, ws, _ ->
+          List.iter (fun (fd, c) -> if List.mem fd ws then flush_out c) waiting
+        | exception Unix.Unix_error _ -> ());
+        drain ()
+      end
+    in
+    drain ();
     Ssp_parallel.Pool.shutdown pool;
     Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
       conns;
@@ -163,14 +240,28 @@ let serve cfg =
   in
   Fun.protect ~finally @@ fun () ->
   while !running do
-    let fds =
-      listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+    let rfds =
+      listen_fd
+      :: Hashtbl.fold
+           (fun fd c acc -> if c.closing then acc else fd :: acc)
+           conns []
     in
-    let readable =
-      match Unix.select fds [] [] 1.0 with
-      | r, _, _ -> r
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if out_pending c > 0 then fd :: acc else acc)
+        conns []
     in
+    let readable, writable =
+      match Unix.select rfds wfds [] 1.0 with
+      | r, w, _ -> (r, w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt conns fd with
+        | Some c -> flush_out c
+        | None -> ())
+      writable;
     let now = Unix.gettimeofday () in
     let batch = ref [] in
     List.iter
@@ -178,13 +269,23 @@ let serve cfg =
         if fd = listen_fd then begin
           match Unix.accept listen_fd with
           | afd, _ ->
+            Unix.set_nonblock afd;
             Hashtbl.replace conns afd
-              { fd = afd; pending = ""; last = now; closing = false }
+              {
+                fd = afd;
+                inbuf = Buffer.create 256;
+                inpos = 0;
+                out = "";
+                outpos = 0;
+                last = now;
+                closing = false;
+              }
           | exception Unix.Unix_error _ -> ()
         end
         else
           match Hashtbl.find_opt conns fd with
           | None -> ()
+          | Some c when c.closing -> ()
           | Some c -> (
             match Unix.read fd chunk 0 (Bytes.length chunk) with
             | 0 ->
@@ -193,14 +294,20 @@ let serve cfg =
               close_conn c
             | k ->
               c.last <- now;
-              c.pending <- c.pending ^ Bytes.sub_string chunk 0 k;
+              Buffer.add_subbytes c.inbuf chunk 0 k;
               let frames, err = pop_frames cfg.max_frame c in
               List.iter
                 (fun payload ->
+                  (* Anything a hostile payload makes the decoder raise —
+                     structured or not — is an error reply, never a dead
+                     connection or a dead loop. *)
                   match Proto.decode_request payload with
                   | req -> batch := (c, req, now) :: !batch
                   | exception Ssp_ir.Error.Error e ->
                     send c (error_reply e);
+                    c.closing <- true
+                  | exception e ->
+                    send c (plain_error "proto" (Printexc.to_string e));
                     c.closing <- true)
                 frames;
               (match err with
@@ -208,18 +315,28 @@ let serve cfg =
                 send c (plain_error "proto" what);
                 c.closing <- true
               | None -> ())
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ()
             | exception Unix.Unix_error _ -> close_conn c))
       readable;
-    (* Partial frames that stopped growing get a structured timeout. *)
+    (* Partial frames that stopped growing get a structured timeout; a
+       closing peer that stops draining its reply forfeits it. *)
     Hashtbl.iter
       (fun _ c ->
         if
           (not c.closing)
-          && String.length c.pending > 0
+          && in_pending c > 0
           && now -. c.last > cfg.timeout_s
         then begin
           send c (plain_error "server" "request timed out (incomplete frame)");
           c.closing <- true
+        end;
+        if c.closing && out_pending c > 0 && now -. c.last > cfg.timeout_s
+        then begin
+          c.out <- "";
+          c.outpos <- 0
         end)
       conns;
     let batch = List.rev !batch in
@@ -266,10 +383,14 @@ let serve cfg =
           send c resp)
         work replies
     end;
-    (* Sweep connections marked for closing (outside any Hashtbl.iter). *)
+    (* Sweep closing connections whose replies have drained (outside any
+       Hashtbl.iter). Undrained ones stay for select's write set until
+       they flush or time out above. *)
     let doomed =
-      Hashtbl.fold (fun _ c acc -> if c.closing then c :: acc else acc) conns
-        []
+      Hashtbl.fold
+        (fun _ c acc ->
+          if c.closing && out_pending c = 0 then c :: acc else acc)
+        conns []
     in
     List.iter close_conn doomed
   done

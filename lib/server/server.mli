@@ -15,8 +15,10 @@
     that does not compile, a malformed or oversized frame, an injected
     fault — becomes a structured {!Proto.response.Error_reply}; client
     misbehaviour (mid-request disconnect, a partial frame left to rot
-    past the timeout) closes that connection only. The daemon itself
-    stops only on a [Shutdown] request. *)
+    past the timeout, a peer that stops draining its reply) closes that
+    connection only. Connection sockets are non-blocking with replies
+    buffered per connection, so no single peer can stall the loop. The
+    daemon itself stops only on a [Shutdown] request. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path (unlinked on exit) *)

@@ -37,8 +37,12 @@ module Bin = struct
 
   let reader data = { data; pos = 0 }
 
+  (* Overflow-safe: lengths come off the wire, so [r.pos + n] may wrap
+     for a hostile [n] near [max_int]. Compare against the remaining
+     byte count instead. *)
   let need r n =
-    if r.pos + n > String.length r.data then corrupt "payload truncated"
+    if n < 0 || n > String.length r.data - r.pos then
+      corrupt "payload truncated"
 
   let r_u8 r =
     need r 1;
@@ -136,9 +140,14 @@ let w_list b xs emit =
   Bin.w_int b (List.length xs);
   List.iter (emit b) xs
 
+let remaining (r : Bin.reader) = String.length r.Bin.data - r.Bin.pos
+
 let r_list r read =
   let n = Bin.r_int r in
-  if n < 0 then corrupt "negative list length";
+  (* Every element consumes at least one byte, so a count beyond the
+     remaining payload can only be corruption — reject it before
+     allocating anything proportional to it. *)
+  if n < 0 || n > remaining r then corrupt "implausible list length";
   List.init n (fun _ -> read r)
 
 (* ---- program ----
@@ -221,7 +230,9 @@ let profile_of_payload payload =
     (r_list r (fun r ->
          let fn = Bin.r_str r in
          let n = Bin.r_int r in
-         if n < 0 then corrupt "negative block count";
+         (* 8 bytes per counter; [Array.init] allocates up front, so
+            bound the count by the payload actually present. *)
+         if n < 0 || n > remaining r / 8 then corrupt "implausible block count";
          (fn, Array.init n (fun _ -> Bin.r_int r))));
   List.iter
     (fun (i, s) -> Iref.Tbl.replace p.Profile.branches i s)
@@ -448,14 +459,20 @@ module Cache = struct
     let p = path t key in
     match open_in_bin p with
     | exception Sys_error _ -> None
-    | ic ->
-      let blob =
+    | ic -> (
+      (* The entry can shrink or vanish between the length query and the
+         read (concurrent evict/replace from another process or domain);
+         per the corrupt-entry-is-a-miss policy that is a miss, not an
+         exception for the caller. *)
+      match
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      touch p;
-      Some blob
+      with
+      | blob ->
+        touch p;
+        Some blob
+      | exception (End_of_file | Sys_error _) -> None)
 
   let remove t key = try Sys.remove (path t key) with Sys_error _ -> ()
 
@@ -478,10 +495,15 @@ module Cache = struct
         oldest_first
     end
 
+  (* Distinguishes concurrent writers of the same key inside one
+     process (pool domains missing together): pid alone is not unique. *)
+  let tmp_seq = Atomic.make 0
+
   let put t key blob =
     let tmp =
       Filename.concat t.dir
-        (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) key)
+        (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_seq 1) key)
     in
     (try
        let oc = open_out_bin tmp in

@@ -165,6 +165,48 @@ let test_oversized_frame () =
   let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
   ()
 
+let test_hostile_length_field () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  (* A well-framed Adapt request whose workload-name length is near
+     max_int: the bounds check must fail structurally, not overflow into
+     a crash that kills the daemon. *)
+  let b = Store.Bin.writer () in
+  Store.Bin.w_str b "SSPQ";
+  Store.Bin.w_u8 b Proto.proto_version;
+  Store.Bin.w_u8 b 1 (* Adapt *);
+  Store.Bin.w_u8 b 0 (* Workload *);
+  Store.Bin.w_int b (max_int - 4);
+  Proto.write_frame fd (Store.Bin.contents b);
+  (match Proto.read_frame fd with
+  | Some payload -> (
+    match Proto.decode_response payload with
+    | Proto.Error_reply { pass; _ } ->
+      Alcotest.(check string) "hostile length is a store error" "store" pass
+    | _ -> Alcotest.fail "expected an error reply to a hostile length")
+  | None -> Alcotest.fail "server closed without replying");
+  Unix.close fd;
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  ()
+
+let test_non_draining_peer () =
+  with_server @@ fun socket ->
+  (* Pipeline many adapt requests and never read a byte: the replies
+     overrun the socket buffer, and must park in the server's per-conn
+     output buffer instead of wedging the select loop. *)
+  let stalled = raw_connect socket in
+  let req = Proto.frame (Proto.encode_request (adapt_req "em3d")) in
+  for _ = 1 to 40 do
+    ignore (Unix.write_substring stalled req 0 (String.length req))
+  done;
+  (* Other clients must still be served while the stalled peer sits on
+     its unread replies. *)
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "mst")) in
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "mst")) in
+  Unix.close stalled;
+  let _, _, _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  ()
+
 let test_mid_request_disconnect () =
   with_server @@ fun socket ->
   let fd = raw_connect socket in
@@ -248,6 +290,10 @@ let suite =
       test_stats_and_errors;
     Alcotest.test_case "chaos: malformed frame" `Quick test_malformed_frame;
     Alcotest.test_case "chaos: oversized frame" `Quick test_oversized_frame;
+    Alcotest.test_case "chaos: hostile length field" `Quick
+      test_hostile_length_field;
+    Alcotest.test_case "chaos: non-draining peer" `Quick
+      test_non_draining_peer;
     Alcotest.test_case "chaos: mid-request disconnect" `Quick
       test_mid_request_disconnect;
     Alcotest.test_case "chaos: stalled partial frame times out" `Quick

@@ -109,6 +109,28 @@ let with_temp_cache ?max_bytes f =
 
 let status_string = function `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
 
+(* Length fields come off the wire: a value near [max_int] must fail
+   the bounds check cleanly (structured store error), not overflow it
+   into a String.sub crash; a count larger than the remaining payload
+   must be rejected before anything is allocated for it. *)
+let test_hostile_lengths () =
+  let payload_with_int n rest =
+    let b = Store.Bin.writer () in
+    Store.Bin.w_int b n;
+    Store.Bin.contents b ^ rest
+  in
+  List.iter
+    (fun n ->
+      let r = Store.Bin.reader (payload_with_int n "abc") in
+      Alcotest.(check bool)
+        (Printf.sprintf "r_str with length %d rejected" n)
+        true
+        (raises_store_error (fun () -> Store.Bin.r_str r)))
+    [ max_int; max_int - 4; min_int; -1; 100 ];
+  let r = Store.Bin.reader (payload_with_int 3 "abc") in
+  Alcotest.(check string)
+    "an honest length still reads" "abc" (Store.Bin.r_str r)
+
 let test_run_cached_hit_identical () =
   with_temp_cache @@ fun cache ->
   let prog = program_of (Suite.find "em3d") in
@@ -221,6 +243,8 @@ let suite =
   @ per_workload "report+adapted round-trip" test_report_and_adapted_roundtrip
   @ [
       Alcotest.test_case "corruption rejected" `Quick test_rejects_corruption;
+      Alcotest.test_case "hostile length fields rejected" `Quick
+        test_hostile_lengths;
       Alcotest.test_case "run_cached hit is byte-identical" `Quick
         test_run_cached_hit_identical;
       Alcotest.test_case "corrupt cache entry recomputes" `Quick
