@@ -4,9 +4,10 @@
    Usage: main.exe [--quick] [--jobs N] [--trace OUT.JSON] [--json BENCH.JSON]
                    [--check-perf] [--update-baseline] [--baseline PATH]
                    [table1] [fig2] [table2] [fig8] [fig9] [fig10]
-                   [hand] [ablate] [perf] [scaling] [serving] [micro]
-   With no selection, everything except [scaling] and [serving] runs in
-   paper order.
+                   [hand] [ablate] [perf] [scaling] [serving] [cluster]
+                   [micro]
+   With no selection, everything except [scaling], [serving] and
+   [cluster] runs in paper order.
    [--quick] switches to small working sets and scaled-down caches (same
    shapes, seconds instead of minutes). [--jobs N] runs the heavy
    simulation/adaptation work across N domains (outputs are identical to
@@ -19,7 +20,8 @@
    BENCH_3 artifact), which also re-checks that parallel output is
    byte-identical to sequential and exits non-zero if not — and the
    [serving] section its daemon cold/warm adapt latency and warm
-   requests/sec.
+   requests/sec — and the [cluster] section its router-vs-direct warm-hit
+   latency and 1-vs-2-shard throughput (the BENCH_6 artifact).
    [--check-perf] is a regression gate: it times the jobs=1 pipeline and
    sim phases under --quick and fails (exit 1) if either regressed more
    than 25% against the committed baseline ([--baseline PATH], default
@@ -277,12 +279,16 @@ let serving ~json () =
   let socket = Filename.concat dir "d.sock" in
   let cfg =
     {
-      Ssp_server.Server.socket;
+      Ssp_server.Server.socket = Some socket;
+      tcp = None;
       jobs = 2;
       cache =
         Some (Ssp_store.Store.Cache.open_dir (Filename.concat dir "cache"));
       max_frame = Ssp_server.Proto.default_max_frame;
       timeout_s = 300.;
+      max_batch = 32;
+      max_queue = 256;
+      retry_after_s = 0.2;
     }
   in
   let th = Thread.create Ssp_server.Server.serve cfg in
@@ -303,7 +309,8 @@ let serving ~json () =
       Ssp_server.Client.request ~socket
         (Ssp_server.Proto.Adapt
            { prog = Ssp_server.Proto.Workload name; scale;
-             pipeline = "inorder" })
+             pipeline = "inorder";
+             tenant = Ssp_server.Proto.default_tenant })
     with
     | Ssp_server.Proto.Adapted { cache; _ } -> cache
     | Ssp_server.Proto.Error_reply { pass; what; _ } ->
@@ -353,6 +360,192 @@ let serving ~json () =
       n_requests total_s rps;
     close_out oc;
     Format.fprintf ppf "@.serving JSON written to %s@." path
+
+(* ---- cluster: router overhead and 1-vs-2-shard throughput ---- *)
+
+(* Host 1- and 2-shard TCP clusters fully in-process: shard daemons on
+   ephemeral TCP ports (their own caches), routers on Unix sockets. The
+   interesting numbers are (a) what the extra router hop costs on a warm
+   hit against talking to the owning shard directly, and (b) how warm
+   requests/sec scale going from one shard to two. *)
+let cluster ~json () =
+  let dir = Filename.temp_dir "sspc_bench_cluster" "" in
+  let scale = Ssp_workloads.Suite.test_scale in
+  let start_shard i =
+    let port = ref None in
+    let cfg =
+      {
+        Ssp_server.Server.socket = None;
+        tcp = Some ("127.0.0.1", 0);
+        jobs = 2;
+        cache =
+          Some
+            (Ssp_store.Store.Cache.open_dir
+               (Filename.concat dir (Printf.sprintf "cache%d" i)));
+        max_frame = Ssp_server.Proto.default_max_frame;
+        timeout_s = 300.;
+        max_batch = 32;
+        max_queue = 256;
+        retry_after_s = 0.2;
+      }
+    in
+    let th =
+      Thread.create
+        (fun () ->
+          Ssp_server.Server.serve
+            ~ready:(fun ~tcp_port -> port := tcp_port)
+            cfg)
+        ()
+    in
+    let rec wait tries =
+      if tries = 0 then failwith "cluster bench: shard never came up";
+      match !port with
+      | Some p -> p
+      | None ->
+        Thread.delay 0.01;
+        wait (tries - 1)
+    in
+    (th, wait 500)
+  in
+  let start_router name shards =
+    let socket = Filename.concat dir (name ^ ".sock") in
+    let cfg =
+      {
+        (Ssp_cluster.Router.default_config ~shards) with
+        Ssp_cluster.Router.socket = Some socket;
+      }
+    in
+    let up = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          Ssp_cluster.Router.serve ~ready:(fun ~tcp_port:_ -> up := true) cfg)
+        ()
+    in
+    let rec wait tries =
+      if tries = 0 then failwith "cluster bench: router never came up"
+      else if not !up then begin
+        Thread.delay 0.01;
+        wait (tries - 1)
+      end
+    in
+    wait 500;
+    (th, socket)
+  in
+  let adapt addr name =
+    match
+      Ssp_server.Client.request_addr addr
+        (Ssp_server.Proto.Adapt
+           { prog = Ssp_server.Proto.Workload name; scale;
+             pipeline = "inorder";
+             tenant = Ssp_server.Proto.default_tenant })
+    with
+    | Ssp_server.Proto.Adapted { cache; _ } -> cache
+    | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+      failwith (Printf.sprintf "cluster bench: server error [%s]: %s" pass what)
+    | _ -> failwith "cluster bench: unexpected reply"
+  in
+  let shutdown addr =
+    match Ssp_server.Client.request_addr addr Ssp_server.Proto.Shutdown with
+    | Ssp_server.Proto.Ok_reply -> ()
+    | _ -> failwith "cluster bench: shutdown not acknowledged"
+  in
+  let th1, p1 = start_shard 1 in
+  let th2, p2 = start_shard 2 in
+  let shards2 = [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let r1_th, r1_sock = start_router "router1" [ ("127.0.0.1", p1) ] in
+  let r2_th, r2_sock = start_router "router2" shards2 in
+  let r1 = Ssp_server.Client.Unix_sock r1_sock in
+  let r2 = Ssp_server.Client.Unix_sock r2_sock in
+  (* Warm both workloads through both routers (each warms the shard the
+     key lands on; router1's single shard holds both keys). *)
+  List.iter
+    (fun name ->
+      ignore (adapt r1 name);
+      ignore (adapt r2 name))
+    [ "mcf"; "em3d" ];
+  (* Direct warm-hit target: the shard the 2-shard ring places mcf on —
+     computed, not guessed, from the same ring the router uses. *)
+  let owner_of name =
+    let ring =
+      Ssp_cluster.Ring.create
+        (List.map Ssp_cluster.Router.node_of_shard shards2)
+    in
+    let req =
+      Ssp_server.Proto.Adapt
+        { prog = Ssp_server.Proto.Workload name; scale; pipeline = "inorder";
+          tenant = Ssp_server.Proto.default_tenant }
+    in
+    let key = Option.get (Ssp_cluster.Router.affinity_key req) in
+    match Ssp_cluster.Ring.lookup ring key with
+    | Some node ->
+      List.find (fun s -> Ssp_cluster.Router.node_of_shard s = node) shards2
+    | None -> failwith "cluster bench: empty ring"
+  in
+  let owner_host, owner_port = owner_of "mcf" in
+  let direct = Ssp_server.Client.Tcp (owner_host, owner_port) in
+  let reps = 20 in
+  let avg addr =
+    let _, s =
+      time (fun () ->
+          for _ = 1 to reps do
+            if not (String.equal (adapt addr "mcf") "hit") then
+              failwith "cluster bench: expected a warm hit"
+          done)
+    in
+    s /. float_of_int reps
+  in
+  let direct_s = avg direct in
+  let routed_s = avg r2 in
+  let throughput addr =
+    let n_requests = 40 in
+    let (), total_s =
+      time (fun () ->
+          let clients =
+            List.init 2 (fun i ->
+                Thread.create
+                  (fun () ->
+                    for k = 1 to n_requests / 2 do
+                      ignore
+                        (adapt addr (if (i + k) mod 2 = 0 then "mcf" else "em3d"))
+                    done)
+                  ())
+          in
+          List.iter Thread.join clients)
+    in
+    float_of_int n_requests /. total_s
+  in
+  let rps1 = throughput r1 in
+  let rps2 = throughput r2 in
+  shutdown r1;
+  shutdown r2;
+  shutdown (Ssp_server.Client.Tcp ("127.0.0.1", p1));
+  shutdown (Ssp_server.Client.Tcp ("127.0.0.1", p2));
+  List.iter Thread.join [ r1_th; r2_th; th1; th2 ];
+  Format.fprintf ppf "%-34s %8.3f ms@." "warm hit, direct to owning shard"
+    (direct_s *. 1e3);
+  Format.fprintf ppf "%-34s %8.3f ms  (%.2fx direct)@."
+    "warm hit, via router" (routed_s *. 1e3)
+    (routed_s /. Float.max 1e-9 direct_s);
+  Format.fprintf ppf "%-34s %8.1f req/s@." "warm throughput, 1 shard" rps1;
+  Format.fprintf ppf "%-34s %8.1f req/s  (%.2fx)@."
+    "warm throughput, 2 shards" rps2
+    (rps2 /. Float.max 1e-9 rps1);
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"section\":\"cluster\",\"warm_hit\":{\"direct_s\":%.6f,\
+       \"routed_s\":%.6f,\"router_overhead\":%.3f},\
+       \"throughput\":{\"shards1_rps\":%.2f,\"shards2_rps\":%.2f,\
+       \"scaling\":%.3f}}\n"
+      direct_s routed_s
+      (routed_s /. Float.max 1e-9 direct_s)
+      rps1 rps2
+      (rps2 /. Float.max 1e-9 rps1);
+    close_out oc;
+    Format.fprintf ppf "@.cluster JSON written to %s@." path
 
 (* ---- --check-perf: jobs=1 wall-clock regression gate ---- *)
 
@@ -603,6 +796,11 @@ let () =
   if List.mem "serving" wanted then begin
     section "serving";
     wall (serving ~json)
+  end;
+  (* Same deal for the cluster bench: 4 in-process daemons is not free. *)
+  if List.mem "cluster" wanted then begin
+    section "cluster";
+    wall (cluster ~json)
   end;
   run "micro" micro;
   (match trace with

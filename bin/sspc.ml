@@ -458,16 +458,42 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table 1 machine models")
     Term.(const run $ const ())
 
-(* ---- the adaptation service (sspc serve / sspc client ...) ---- *)
+(* ---- the adaptation service (sspc serve / route / client ...) ---- *)
 
 let socket_arg =
-  let doc = "Unix-domain socket path of the adaptation daemon." in
+  let doc = "Unix-domain socket path of the adaptation daemon (or router)." in
   Arg.(
     value & opt string "/tmp/sspc.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" && p >= 0 && p < 65536 -> Ok (host, p)
+      | _ -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let tcp_arg =
+  let doc =
+    "Also listen on (serve/route) or talk to (client) this TCP endpoint. \
+     Port 0 binds an ephemeral port."
+  in
+  Arg.(
+    value & opt (some hostport_conv) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
 let serve_cmd =
-  let run socket jobs store no_cache max_frame timeout trace =
+  let run socket tcp jobs store no_cache max_frame timeout max_batch max_queue
+      retry_after trace =
     guard @@ fun () ->
+    (* The daemon always counts: its telemetry is the cluster's
+       observability surface ('sspc client stats'), trace or not. *)
+    T.set_enabled true;
     with_trace trace @@ fun () ->
     let cache =
       if no_cache then None
@@ -482,11 +508,15 @@ let serve_cmd =
     in
     Ssp_server.Server.serve
       {
-        Ssp_server.Server.socket;
+        Ssp_server.Server.socket = Some socket;
+        tcp;
         jobs;
         cache;
         max_frame;
         timeout_s = timeout;
+        max_batch;
+        max_queue;
+        retry_after_s = retry_after;
       }
   in
   let store_dir_arg =
@@ -514,16 +544,95 @@ let serve_cmd =
     in
     Arg.(value & opt float 60. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let max_batch_arg =
+    let doc = "Admission: fan out at most $(docv) work requests per round." in
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Admission: total backlog bound; arrivals beyond it are answered with \
+       a retry-after rejection (0 rejects all work — useful to drain a \
+       shard or exercise client backoff)."
+    in
+    Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let retry_after_arg =
+    let doc = "Retry-after hint (seconds) carried by rejection replies." in
+    Arg.(value & opt float 0.2 & info [ "retry-after" ] ~docv:"SECONDS" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the adaptation daemon: a Unix-domain-socket service that \
-          batches concurrent adapt/sim requests across a domain pool and \
-          answers repeated requests from the content-addressed artifact \
-          store")
+         "Run the adaptation daemon (one cluster shard): a socket service — \
+          Unix-domain, and TCP with --tcp — that batches concurrent \
+          adapt/sim requests across a domain pool under per-tenant \
+          deficit-round-robin admission control, and answers repeated \
+          requests from the content-addressed artifact store")
     Term.(
-      const run $ socket_arg $ jobs_arg $ store_dir_arg $ no_cache_flag
-      $ max_frame_arg $ timeout_arg $ trace_arg)
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ store_dir_arg
+      $ no_cache_flag $ max_frame_arg $ timeout_arg $ max_batch_arg
+      $ max_queue_arg $ retry_after_arg $ trace_arg)
+
+let route_cmd =
+  let run socket tcp shards vnodes quarantine shard_timeout max_frame trace =
+    guard @@ fun () ->
+    T.set_enabled true;
+    with_trace trace @@ fun () ->
+    Ssp_cluster.Router.serve
+      {
+        Ssp_cluster.Router.socket = Some socket;
+        tcp;
+        shards;
+        vnodes;
+        max_frame;
+        quarantine_s = quarantine;
+        shard_timeout_s = shard_timeout;
+      }
+  in
+  let shard_arg =
+    let doc =
+      "A shard daemon's TCP endpoint ('sspc serve --tcp ...'); repeatable. \
+       Order does not matter: placement comes from the consistent-hash \
+       ring, so every router with the same shard set routes identically."
+    in
+    Arg.(
+      value & opt_all hostport_conv [] & info [ "shard" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let vnodes_arg =
+    let doc = "Virtual nodes per shard on the consistent-hash ring." in
+    Arg.(value & opt int 128 & info [ "vnodes" ] ~docv:"N" ~doc)
+  in
+  let quarantine_arg =
+    let doc =
+      "Seconds a failed shard is skipped while live alternatives exist."
+    in
+    Arg.(value & opt float 2. & info [ "quarantine" ] ~docv:"SECONDS" ~doc)
+  in
+  let shard_timeout_arg =
+    let doc =
+      "Socket timeout per shard exchange: a shard that accepts but never \
+       replies is treated as dead (failover) instead of hanging the client."
+    in
+    Arg.(value & opt float 120. & info [ "shard-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Reject frames larger than $(docv) bytes." in
+    Arg.(
+      value
+      & opt int Ssp_server.Proto.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster router: place client requests on shard daemons by \
+          consistent hashing (cache affinity), fail transport errors over \
+          to the ring's next live shard, forward admission rejections \
+          untouched, and degrade to a structured error — never wrong bytes \
+          — when no shard answers")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ shard_arg $ vnodes_arg
+      $ quarantine_arg $ shard_timeout_arg $ max_frame_arg $ trace_arg)
 
 (* Workload names travel by name (the server compiles them); anything
    else is read here and shipped as source text. *)
@@ -541,7 +650,42 @@ let prog_ref_of src scale =
 let server_error_to_exit2 = function
   | Ssp_server.Proto.Error_reply { pass; what; injected = _ } ->
     fail2 (Printf.sprintf "server error [%s]: %s" pass what)
+  | Ssp_server.Proto.Busy_reply { retry_after_s } ->
+    fail2
+      (Printf.sprintf "server saturated (retries exhausted; retry after %.2fs)"
+         retry_after_s)
   | resp -> resp
+
+let tenant_arg =
+  let doc =
+    "Tenant this request is accounted to (per-tenant fairness and counters)."
+  in
+  Arg.(
+    value
+    & opt string Ssp_server.Proto.default_tenant
+    & info [ "tenant" ] ~docv:"NAME" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry transient connection failures and retry-after rejections up to \
+     $(docv) times with capped jittered backoff before giving up (requests \
+     are idempotent, so retrying is always safe)."
+  in
+  Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc)
+
+(* --tcp wins when both endpoints are given: the client talks to exactly
+   one peer (a daemon or a router), never both. *)
+let addr_of ~socket ~tcp =
+  match tcp with
+  | Some (host, port) -> Ssp_server.Client.Tcp (host, port)
+  | None -> Ssp_server.Client.Unix_sock socket
+
+let client_request ~socket ~tcp ~retries req =
+  let on_wait ~reason ~delay_s =
+    Printf.eprintf "sspc: %s; retrying in %.2fs\n%!" reason delay_s
+  in
+  Ssp_server.Client.request_retry ~attempts:retries ~on_wait
+    (addr_of ~socket ~tcp) req
 
 let write_text out text =
   match out with
@@ -552,12 +696,13 @@ let write_text out text =
     close_out oc
 
 let client_adapt_cmd =
-  let run src scale pipeline socket out =
+  let run src scale pipeline socket tcp tenant retries out =
     guard @@ fun () ->
     let req =
-      Ssp_server.Proto.Adapt { prog = prog_ref_of src scale; scale; pipeline }
+      Ssp_server.Proto.Adapt
+        { prog = prog_ref_of src scale; scale; pipeline; tenant }
     in
-    match server_error_to_exit2 (Ssp_server.Client.request ~socket req) with
+    match server_error_to_exit2 (client_request ~socket ~tcp ~retries req) with
     | Ssp_server.Proto.Adapted { report; asm; cache } ->
       (* Cache status goes to stderr so stdout stays byte-identical to
          the offline 'sspc adapt'. *)
@@ -567,57 +712,66 @@ let client_adapt_cmd =
     | _ -> fail2 "unexpected reply to adapt request"
   in
   Cmd.v
-    (Cmd.info "adapt" ~doc:"Adapt via the daemon (output matches 'sspc adapt')")
+    (Cmd.info "adapt"
+       ~doc:
+         "Adapt via the daemon or router (output matches 'sspc adapt')")
     Term.(
-      const run $ src_arg $ scale_arg $ pipeline_arg $ socket_arg $ out_arg)
+      const run $ src_arg $ scale_arg $ pipeline_arg $ socket_arg $ tcp_arg
+      $ tenant_arg $ retries_arg $ out_arg)
 
 let client_sim_cmd =
-  let run src scale pipeline ssp socket =
+  let run src scale pipeline ssp socket tcp tenant retries =
     guard @@ fun () ->
     let req =
       Ssp_server.Proto.Sim
-        { prog = prog_ref_of src scale; scale; pipeline; ssp }
+        { prog = prog_ref_of src scale; scale; pipeline; ssp; tenant }
     in
-    match server_error_to_exit2 (Ssp_server.Client.request ~socket req) with
+    match server_error_to_exit2 (client_request ~socket ~tcp ~retries req) with
     | Ssp_server.Proto.Simmed { stats } -> print_string stats
     | _ -> fail2 "unexpected reply to sim request"
   in
-  Cmd.v (Cmd.info "sim" ~doc:"Cycle-simulate via the daemon")
+  Cmd.v (Cmd.info "sim" ~doc:"Cycle-simulate via the daemon or router")
     Term.(
-      const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ socket_arg)
+      const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ socket_arg
+      $ tcp_arg $ tenant_arg $ retries_arg)
 
 let client_stats_cmd =
-  let run socket =
+  let run socket tcp retries =
     guard @@ fun () ->
     match
       server_error_to_exit2
-        (Ssp_server.Client.request ~socket Ssp_server.Proto.Stats)
+        (client_request ~socket ~tcp ~retries Ssp_server.Proto.Stats)
     with
     | Ssp_server.Proto.Stats_reply { summary } -> print_string summary
     | _ -> fail2 "unexpected reply to stats request"
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Print the daemon's telemetry summary")
-    Term.(const run $ socket_arg)
+    (Cmd.info "stats"
+       ~doc:"Print the daemon's (or router's) telemetry summary")
+    Term.(const run $ socket_arg $ tcp_arg $ retries_arg)
 
 let client_shutdown_cmd =
-  let run socket =
+  let run socket tcp =
     guard @@ fun () ->
     match
       server_error_to_exit2
-        (Ssp_server.Client.request ~socket Ssp_server.Proto.Shutdown)
+        (Ssp_server.Client.request_addr (addr_of ~socket ~tcp)
+           Ssp_server.Proto.Shutdown)
     with
     | Ssp_server.Proto.Ok_reply -> ()
     | _ -> fail2 "unexpected reply to shutdown request"
   in
   Cmd.v
-    (Cmd.info "shutdown" ~doc:"Stop the daemon (acknowledged before exit)")
-    Term.(const run $ socket_arg)
+    (Cmd.info "shutdown"
+       ~doc:"Stop the daemon or router (acknowledged before exit)")
+    Term.(const run $ socket_arg $ tcp_arg)
 
 let client_cmd =
   Cmd.group
     (Cmd.info "client"
-       ~doc:"Talk to a running adaptation daemon (see 'sspc serve')")
+       ~doc:
+         "Talk to a running adaptation daemon ('sspc serve') or cluster \
+          router ('sspc route')")
     [ client_adapt_cmd; client_sim_cmd; client_stats_cmd; client_shutdown_cmd ]
 
 let () =
@@ -636,6 +790,7 @@ let () =
             stats_cmd;
             chaos_cmd;
             serve_cmd;
+            route_cmd;
             client_cmd;
             bench_cmd;
             table1_cmd;

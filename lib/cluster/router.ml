@@ -1,0 +1,315 @@
+(* The cluster router: a thin process that owns no pipeline state, only
+   the consistent-hash ring and the health table.
+
+   Each client request is keyed by the identity that also keys the
+   shards' content-addressed caches (program x scale x pipeline — the
+   cheap, router-computable proxy for hash(program) x hash(profile),
+   since profiles are a deterministic function of program and config),
+   and forwarded to the key's shard over TCP. A shard that cannot be
+   reached, dies mid-reply, or times out is quarantined and the request
+   retries on the ring's next live node — safe, because requests are
+   idempotent: any shard computes the same bytes, the failover only
+   costs the warm cache. When no shard answers, the client gets a
+   structured degraded-mode error naming every attempt — degraded is
+   never wrong, and never a hang.
+
+   Busy replies are NOT failed over: admission backpressure means the
+   key's home shard is saturated, and spilling its traffic onto
+   neighbours would defeat both the fairness accounting and the cache
+   affinity. The client honors the retry-after instead.
+
+   Concurrency: one blocking thread per client connection (routing is
+   pure I/O; the select-loop machinery of the shards would buy nothing
+   here), a mutex-guarded health table, and per-request shard
+   connections. *)
+
+module T = Ssp_telemetry.Telemetry
+module Proto = Ssp_server.Proto
+module Client = Ssp_server.Client
+
+type config = {
+  socket : string option;
+  tcp : (string * int) option;
+  shards : (string * int) list;
+  vnodes : int;
+  max_frame : int;
+  quarantine_s : float;
+  shard_timeout_s : float;
+}
+
+let default_config ~shards =
+  {
+    socket = None;
+    tcp = None;
+    shards;
+    vnodes = 128;
+    max_frame = Proto.default_max_frame;
+    quarantine_s = 2.0;
+    shard_timeout_s = 120.0;
+  }
+
+let node_of_shard (host, port) = Printf.sprintf "%s:%d" host port
+
+(* Stable affinity key of a work request: identical requests (and the
+   adapt/sim pair over the same program) land on the same shard, whose
+   warm cache therefore stays hot for its key range. Control requests
+   are answered by the router itself. *)
+let affinity_key = function
+  | Proto.Adapt { prog; scale; pipeline; tenant = _ }
+  | Proto.Sim { prog; scale; pipeline; ssp = _; tenant = _ } ->
+    let prog_part =
+      match prog with
+      | Proto.Workload name -> "workload\x00" ^ name
+      | Proto.Source text -> "source\x00" ^ Digest.string text
+    in
+    Some
+      (Digest.to_hex
+         (Digest.string
+            (Printf.sprintf "%s\x00%d\x00%s" prog_part scale pipeline)))
+  | Proto.Stats | Proto.Shutdown -> None
+
+let error_reply (e : Ssp_ir.Error.info) =
+  Proto.Error_reply
+    {
+      pass = e.Ssp_ir.Error.pass;
+      what = Ssp_ir.Error.to_string e;
+      injected = e.Ssp_ir.Error.injected;
+    }
+
+let serve ?ready cfg =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  if cfg.shards = [] then
+    Ssp_ir.Error.raise_error ~pass:"router" "router needs at least one shard";
+  if cfg.socket = None && cfg.tcp = None then
+    Ssp_ir.Error.raise_error ~pass:"router"
+      "router needs a unix socket, a TCP endpoint, or both";
+  let addr_of_node =
+    List.map (fun s -> (node_of_shard s, s)) cfg.shards
+  in
+  let ring = Ring.create ~vnodes:cfg.vnodes (List.map fst addr_of_node) in
+  (* dead_until per node; a quarantined shard is skipped while fresh
+     alternatives exist but still probed as a last resort (it may have
+     recovered, and trying beats a certain degraded reply). *)
+  let health : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let health_mu = Mutex.create () in
+  let quarantined node =
+    Mutex.lock health_mu;
+    let r =
+      match Hashtbl.find_opt health node with
+      | Some until -> Unix.gettimeofday () < until
+      | None -> false
+    in
+    Mutex.unlock health_mu;
+    r
+  in
+  let mark_dead node =
+    Mutex.lock health_mu;
+    Hashtbl.replace health node (Unix.gettimeofday () +. cfg.quarantine_s);
+    Mutex.unlock health_mu
+  in
+  let mark_live node =
+    Mutex.lock health_mu;
+    Hashtbl.remove health node;
+    Mutex.unlock health_mu
+  in
+  let route req key =
+    let candidates = Ring.successors ring key in
+    let fresh, stale = List.partition (fun n -> not (quarantined n)) candidates in
+    let plan = fresh @ stale in
+    let failures = ref [] in
+    let rec attempt idx = function
+      | [] ->
+        T.count "router.degraded" 1;
+        Proto.Error_reply
+          {
+            pass = "router";
+            what =
+              Printf.sprintf "degraded: no live shard for this request; %s"
+                (String.concat "; " (List.rev !failures));
+            injected = false;
+          }
+      | node :: rest -> (
+        let host, port = List.assoc node addr_of_node in
+        match
+          Client.request_addr ~max_frame:cfg.max_frame
+            ~timeout_s:cfg.shard_timeout_s
+            (Client.Tcp (host, port))
+            req
+        with
+        | resp ->
+          mark_live node;
+          T.count ("router.shard." ^ node ^ ".requests") 1;
+          if idx > 0 then T.count "router.failover" 1;
+          (match resp with
+          | Proto.Busy_reply _ -> T.count "router.busy" 1
+          | _ -> ());
+          resp
+        | exception e ->
+          let why =
+            match e with
+            | Unix.Unix_error (ue, _, _) -> Unix.error_message ue
+            | Ssp_ir.Error.Error err -> Ssp_ir.Error.to_string err
+            | e -> Printexc.to_string e
+          in
+          mark_dead node;
+          T.count ("router.shard." ^ node ^ ".failed") 1;
+          failures := Printf.sprintf "%s (%s)" node why :: !failures;
+          attempt (idx + 1) rest)
+    in
+    attempt 0 plan
+  in
+  (* ---- listeners ---- *)
+  let unix_fd =
+    match cfg.socket with
+    | None -> None
+    | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Some fd
+  in
+  let tcp_fd, tcp_port =
+    match cfg.tcp with
+    | None -> (None, None)
+    | Some (host, port) -> (
+      let ip =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+            addrs.(0)
+          | _ | (exception Not_found) ->
+            Ssp_ir.Error.raise_error ~pass:"router"
+              ("cannot resolve host " ^ host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> (Some fd, Some p)
+      | _ -> (Some fd, Some port))
+  in
+  let listeners = List.filter_map Fun.id [ unix_fd; tcp_fd ] in
+  (match ready with Some f -> f ~tcp_port | None -> ());
+  let running = Atomic.make true in
+  let conns_mu = Mutex.create () in
+  let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16 in
+  let conn_threads : Thread.t list ref = ref [] in
+  (* Blocked threads cannot be woken by closing their fd out from under
+     them (and the fd number could be recycled by a concurrent connect),
+     so [stop] only flips the flag: every loop select-ticks on it and
+     winds down within a tick. The listeners are closed by [serve]
+     itself once the acceptors have joined. *)
+  let stop () = Atomic.set running false in
+  let handle req =
+    match req with
+    | Proto.Stats ->
+      T.count "router.requests" 1;
+      (`Reply
+         (Proto.Stats_reply
+            { summary = Format.asprintf "%a" T.pp_summary (T.report ()) }))
+    | Proto.Shutdown ->
+      T.count "router.requests" 1;
+      `Shutdown
+    | Proto.Adapt _ | Proto.Sim _ ->
+      T.count "router.requests" 1;
+      let tenant = Proto.tenant_of req in
+      T.count ("router.tenant." ^ tenant ^ ".requests") 1;
+      let key = Option.get (affinity_key req) in
+      `Reply (route req key)
+  in
+  let conn_loop fd =
+    let closed = ref false in
+    let close () =
+      if not !closed then begin
+        closed := true;
+        Mutex.lock conns_mu;
+        Hashtbl.remove conns fd;
+        Mutex.unlock conns_mu;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+    in
+    let send resp = Proto.write_frame fd (Proto.encode_response resp) in
+    (* Park in select, not read: a quiet connection must not pin this
+       thread past shutdown, and read_frame only runs once bytes are
+       already there (so it cannot block on an idle peer). *)
+    let rec wait_readable () =
+      if not (Atomic.get running) then false
+      else
+        match Unix.select [ fd ] [] [] 0.25 with
+        | [], _, _ -> wait_readable ()
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable ()
+    in
+    (try
+       let continue = ref true in
+       while !continue do
+         if not (wait_readable ()) then continue := false
+         else
+         match Proto.read_frame ~max_frame:cfg.max_frame fd with
+         | None -> continue := false
+         | Some payload -> (
+           match Proto.decode_request payload with
+           | req -> (
+             match handle req with
+             | `Reply resp -> send resp
+             | `Shutdown ->
+               send Proto.Ok_reply;
+               stop ();
+               continue := false)
+           | exception Ssp_ir.Error.Error e ->
+             (* A hostile payload gets a structured reply, then loses
+                its connection (framing state is untrustworthy). *)
+             send (error_reply e);
+             continue := false
+           | exception e ->
+             send
+               (Proto.Error_reply
+                  {
+                    pass = "proto";
+                    what = Printexc.to_string e;
+                    injected = false;
+                  });
+             continue := false)
+       done
+     with
+    | Unix.Unix_error _ | Ssp_ir.Error.Error _ -> ()
+    | Sys_error _ -> ());
+    close ()
+  in
+  let accept_loop lfd =
+    let continue = ref true in
+    while !continue && Atomic.get running do
+      match Unix.select [ lfd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept lfd with
+        | afd, _ ->
+          (try Unix.setsockopt afd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          Mutex.lock conns_mu;
+          Hashtbl.replace conns afd ();
+          conn_threads := Thread.create conn_loop afd :: !conn_threads;
+          Mutex.unlock conns_mu
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> continue := false
+    done
+  in
+  let acceptors = List.map (fun lfd -> Thread.create accept_loop lfd) listeners in
+  List.iter Thread.join acceptors;
+  (* stop() has run and the acceptors are gone; conn threads notice the
+     flag within one select tick. *)
+  Mutex.lock conns_mu;
+  let threads = !conn_threads in
+  Mutex.unlock conns_mu;
+  List.iter Thread.join threads;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  match cfg.socket with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()

@@ -1,0 +1,56 @@
+(** The cluster router: fans client requests across N shard daemons
+    ({!Ssp_server.Server.serve} with a TCP listener) placed on a
+    consistent-hash {!Ring}.
+
+    Placement: every work request carries a stable affinity key —
+    program identity x scale x pipeline, the same identity that keys
+    the shards' content-addressed caches — so repeated requests (and
+    the adapt/sim pair over one program) hit the same shard's warm
+    cache. [Stats] and [Shutdown] are control requests answered by the
+    router itself.
+
+    Degraded mode, never wrong bytes: a shard that cannot be reached
+    (or times out mid-reply) is quarantined for [quarantine_s] and the
+    request retries on the ring's next live node — safe because
+    requests are idempotent, the failover only costs cache warmth.
+    Only when every shard has failed does the client get a structured
+    [Error_reply] (pass ["router"]) naming each attempt.
+    {!Ssp_server.Proto.response.Busy_reply} is backpressure, not
+    failure: it is forwarded to the client un-failed-over so admission
+    control and cache affinity keep their meaning. *)
+
+type config = {
+  socket : string option;  (** Unix-domain listener (unlinked on exit) *)
+  tcp : (string * int) option;
+      (** TCP listener; port 0 binds ephemeral (reported via [ready]) *)
+  shards : (string * int) list;  (** the shard TCP endpoints *)
+  vnodes : int;  (** virtual nodes per shard on the ring *)
+  max_frame : int;  (** per-frame byte limit on both sides *)
+  quarantine_s : float;
+      (** how long a failed shard is skipped while alternatives exist *)
+  shard_timeout_s : float;
+      (** socket timeout per shard exchange; a shard that accepts but
+          never replies counts as dead instead of hanging the client *)
+}
+
+val default_config : shards:(string * int) list -> config
+(** No listeners bound (set [socket] and/or [tcp]), [vnodes = 128],
+    [max_frame = Proto.default_max_frame], [quarantine_s = 2.],
+    [shard_timeout_s = 120.]. *)
+
+val node_of_shard : string * int -> string
+(** The ring node id of a shard endpoint: ["host:port"]. *)
+
+val affinity_key : Ssp_server.Proto.request -> string option
+(** The placement key of a work request ([None] for control requests).
+    Deterministic across processes; deliberately ignores the [ssp]
+    flag and the tenant so all variants of one program co-locate. *)
+
+val serve : ?ready:(tcp_port:int option -> unit) -> config -> unit
+(** Bind the router's listeners and serve until a [Shutdown] request
+    (blocking). [ready] fires once all listeners are bound. Raises
+    [Ssp_ir.Error.Error] when no listener or no shard is configured,
+    [Unix.Unix_error] when a listener cannot be bound. Telemetry (when
+    enabled): [router.requests], [router.failover], [router.busy],
+    [router.degraded], per-shard [router.shard.<node>.requests] /
+    [.failed], per-tenant [router.tenant.<t>.requests]. *)

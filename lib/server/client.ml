@@ -1,12 +1,98 @@
-let request ?max_frame ~socket req =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+type addr = Unix_sock of string | Tcp of string * int
+
+let pp_addr = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let connect addr =
+  match addr with
+  | Unix_sock path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
+  | Tcp (host, port) ->
+    let ip =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+          addrs.(0)
+        | _ | (exception Not_found) ->
+          Ssp_ir.Error.raise_error ~pass:"proto"
+            ("cannot resolve host " ^ host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match
+       Unix.setsockopt fd Unix.TCP_NODELAY true;
+       Unix.connect fd (Unix.ADDR_INET (ip, port))
+     with
+    | () -> fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
+
+let request_addr ?max_frame ?timeout_s addr req =
+  let fd = connect addr in
   Fun.protect ~finally:(fun () ->
       try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
-  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (match timeout_s with
+  | Some t when t > 0. -> (
+    (* A peer that accepts but never replies surfaces as EAGAIN instead
+       of a hung client (the router treats it as a dead shard). *)
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+    with Unix.Unix_error _ -> ())
+  | _ -> ());
   Proto.write_frame fd (Proto.encode_request req);
   match Proto.read_frame ?max_frame fd with
   | Some payload -> Proto.decode_response payload
   | None ->
     Ssp_ir.Error.raise_error ~pass:"proto"
       "server closed the connection without replying"
+
+let request ?max_frame ~socket req = request_addr ?max_frame (Unix_sock socket) req
+
+(* ---- transient-failure retry with capped jittered backoff ---- *)
+
+(* A daemon restarting, a listen backlog overflowing, or a router
+   failing over produces exactly these: the connection is refused or
+   dies before a reply. Retrying them is safe because every request is
+   idempotent (pure computation + content-addressed cache). *)
+let transient_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
+  | Unix.ENETUNREACH | Unix.EHOSTUNREACH | Unix.ETIMEDOUT | Unix.EAGAIN
+  | Unix.EINTR ->
+    true
+  | _ -> false
+
+(* Deciding to wait is deterministic; only the jitter draws randomness,
+   so retries from a fleet of clients spread out instead of thundering
+   back in lockstep. *)
+let jittered d = d *. (0.5 +. Random.float 1.0)
+
+let request_retry ?max_frame ?(attempts = 5) ?(base_delay_s = 0.05)
+    ?(max_delay_s = 2.0) ?on_wait addr req =
+  let wait reason d =
+    let d = jittered (Float.min max_delay_s (Float.max 0.001 d)) in
+    (match on_wait with Some f -> f ~reason ~delay_s:d | None -> ());
+    Unix.sleepf d
+  in
+  let rec go k =
+    match request_addr ?max_frame addr req with
+    | Proto.Busy_reply { retry_after_s } when k < attempts ->
+      (* Admission backpressure: honor the server's retry-after hint. *)
+      wait "server saturated" (Float.max retry_after_s base_delay_s);
+      go (k + 1)
+    | resp -> resp
+    | exception Unix.Unix_error (e, _, _) when k < attempts && transient_error e
+      ->
+      wait (Unix.error_message e) (base_delay_s *. (2. ** float_of_int k));
+      go (k + 1)
+  in
+  go 0

@@ -4,20 +4,36 @@
 
 module Bin = Ssp_store.Store.Bin
 
-let proto_version = 1
+let proto_version = 2
 let default_max_frame = 8 * 1024 * 1024
 let req_magic = "SSPQ"
 let resp_magic = "SSPR"
+let default_tenant = "anon"
 
 let malformed what = Ssp_ir.Error.raise_error ~pass:"proto" what
 
 type program_ref = Workload of string | Source of string
 
 type request =
-  | Adapt of { prog : program_ref; scale : int; pipeline : string }
-  | Sim of { prog : program_ref; scale : int; pipeline : string; ssp : bool }
+  | Adapt of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      tenant : string;
+    }
+  | Sim of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      ssp : bool;
+      tenant : string;
+    }
   | Stats
   | Shutdown
+
+let tenant_of = function
+  | Adapt { tenant; _ } | Sim { tenant; _ } -> tenant
+  | Stats | Shutdown -> "-"
 
 type error_info = { pass : string; what : string; injected : bool }
 
@@ -26,6 +42,7 @@ type response =
   | Simmed of { stats : string }
   | Stats_reply of { summary : string }
   | Ok_reply
+  | Busy_reply of { retry_after_s : float }
   | Error_reply of error_info
 
 (* ---- body codecs ---- *)
@@ -65,17 +82,19 @@ let decode magic payload k =
 let encode_request req =
   encode req_magic (fun b ->
       match req with
-      | Adapt { prog; scale; pipeline } ->
+      | Adapt { prog; scale; pipeline; tenant } ->
         Bin.w_u8 b 1;
         w_program_ref b prog;
         Bin.w_int b scale;
-        Bin.w_str b pipeline
-      | Sim { prog; scale; pipeline; ssp } ->
+        Bin.w_str b pipeline;
+        Bin.w_str b tenant
+      | Sim { prog; scale; pipeline; ssp; tenant } ->
         Bin.w_u8 b 2;
         w_program_ref b prog;
         Bin.w_int b scale;
         Bin.w_str b pipeline;
-        Bin.w_bool b ssp
+        Bin.w_bool b ssp;
+        Bin.w_str b tenant
       | Stats -> Bin.w_u8 b 3
       | Shutdown -> Bin.w_u8 b 4)
 
@@ -86,13 +105,15 @@ let decode_request payload =
         let prog = r_program_ref r in
         let scale = Bin.r_int r in
         let pipeline = Bin.r_str r in
-        Adapt { prog; scale; pipeline }
+        let tenant = Bin.r_str r in
+        Adapt { prog; scale; pipeline; tenant }
       | 2 ->
         let prog = r_program_ref r in
         let scale = Bin.r_int r in
         let pipeline = Bin.r_str r in
         let ssp = Bin.r_bool r in
-        Sim { prog; scale; pipeline; ssp }
+        let tenant = Bin.r_str r in
+        Sim { prog; scale; pipeline; ssp; tenant }
       | 3 -> Stats
       | 4 -> Shutdown
       | t -> malformed (Printf.sprintf "unknown request tag %d" t))
@@ -112,6 +133,9 @@ let encode_response resp =
         Bin.w_u8 b 3;
         Bin.w_str b summary
       | Ok_reply -> Bin.w_u8 b 4
+      | Busy_reply { retry_after_s } ->
+        Bin.w_u8 b 5;
+        Bin.w_float b retry_after_s
       | Error_reply { pass; what; injected } ->
         Bin.w_u8 b 255;
         Bin.w_str b pass;
@@ -129,6 +153,7 @@ let decode_response payload =
       | 2 -> Simmed { stats = Bin.r_str r }
       | 3 -> Stats_reply { summary = Bin.r_str r }
       | 4 -> Ok_reply
+      | 5 -> Busy_reply { retry_after_s = Bin.r_float r }
       | 255 ->
         let pass = Bin.r_str r in
         let what = Bin.r_str r in

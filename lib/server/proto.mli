@@ -13,18 +13,36 @@ val proto_version : int
 val default_max_frame : int
 (** Frames larger than this are rejected (8 MiB). *)
 
+val default_tenant : string
+(** Tenant name used when a client does not declare one (["anon"]). *)
+
 type program_ref =
   | Workload of string  (** a named suite workload, compiled server-side *)
   | Source of string  (** mini-C source text shipped in the request *)
 
 type request =
-  | Adapt of { prog : program_ref; scale : int; pipeline : string }
+  | Adapt of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      tenant : string;
+    }
       (** run the post-pass; reply carries the report and the adapted
           binary as assembly text *)
-  | Sim of { prog : program_ref; scale : int; pipeline : string; ssp : bool }
+  | Sim of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      ssp : bool;
+      tenant : string;
+    }
       (** cycle simulation, optionally adapting first *)
   | Stats  (** the server's telemetry summary *)
   | Shutdown  (** acknowledge, then stop serving *)
+
+val tenant_of : request -> string
+(** The declaring tenant of a work request; ["-"] for control requests
+    (which bypass admission control). *)
 
 type error_info = { pass : string; what : string; injected : bool }
 
@@ -34,6 +52,9 @@ type response =
   | Simmed of { stats : string }
   | Stats_reply of { summary : string }
   | Ok_reply
+  | Busy_reply of { retry_after_s : float }
+      (** admission control: the shard's queue is saturated; retry after
+          (roughly) this many seconds — clients add jitter *)
   | Error_reply of error_info
 
 val encode_request : request -> string

@@ -2,21 +2,38 @@ module T = Ssp_telemetry.Telemetry
 module Store = Ssp_store.Store
 
 type config = {
-  socket : string;
+  socket : string option;
+  tcp : (string * int) option;
   jobs : int;
   cache : Store.Cache.t option;
   max_frame : int;
   timeout_s : float;
+  max_batch : int;
+  max_queue : int;
+  retry_after_s : float;
 }
 
 let default_config ~socket =
   {
-    socket;
+    socket = Some socket;
+    tcp = None;
     jobs = 2;
     cache = Some (Store.Cache.open_dir (Store.Cache.default_dir ()));
     max_frame = Proto.default_max_frame;
     timeout_s = 60.;
+    max_batch = 32;
+    max_queue = 256;
+    retry_after_s = 0.2;
   }
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+      Ssp_ir.Error.raise_error ~pass:"server" ("cannot resolve host " ^ host))
 
 (* ---- request execution (runs on pool workers; must never raise) ---- *)
 
@@ -57,7 +74,7 @@ let plain_error pass what =
 let handle cfg req =
   try
     match req with
-    | Proto.Adapt { prog; scale; pipeline } ->
+    | Proto.Adapt { prog; scale; pipeline; tenant = _ } ->
       let config = config_of_pipeline pipeline in
       let prog = compile_ref prog scale in
       let result, status = adapted_for cfg.cache ~config prog in
@@ -68,7 +85,7 @@ let handle cfg req =
           asm = Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog;
           cache = status;
         }
-    | Proto.Sim { prog; scale; pipeline; ssp } ->
+    | Proto.Sim { prog; scale; pipeline; ssp; tenant = _ } ->
       let config = config_of_pipeline pipeline in
       let prog = compile_ref prog scale in
       let prog =
@@ -105,6 +122,8 @@ type conn = {
   mutable outpos : int;  (** flushed prefix of [out] *)
   mutable last : float;  (** last activity, for stalled-peer timeouts *)
   mutable closing : bool;  (** stop reading; close once [out] drains *)
+  mutable dead : bool;
+      (** fd closed; queued requests must not reply into a recycled fd *)
 }
 
 let in_pending c = Buffer.length c.inbuf - c.inpos
@@ -175,21 +194,56 @@ let flush_out c =
     c.outpos <- 0
   end
 
-let serve cfg =
+let serve ?ready cfg =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
-  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
-  Unix.listen listen_fd 16;
+  if cfg.socket = None && cfg.tcp = None then
+    Ssp_ir.Error.raise_error ~pass:"server"
+      "serve needs a unix socket, a TCP endpoint, or both";
+  (* Unix-domain listener (optional). *)
+  let unix_fd =
+    match cfg.socket with
+    | None -> None
+    | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      Some fd
+  in
+  (* TCP listener (optional) alongside it: same framing, same protocol.
+     Port 0 binds an ephemeral port; [ready] reports the bound one. *)
+  let tcp_fd, tcp_port =
+    match cfg.tcp with
+    | None -> (None, None)
+    | Some (host, port) -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+         Unix.listen fd 64
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (match unix_fd with
+         | Some u -> ( try Unix.close u with Unix.Unix_error _ -> ())
+         | None -> ());
+         raise e);
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> (Some fd, Some p)
+      | _ -> (Some fd, Some port))
+  in
+  let listeners = List.filter_map Fun.id [ unix_fd; tcp_fd ] in
+  (match ready with Some f -> f ~tcp_port | None -> ());
   let pool = Ssp_parallel.Pool.create ~jobs:(max 1 cfg.jobs) in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let adm : (conn * Proto.request * float) Admission.t = Admission.create () in
   let running = ref true in
   let depth_series = T.series "server.queue_depth" in
   let batch_no = ref 0 in
   let close_conn c =
     Hashtbl.remove conns c.fd;
+    c.dead <- true;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
   (* Queue a reply and opportunistically flush. Writes are non-blocking:
@@ -197,8 +251,10 @@ let serve cfg =
      select's write set, dropped after the timeout) — it can lose its
      own connection, but never stall the loop. *)
   let send c resp =
-    match Proto.frame (Proto.encode_response resp) with
-    | framed ->
+    if c.dead then ()
+    else
+      match Proto.frame (Proto.encode_response resp) with
+      | framed ->
       if out_pending c = 0 then begin
         c.out <- framed;
         c.outpos <- 0
@@ -235,24 +291,32 @@ let serve cfg =
     Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
       conns;
     Hashtbl.reset conns;
-    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-    try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      listeners;
+    match cfg.socket with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ()
   in
   Fun.protect ~finally @@ fun () ->
   while !running do
     let rfds =
-      listen_fd
-      :: Hashtbl.fold
-           (fun fd c acc -> if c.closing then acc else fd :: acc)
-           conns []
+      listeners
+      @ Hashtbl.fold
+          (fun fd c acc -> if c.closing then acc else fd :: acc)
+          conns []
     in
     let wfds =
       Hashtbl.fold
         (fun fd c acc -> if out_pending c > 0 then fd :: acc else acc)
         conns []
     in
+    (* With admitted work still queued, poll instead of parking: the
+       next batch should start as soon as this round's replies are
+       queued, not a select-tick later. *)
+    let tick = if Admission.backlog adm > 0 then 0.0 else 1.0 in
     let readable, writable =
-      match Unix.select rfds wfds [] 1.0 with
+      match Unix.select rfds wfds [] tick with
       | r, w, _ -> (r, w)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
     in
@@ -266,10 +330,15 @@ let serve cfg =
     let batch = ref [] in
     List.iter
       (fun fd ->
-        if fd = listen_fd then begin
-          match Unix.accept listen_fd with
+        if List.memq fd listeners then begin
+          match Unix.accept fd with
           | afd, _ ->
             Unix.set_nonblock afd;
+            (* Warm hits are small request/reply exchanges; Nagle would
+               serialize them against delayed ACKs on the TCP path. *)
+            if Some fd = tcp_fd then
+              (try Unix.setsockopt afd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
             Hashtbl.replace conns afd
               {
                 fd = afd;
@@ -279,6 +348,7 @@ let serve cfg =
                 outpos = 0;
                 last = now;
                 closing = false;
+                dead = false;
               }
           | exception Unix.Unix_error _ -> ()
         end
@@ -339,47 +409,60 @@ let serve cfg =
           c.outpos <- 0
         end)
       conns;
-    let batch = List.rev !batch in
-    if batch <> [] then begin
+    (* Control requests are cheap and answered inline; work requests go
+       through admission: reject with retry-after when the queue is
+       saturated, otherwise queue under the declaring tenant. *)
+    List.iter
+      (fun (c, req, t0) ->
+        match req with
+        | Proto.Stats ->
+          T.count "server.requests" 1;
+          send c
+            (Proto.Stats_reply
+               { summary = Format.asprintf "%a" T.pp_summary (T.report ()) })
+        | Proto.Shutdown ->
+          T.count "server.requests" 1;
+          send c Proto.Ok_reply;
+          running := false
+        | Proto.Adapt _ | Proto.Sim _ ->
+          let tenant = Proto.tenant_of req in
+          if Admission.backlog adm >= cfg.max_queue then begin
+            T.count "server.rejected" 1;
+            T.count ("server.tenant." ^ tenant ^ ".rejected") 1;
+            send c (Proto.Busy_reply { retry_after_s = cfg.retry_after_s })
+          end
+          else begin
+            T.count ("server.tenant." ^ tenant ^ ".requests") 1;
+            Admission.enqueue adm ~tenant (c, req, t0)
+          end)
+      (List.rev !batch);
+    (* On shutdown, every still-queued request gets a structured error
+       instead of silence. *)
+    if not !running then
+      List.iter
+        (fun (_, (c, _, _)) ->
+          send c (plain_error "server" "server shutting down"))
+        (Admission.drain adm);
+    (* One bounded, tenant-fair batch across the pool per round. *)
+    let work = Admission.select adm ~max:cfg.max_batch in
+    if work <> [] then begin
       incr batch_no;
       T.count "server.batches" 1;
-      (* Control requests are cheap and answered inline; work requests
-         are batched across the pool. *)
-      List.iter
-        (fun (c, req, _) ->
-          match req with
-          | Proto.Stats ->
-            T.count "server.requests" 1;
-            send c
-              (Proto.Stats_reply
-                 { summary = Format.asprintf "%a" T.pp_summary (T.report ()) })
-          | Proto.Shutdown ->
-            T.count "server.requests" 1;
-            send c Proto.Ok_reply;
-            running := false
-          | Proto.Adapt _ | Proto.Sim _ -> ())
-        batch;
-      let work =
-        List.filter
-          (fun (_, req, _) ->
-            match req with
-            | Proto.Adapt _ | Proto.Sim _ -> true
-            | Proto.Stats | Proto.Shutdown -> false)
-          batch
-      in
       T.sample depth_series ~x:(float_of_int !batch_no)
-        ~y:(float_of_int (List.length work));
+        ~y:(float_of_int (List.length work + Admission.backlog adm));
       let replies =
         Ssp_parallel.Pool.map pool
-          (fun (_, req, t0) ->
-            if Unix.gettimeofday () -. t0 > cfg.timeout_s then
+          (fun (_, (c, req, t0)) ->
+            if c.dead then plain_error "server" "client went away"
+            else if Unix.gettimeofday () -. t0 > cfg.timeout_s then
               plain_error "server" "request timed out in queue"
             else T.with_span "server.request" (fun () -> handle cfg req))
           work
       in
       List.iter2
-        (fun (c, _, _) resp ->
+        (fun (tenant, (c, _, _)) resp ->
           T.count "server.requests" 1;
+          T.count ("server.tenant." ^ tenant ^ ".served") 1;
           send c resp)
         work replies
     end;

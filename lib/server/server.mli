@@ -1,13 +1,19 @@
-(** The adaptation daemon: a Unix-domain-socket service front-ending the
-    post-pass pipeline.
+(** The adaptation daemon: a socket service front-ending the post-pass
+    pipeline — one shard of the cluster (see {!Ssp_cluster}).
 
-    One [serve] call binds the socket and runs a single-threaded
-    [Unix.select] accept/read loop. Complete request frames collected in
-    one loop round form a batch; work requests ([Adapt]/[Sim]) fan out
-    across a long-lived {!Ssp_parallel.Pool} (created once at start-up,
-    shut down at exit), so concurrent clients share the domain pool
-    instead of forking pipelines. Adapt requests go through the
-    content-addressed store ({!Ssp_store.Store.run_cached} /
+    One [serve] call binds its listeners — a Unix-domain socket, a TCP
+    endpoint, or both, speaking the same framed protocol — and runs a
+    single-threaded [Unix.select] accept/read loop. Complete request
+    frames go through admission control: when the backlog has reached
+    [max_queue] the request is answered immediately with
+    {!Proto.response.Busy_reply} (retry-after backpressure, which
+    well-behaved clients honor with jittered backoff); otherwise it is
+    queued under its declaring tenant. Each round drains at most
+    [max_batch] requests, chosen by deficit-round-robin over the active
+    tenants ({!Admission}), and fans them across a long-lived
+    {!Ssp_parallel.Pool} — so concurrent clients share the domain pool
+    and one hot tenant cannot starve the rest. Adapt requests go through
+    the content-addressed store ({!Ssp_store.Store.run_cached} /
     [cached_profile]) when a cache is configured, so a repeated request
     is a disk lookup, not a recompute.
 
@@ -18,10 +24,16 @@
     past the timeout, a peer that stops draining its reply) closes that
     connection only. Connection sockets are non-blocking with replies
     buffered per connection, so no single peer can stall the loop. The
-    daemon itself stops only on a [Shutdown] request. *)
+    daemon itself stops only on a [Shutdown] request, at which point any
+    still-queued work is answered with a structured error rather than
+    dropped. *)
 
 type config = {
-  socket : string;  (** Unix-domain socket path (unlinked on exit) *)
+  socket : string option;
+      (** Unix-domain socket path (unlinked on exit), if any *)
+  tcp : (string * int) option;
+      (** TCP [host, port] to bind alongside it; port 0 binds an
+          ephemeral port (reported through [serve]'s [ready]) *)
   jobs : int;  (** domain-pool width for batched work requests *)
   cache : Ssp_store.Store.Cache.t option;
       (** [None] disables the artifact store ([cache = "off"] replies) *)
@@ -30,15 +42,29 @@ type config = {
       (** per-request budget: a request still queued (or a partial frame
           still unfinished) after this many seconds gets a structured
           timeout error instead of service *)
+  max_batch : int;
+      (** admission: at most this many work requests fan out per round *)
+  max_queue : int;
+      (** admission: total backlog bound; arrivals beyond it get
+          [Busy_reply] (a [max_queue] of 0 rejects all work — useful to
+          drain or to exercise the retry path) *)
+  retry_after_s : float;
+      (** the retry-after hint carried by [Busy_reply] *)
 }
 
 val default_config : socket:string -> config
-(** [jobs = 2], a cache in {!Ssp_store.Store.Cache.default_dir},
-    [max_frame = Proto.default_max_frame], [timeout_s = 60.]. *)
+(** Unix socket only, [jobs = 2], a cache in
+    {!Ssp_store.Store.Cache.default_dir}, [max_frame =
+    Proto.default_max_frame], [timeout_s = 60.], [max_batch = 32],
+    [max_queue = 256], [retry_after_s = 0.2]. *)
 
-val serve : config -> unit
-(** Bind, listen and serve until a [Shutdown] request (blocking). Raises
-    [Unix.Unix_error] if the socket cannot be bound. Telemetry (when
-    enabled): [server.requests], [server.errors], [server.cache_hit],
-    [server.batches], a [server.queue_depth] series sampled per batch,
-    and a [server.request] span per served request. *)
+val serve : ?ready:(tcp_port:int option -> unit) -> config -> unit
+(** Bind, listen and serve until a [Shutdown] request (blocking).
+    [ready] is called once, after every listener is bound, with the
+    actual TCP port (useful with port 0). Raises [Unix.Unix_error] if a
+    listener cannot be bound and [Ssp_ir.Error.Error] if neither
+    endpoint is configured. Telemetry (when enabled): [server.requests],
+    [server.errors], [server.rejected], [server.cache_hit],
+    [server.batches], per-tenant [server.tenant.<t>.requests] /
+    [.served] / [.rejected], a [server.queue_depth] series sampled per
+    batch, and a [server.request] span per served request. *)

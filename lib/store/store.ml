@@ -409,7 +409,9 @@ let cache_key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 (* ---- on-disk cache ---- *)
 
 module Cache = struct
-  type t = { dir : string; max_bytes : int }
+  (* [evictions] is atomic because [put] (and so [evict]) runs on pool
+     domains when the server fans a batch out. *)
+  type t = { dir : string; max_bytes : int; evictions : int Atomic.t }
 
   let default_dir () =
     match Sys.getenv_opt "SSPC_CACHE_DIR" with
@@ -429,9 +431,10 @@ module Cache = struct
 
   let open_dir ?(max_bytes = 256 * 1024 * 1024) dir =
     mkdir_p dir;
-    { dir; max_bytes = max 0 max_bytes }
+    { dir; max_bytes = max 0 max_bytes; evictions = Atomic.make 0 }
 
   let dir t = t.dir
+  let evictions t = Atomic.get t.evictions
   let path t key = Filename.concat t.dir (key ^ ".blob")
 
   let entries t =
@@ -490,6 +493,7 @@ module Cache = struct
           if !excess > 0 then begin
             (try Sys.remove p with Sys_error _ -> ());
             excess := !excess - sz;
+            Atomic.incr t.evictions;
             T.count "store.evict" 1
           end)
         oldest_first

@@ -125,6 +125,13 @@ module Cache : sig
   (** Total bytes of cached blobs currently on disk. *)
 
   val entry_count : t -> int
+
+  val evictions : t -> int
+  (** Entries this handle has evicted under cache pressure since
+      [open_dir] — the in-process view of the [store.evict] telemetry
+      counter, visible in 'sspc stats' / 'sspc client stats' next to
+      [store.corrupt] so cache pressure is observable even when a run
+      did not ask for a trace. *)
 end
 
 (** {1 Cache-aware pipeline fast paths} *)

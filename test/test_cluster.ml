@@ -1,0 +1,463 @@
+(* The cluster layer: consistent-hash ring properties (balance, minimal
+   movement, determinism), TCP transport byte-identity, router failover
+   under a mid-campaign shard kill, and the client's retry/backoff
+   behavior against a saturated or flaky endpoint. *)
+
+module Ring = Ssp_cluster.Ring
+module Router = Ssp_cluster.Router
+module Server = Ssp_server.Server
+module Client = Ssp_server.Client
+module Proto = Ssp_server.Proto
+module Store = Ssp_store.Store
+module Suite = Ssp_workloads.Suite
+module Workload = Ssp_workloads.Workload
+
+let scale = Suite.test_scale
+
+(* ---- ring ---- *)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+let placements ring ks =
+  List.map
+    (fun k ->
+      match Ring.lookup ring k with
+      | Some node -> (k, node)
+      | None -> Alcotest.fail "lookup on a non-empty ring returned None")
+    ks
+
+let test_ring_balance () =
+  (* 10k keys over 8 shards with 128 vnodes: the χ² statistic over the
+     8 bucket counts must stay small (7 degrees of freedom; χ² < 500
+     would already mean a 40% hot shard — we assert well under that and
+     bound the worst shard directly). *)
+  let shards = List.init 8 (fun i -> Printf.sprintf "shard-%d" i) in
+  let ring = Ring.create shards in
+  let n = 10_000 in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, node) ->
+      Hashtbl.replace counts node
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts node)))
+    (placements ring (keys n));
+  Alcotest.(check int) "every shard owns keys" 8 (Hashtbl.length counts);
+  let expected = float_of_int n /. 8. in
+  let chi2 =
+    Hashtbl.fold
+      (fun _ c acc ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      counts 0.
+  in
+  let worst = Hashtbl.fold (fun _ c m -> max c m) counts 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi^2 %.1f < 200" chi2)
+    true (chi2 < 200.);
+  Alcotest.(check bool)
+    (Printf.sprintf "max/mean %.2f < 1.5" (float_of_int worst /. expected))
+    true
+    (float_of_int worst < 1.5 *. expected)
+
+let test_ring_minimal_movement_on_join () =
+  let before = Ring.create (List.init 4 (fun i -> Printf.sprintf "s%d" i)) in
+  let after = Ring.add before "s4" in
+  let ks = keys 10_000 in
+  let pb = placements before ks and pa = placements after ks in
+  let moved =
+    List.fold_left2
+      (fun acc (_, nb) (k, na) ->
+        if String.equal nb na then acc
+        else begin
+          (* Any key that moved may only have moved TO the joining
+             shard; shuffling between survivors would defeat the cache
+             affinity the ring exists for. *)
+          Alcotest.(check string)
+            (Printf.sprintf "moved key %s lands on the new shard" k)
+            "s4" na;
+          acc + 1
+        end)
+      0 pb pa
+  in
+  (* The new shard owns ~1/5 of the circle. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "moved fraction %.3f in (0.05, 0.4)"
+       (float_of_int moved /. 10_000.))
+    true
+    (moved > 500 && moved < 4_000)
+
+let test_ring_minimal_movement_on_leave () =
+  let before = Ring.create (List.init 4 (fun i -> Printf.sprintf "s%d" i)) in
+  let after = Ring.remove before "s2" in
+  let ks = keys 10_000 in
+  List.iter2
+    (fun (_, nb) (k, na) ->
+      if String.equal nb "s2" then
+        Alcotest.(check bool)
+          (Printf.sprintf "orphaned key %s rehomed off s2" k)
+          true
+          (not (String.equal na "s2"))
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "unaffected key %s stays put" k)
+          nb na)
+    (placements before ks) (placements after ks)
+
+let test_ring_deterministic_across_processes () =
+  (* Placement must be a pure function of (membership, vnodes) — no
+     per-process seeding — or routers would disagree. These expected
+     placements were computed once and hardcoded; a change here is a
+     placement-breaking change (it silently cools every cluster cache
+     on upgrade). *)
+  let ring = Ring.create [ "alpha"; "beta"; "gamma" ] in
+  let got =
+    List.map (fun k -> Option.get (Ring.lookup ring k))
+      [ "key-0"; "key-1"; "key-2"; "key-3"; "key-4" ]
+  in
+  let ring' = Ring.create [ "gamma"; "alpha"; "beta"; "alpha" ] in
+  List.iter2
+    (fun k g ->
+      Alcotest.(check string)
+        (k ^ " placement order/dup independent")
+        g
+        (Option.get (Ring.lookup ring' k)))
+    [ "key-0"; "key-1"; "key-2"; "key-3"; "key-4" ]
+    got;
+  (* Fresh ring, same inputs, same answers (pure function). *)
+  List.iter2
+    (fun k g ->
+      Alcotest.(check string) (k ^ " stable across builds") g
+        (Option.get
+           (Ring.lookup (Ring.create [ "alpha"; "beta"; "gamma" ]) k)))
+    [ "key-0"; "key-1"; "key-2"; "key-3"; "key-4" ]
+    got
+
+let test_ring_successors () =
+  let ring = Ring.create [ "a"; "b"; "c" ] in
+  let succ = Ring.successors ring "some-key" in
+  Alcotest.(check int) "failover covers all nodes" 3 (List.length succ);
+  Alcotest.(check (list string))
+    "distinct nodes" (List.sort_uniq compare succ)
+    (List.sort compare succ);
+  Alcotest.(check (option string))
+    "head is the owner" (Ring.lookup ring "some-key")
+    (Some (List.hd succ))
+
+(* ---- in-process shards and routers ---- *)
+
+let temp_dir = Filename.temp_dir "sspc_cluster_test" ""
+
+let fresh =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Filename.concat temp_dir (Printf.sprintf "%s%d" prefix !n)
+
+let shard_config ?(max_queue = 256) ~cache_dir () =
+  {
+    Server.socket = None;
+    tcp = Some ("127.0.0.1", 0);
+    jobs = 1;
+    cache = Some (Store.Cache.open_dir cache_dir);
+    max_frame = Proto.default_max_frame;
+    timeout_s = 60.;
+    max_batch = 8;
+    max_queue;
+    retry_after_s = 0.05;
+  }
+
+let start_shard ?max_queue () =
+  let port = ref None in
+  let cfg = shard_config ?max_queue ~cache_dir:(fresh "cache") () in
+  let th =
+    Thread.create
+      (fun () -> Server.serve ~ready:(fun ~tcp_port -> port := tcp_port) cfg)
+      ()
+  in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "shard never came up";
+    match !port with
+    | Some p -> p
+    | None ->
+      Thread.delay 0.01;
+      wait (tries - 1)
+  in
+  (th, wait 500)
+
+let start_router shards =
+  let socket = fresh "router" ^ ".sock" in
+  let cfg =
+    {
+      (Router.default_config ~shards) with
+      Router.socket = Some socket;
+      quarantine_s = 0.5;
+      shard_timeout_s = 30.;
+    }
+  in
+  let up = ref false in
+  let th =
+    Thread.create
+      (fun () -> Router.serve ~ready:(fun ~tcp_port:_ -> up := true) cfg)
+      ()
+  in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "router never came up"
+    else if not !up then begin
+      Thread.delay 0.01;
+      wait (tries - 1)
+    end
+  in
+  wait 500;
+  (th, socket)
+
+let adapt_req name =
+  Proto.Adapt
+    { prog = Proto.Workload name; scale; pipeline = "inorder";
+      tenant = Proto.default_tenant }
+
+let shutdown addr =
+  match Client.request_addr addr Proto.Shutdown with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged"
+
+let offline_adapt name =
+  let config = Ssp_machine.Config.in_order in
+  let prog = Workload.program (Suite.find name) ~scale in
+  let profile = Ssp_profiling.Collect.collect prog in
+  let result = Ssp.Adapt.run ~config prog profile in
+  ( Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report,
+    Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog )
+
+let expect_adapted = function
+  | Proto.Adapted { report; asm; cache } -> (report, asm, cache)
+  | Proto.Error_reply { pass; what; _ } ->
+    Alcotest.fail (Printf.sprintf "server error [%s]: %s" pass what)
+  | _ -> Alcotest.fail "expected an Adapted reply"
+
+let test_tcp_transport_identical () =
+  (* The TCP listener must speak the exact same protocol as the Unix
+     socket: a served adapt over TCP is byte-identical to offline. *)
+  let th, port = start_shard () in
+  let addr = Client.Tcp ("127.0.0.1", port) in
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let r, a, c = expect_adapted (Client.request_addr addr (adapt_req "em3d")) in
+  Alcotest.(check string) "cold miss over TCP" "miss" c;
+  Alcotest.(check bool) "report identical over TCP" true
+    (String.equal exp_report r);
+  Alcotest.(check bool) "asm identical over TCP" true (String.equal exp_asm a);
+  let _, a2, c2 =
+    expect_adapted (Client.request_addr addr (adapt_req "em3d"))
+  in
+  Alcotest.(check string) "warm hit over TCP" "hit" c2;
+  Alcotest.(check bool) "warm asm identical" true (String.equal a a2);
+  shutdown addr;
+  Thread.join th
+
+let test_router_routes_and_caches () =
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let r, a, c = expect_adapted (Client.request_addr router (adapt_req "em3d")) in
+  Alcotest.(check string) "cold miss via router" "miss" c;
+  Alcotest.(check bool) "routed report identical" true
+    (String.equal exp_report r);
+  Alcotest.(check bool) "routed asm identical" true (String.equal exp_asm a);
+  (* The ring sends the repeat to the same shard: warm hit. *)
+  let _, _, c2 =
+    expect_adapted (Client.request_addr router (adapt_req "em3d"))
+  in
+  Alcotest.(check string) "affinity makes the repeat hit" "hit" c2;
+  (* Stats is answered by the router itself. *)
+  (match Client.request_addr router Proto.Stats with
+  | Proto.Stats_reply _ -> ()
+  | _ -> Alcotest.fail "expected the router's own stats");
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", p1));
+  shutdown (Client.Tcp ("127.0.0.1", p2));
+  Thread.join th1;
+  Thread.join th2
+
+let test_router_failover_mid_campaign () =
+  (* The acceptance scenario: warm a set of keys through a 2-shard
+     router, kill one shard mid-campaign, and require every subsequent
+     reply to remain byte-identical — degraded service, never wrong
+     bytes. *)
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  let names = [ "em3d"; "mst" ] in
+  let expected = List.map (fun n -> (n, offline_adapt n)) names in
+  let check_all tag =
+    List.iter
+      (fun (n, (er, ea)) ->
+        let r, a, _ =
+          expect_adapted
+            (Client.request_retry ~attempts:6 router (adapt_req n))
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s report identical" tag n)
+          true (String.equal er r);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s asm identical" tag n)
+          true (String.equal ea a))
+      expected
+  in
+  check_all "both shards live";
+  (* Kill shard 1 (no clean shutdown needed — a vanished peer is the
+     point), then keep the campaign going. *)
+  shutdown (Client.Tcp ("127.0.0.1", p1));
+  Thread.join th1;
+  check_all "one shard down";
+  check_all "one shard down, repeat";
+  (* Kill the last shard: the router must answer with a structured
+     degraded error naming the attempts, not hang or lie. *)
+  shutdown (Client.Tcp ("127.0.0.1", p2));
+  Thread.join th2;
+  (match Client.request_addr router (adapt_req "em3d") with
+  | Proto.Error_reply { pass; what; _ } ->
+    Alcotest.(check string) "degraded error is the router's" "router" pass;
+    Alcotest.(check bool) "names the degradation" true
+      (String.length what > 0
+      && String.starts_with ~prefix:"degraded" what)
+  | _ -> Alcotest.fail "expected a degraded-mode error");
+  shutdown router;
+  Thread.join r_th
+
+let test_router_forwards_busy () =
+  (* A saturated shard's Busy_reply must come back to the client (with
+     the retry-after hint), not trigger failover to a shard that does
+     not own the key. *)
+  let th, port = start_shard ~max_queue:0 () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", port) ] in
+  let router = Client.Unix_sock r_sock in
+  (match Client.request_addr router (adapt_req "em3d") with
+  | Proto.Busy_reply { retry_after_s } ->
+    Alcotest.(check bool) "retry-after hint positive" true (retry_after_s > 0.)
+  | _ -> Alcotest.fail "expected the shard's Busy_reply through the router");
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", port));
+  Thread.join th
+
+(* ---- client retry/backoff ---- *)
+
+let test_client_retries_connect () =
+  (* No listener yet: request_retry must back off and succeed once the
+     daemon appears — the 'daemon still starting' case. *)
+  let socket = fresh "late" ^ ".sock" in
+  let waits = ref 0 in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        Server.serve
+          {
+            Server.socket = Some socket;
+            tcp = None;
+            jobs = 1;
+            cache = None;
+            max_frame = Proto.default_max_frame;
+            timeout_s = 60.;
+            max_batch = 8;
+            max_queue = 256;
+            retry_after_s = 0.05;
+          })
+      ()
+  in
+  let resp =
+    Client.request_retry ~attempts:10 ~base_delay_s:0.05
+      ~on_wait:(fun ~reason:_ ~delay_s:_ -> incr waits)
+      (Client.Unix_sock socket) Proto.Stats
+  in
+  (match resp with
+  | Proto.Stats_reply _ -> ()
+  | _ -> Alcotest.fail "expected stats once the daemon came up");
+  Alcotest.(check bool) "at least one backoff happened" true (!waits > 0);
+  shutdown (Client.Unix_sock socket);
+  Thread.join starter
+
+let test_client_retries_busy () =
+  (* A fake endpoint that replies Busy twice, then serves: the client
+     must wait twice (honoring retry-after) and return the real reply. *)
+  let socket = fresh "busy" ^ ".sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 8;
+  let server =
+    Thread.create
+      (fun () ->
+        let serve_one resp =
+          let fd, _ = Unix.accept lfd in
+          (match Proto.read_frame fd with
+          | Some _ -> Proto.write_frame fd (Proto.encode_response resp)
+          | None -> ());
+          Unix.close fd
+        in
+        serve_one (Proto.Busy_reply { retry_after_s = 0.02 });
+        serve_one (Proto.Busy_reply { retry_after_s = 0.02 });
+        serve_one Proto.Ok_reply)
+      ()
+  in
+  let reasons = ref [] in
+  let resp =
+    Client.request_retry ~attempts:5 ~base_delay_s:0.01
+      ~on_wait:(fun ~reason ~delay_s ->
+        Alcotest.(check bool) "positive delay" true (delay_s > 0.);
+        reasons := reason :: !reasons)
+      (Client.Unix_sock socket) Proto.Shutdown
+  in
+  Thread.join server;
+  Unix.close lfd;
+  (match resp with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "expected the post-busy reply");
+  Alcotest.(check int) "waited exactly twice" 2 (List.length !reasons);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "busy wait says saturated" "server saturated" r)
+    !reasons
+
+let test_client_busy_exhaustion () =
+  (* When every attempt is rejected, the client must surface the last
+     Busy_reply (so callers can report honestly), not loop forever. *)
+  let th, port = start_shard ~max_queue:0 () in
+  let addr = Client.Tcp ("127.0.0.1", port) in
+  (match
+     Client.request_retry ~attempts:2 ~base_delay_s:0.01 addr
+       (adapt_req "em3d")
+   with
+  | Proto.Busy_reply _ -> ()
+  | _ -> Alcotest.fail "exhausted retries must return the Busy_reply");
+  shutdown addr;
+  Thread.join th
+
+let suite =
+  [
+    Alcotest.test_case "ring: chi^2 balance over 10k keys" `Quick
+      test_ring_balance;
+    Alcotest.test_case "ring: minimal movement on join" `Quick
+      test_ring_minimal_movement_on_join;
+    Alcotest.test_case "ring: minimal movement on leave" `Quick
+      test_ring_minimal_movement_on_leave;
+    Alcotest.test_case "ring: deterministic placement" `Quick
+      test_ring_deterministic_across_processes;
+    Alcotest.test_case "ring: successors cover all nodes" `Quick
+      test_ring_successors;
+    Alcotest.test_case "tcp transport byte-identical" `Quick
+      test_tcp_transport_identical;
+    Alcotest.test_case "router: routes, caches, answers stats" `Quick
+      test_router_routes_and_caches;
+    Alcotest.test_case "router: chaos failover mid-campaign" `Quick
+      test_router_failover_mid_campaign;
+    Alcotest.test_case "router: forwards Busy untouched" `Quick
+      test_router_forwards_busy;
+    Alcotest.test_case "client: backoff until daemon appears" `Quick
+      test_client_retries_connect;
+    Alcotest.test_case "client: honors retry-after, bounded waits" `Quick
+      test_client_retries_busy;
+    Alcotest.test_case "client: busy exhaustion surfaces Busy" `Quick
+      test_client_busy_exhaustion;
+  ]

@@ -15,5 +15,6 @@ let () =
       ("fault", Test_fault.suite);
       ("store", Test_store.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("integration", Test_integration.suite);
     ]

@@ -27,7 +27,8 @@ let wait_for_socket socket =
   in
   go 100
 
-let with_server ?(jobs = 2) ?(with_cache = true) ?(timeout_s = 60.) f =
+let with_server ?(jobs = 2) ?(with_cache = true) ?(timeout_s = 60.)
+    ?(max_batch = 32) ?(max_queue = 256) f =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
   let cache =
@@ -37,11 +38,15 @@ let with_server ?(jobs = 2) ?(with_cache = true) ?(timeout_s = 60.) f =
   in
   let cfg =
     {
-      Server.socket;
+      Server.socket = Some socket;
+      tcp = None;
       jobs;
       cache;
       max_frame = Proto.default_max_frame;
       timeout_s;
+      max_batch;
+      max_queue;
+      retry_after_s = 0.05;
     }
   in
   let th = Thread.create Server.serve cfg in
@@ -60,8 +65,8 @@ let offline_adapt name =
   ( Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report,
     Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog )
 
-let adapt_req name =
-  Proto.Adapt { prog = Proto.Workload name; scale; pipeline = "inorder" }
+let adapt_req ?(tenant = Proto.default_tenant) name =
+  Proto.Adapt { prog = Proto.Workload name; scale; pipeline = "inorder"; tenant }
 
 let expect_adapted = function
   | Proto.Adapted { report; asm; cache } -> (report, asm, cache)
@@ -98,7 +103,7 @@ let test_sim_matches_offline () =
     Client.request ~socket
       (Proto.Sim
          { prog = Proto.Workload "em3d"; scale; pipeline = "inorder";
-           ssp = false })
+           ssp = false; tenant = Proto.default_tenant })
   with
   | Proto.Simmed { stats } ->
     Alcotest.(check bool) "sim stats match offline" true
@@ -117,7 +122,8 @@ let test_stats_and_errors () =
   match
     Client.request ~socket
       (Proto.Adapt
-         { prog = Proto.Source "int main( {"; scale; pipeline = "inorder" })
+         { prog = Proto.Source "int main( {"; scale; pipeline = "inorder";
+           tenant = Proto.default_tenant })
   with
   | Proto.Error_reply { pass; _ } ->
     Alcotest.(check string) "bad source is a frontend error" "frontend" pass
@@ -262,6 +268,77 @@ let test_concurrent_clients () =
       | _ -> Alcotest.fail (Printf.sprintf "client %d got no reply" i))
     results
 
+(* ---- admission control ---- *)
+
+module Admission = Ssp_server.Admission
+
+let test_drr_fairness () =
+  (* A hot tenant with 100 queued requests must not starve a light one:
+     deficit round-robin alternates, so a round of 6 takes 3 from each. *)
+  let adm = Admission.create () in
+  for i = 1 to 100 do
+    Admission.enqueue adm ~tenant:"hot" (Printf.sprintf "hot-%d" i)
+  done;
+  for i = 1 to 3 do
+    Admission.enqueue adm ~tenant:"light" (Printf.sprintf "light-%d" i)
+  done;
+  let round = Admission.select adm ~max:6 in
+  let count t = List.length (List.filter (fun (t', _) -> t' = t) round) in
+  Alcotest.(check int) "round size" 6 (List.length round);
+  Alcotest.(check int) "hot tenant share" 3 (count "hot");
+  Alcotest.(check int) "light tenant share" 3 (count "light");
+  Alcotest.(check int) "backlog accounts the round" 97 (Admission.backlog adm);
+  (* The light tenant drains; the hot one keeps the whole next round. *)
+  let round2 = Admission.select adm ~max:4 in
+  Alcotest.(check int) "drained tenant leaves the rotation" 4
+    (List.length (List.filter (fun (t, _) -> t = "hot") round2))
+
+let test_drr_order_within_tenant () =
+  let adm = Admission.create () in
+  List.iter (fun x -> Admission.enqueue adm ~tenant:"t" x) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string))
+    "FIFO within a tenant" [ "a"; "b"; "c" ]
+    (List.map snd (Admission.select adm ~max:10))
+
+let test_saturation_busy_reply () =
+  (* With a backlog bound of 2, pipelining many requests on one
+     connection must produce at least one Busy_reply — and every
+     non-busy reply must still carry the right bytes. *)
+  with_server ~jobs:1 ~max_batch:1 ~max_queue:2 @@ fun socket ->
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let fd = raw_connect socket in
+  let req = Proto.frame (Proto.encode_request (adapt_req "em3d")) in
+  let n = 10 in
+  for _ = 1 to n do
+    ignore (Unix.write_substring fd req 0 (String.length req))
+  done;
+  let busy = ref 0 and served = ref 0 in
+  for _ = 1 to n do
+    match Proto.read_frame fd with
+    | None -> Alcotest.fail "server closed mid-pipeline"
+    | Some payload -> (
+      match Proto.decode_response payload with
+      | Proto.Busy_reply { retry_after_s } ->
+        incr busy;
+        Alcotest.(check bool) "retry-after hint is positive" true
+          (retry_after_s > 0.)
+      | Proto.Adapted { report; asm; cache = _ } ->
+        incr served;
+        Alcotest.(check bool) "served bytes identical under pressure" true
+          (String.equal exp_report report && String.equal exp_asm asm)
+      | _ -> Alcotest.fail "unexpected reply under saturation")
+  done;
+  Unix.close fd;
+  Alcotest.(check int) "every request answered" n (!busy + !served);
+  Alcotest.(check bool) "saturation produced rejections" true (!busy > 0);
+  Alcotest.(check bool) "some requests were still served" true (!served > 0)
+
+let test_reject_all_when_queue_zero () =
+  with_server ~max_queue:0 @@ fun socket ->
+  match Client.request ~socket (adapt_req "em3d") with
+  | Proto.Busy_reply _ -> ()
+  | _ -> Alcotest.fail "max_queue=0 must reject all work"
+
 let test_shutdown () =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
@@ -299,5 +376,13 @@ let suite =
     Alcotest.test_case "chaos: stalled partial frame times out" `Quick
       test_partial_frame_times_out;
     Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "admission: DRR fairness across tenants" `Quick
+      test_drr_fairness;
+    Alcotest.test_case "admission: FIFO within a tenant" `Quick
+      test_drr_order_within_tenant;
+    Alcotest.test_case "admission: saturation gets Busy, service stays exact"
+      `Quick test_saturation_busy_reply;
+    Alcotest.test_case "admission: max_queue=0 rejects all work" `Quick
+      test_reject_all_when_queue_zero;
     Alcotest.test_case "clean shutdown" `Quick test_shutdown;
   ]
