@@ -21,11 +21,15 @@
    byte-identical to sequential and exits non-zero if not — and the
    [serving] section its daemon cold/warm adapt latency and warm
    requests/sec — and the [cluster] section its router-vs-direct warm-hit
-   latency and 1-vs-2-shard throughput (the BENCH_6 artifact).
+   latency and 1-vs-2-shard throughput (the BENCH_6 artifact) — and the
+   [telemetry] section its instrumentation-on vs -off compute overhead
+   (the BENCH_7 artifact).
    [--check-perf] is a regression gate: it times the jobs=1 pipeline and
    sim phases under --quick and fails (exit 1) if either regressed more
    than 25% against the committed baseline ([--baseline PATH], default
-   bench/perf_baseline.json); [--update-baseline] re-records it. *)
+   bench/perf_baseline.json), or if the telemetry-on run costs more than
+   1.5x the telemetry-off run; [--update-baseline] re-records the
+   baseline. *)
 
 let ppf = Format.std_formatter
 
@@ -578,6 +582,56 @@ let json_float s key =
     done;
     float_of_string_opt (String.sub s i (!j - i))
 
+(* ---- telemetry overhead (BENCH_7) ---- *)
+
+(* The serving plane leaves telemetry on in production (spans, counters,
+   and the log-bucketed latency histograms), so its overhead on the
+   compute path is a first-class number: the same
+   compile -> profile -> adapt -> simulate chain for one workload, with
+   instrumentation off and then on. *)
+let telemetry_phase ~setting () =
+  let open Ssp_harness.Experiment in
+  let cfg = config_for setting Ssp_machine.Config.In_order in
+  let w = Ssp_workloads.Suite.find "mcf" in
+  let prog = Ssp_workloads.Workload.program w ~scale:setting.scale in
+  let _, s =
+    time (fun () ->
+        let profile = Ssp_profiling.Collect.collect ~config:cfg prog in
+        let r = Ssp.Adapt.run ~config:cfg prog profile in
+        Ssp_sim.Inorder.run cfg r.Ssp.Adapt.prog)
+  in
+  s
+
+let telemetry_overhead () =
+  let module T = Ssp_telemetry.Telemetry in
+  let setting = Ssp_harness.Experiment.quick in
+  let was = !T.enabled in
+  T.set_enabled false;
+  let off_s = telemetry_phase ~setting () in
+  T.set_enabled true;
+  T.reset ();
+  let on_s = telemetry_phase ~setting () in
+  T.reset ();
+  T.set_enabled was;
+  (off_s, on_s)
+
+let telemetry_bench ~json () =
+  let off_s, on_s = telemetry_overhead () in
+  let overhead = on_s /. Float.max 1e-9 off_s in
+  Format.fprintf ppf "%-36s %9.3fs@." "pipeline+sim (mcf), telemetry off"
+    off_s;
+  Format.fprintf ppf "%-36s %9.3fs@." "pipeline+sim (mcf), telemetry on" on_s;
+  Format.fprintf ppf "%-36s %8.2fx@." "overhead" overhead;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"section\":\"telemetry\",\"off_s\":%.6f,\"on_s\":%.6f,\"overhead\":%.4f}\n"
+      off_s on_s overhead;
+    close_out oc;
+    Format.fprintf ppf "json written to %s@." path
+
 let check_perf ~update ~baseline_path () =
   let setting = Ssp_harness.Experiment.quick in
   let _, _, pipeline_s, sim_s = scaling_phases ~setting ~jobs:1 in
@@ -616,7 +670,17 @@ let check_perf ~update ~baseline_path () =
       in
       let bad1 = check "pipeline_s" pipeline_s in
       let bad2 = check "sim_s" sim_s in
-      if bad1 || bad2 then begin
+      (* Telemetry overhead is gated relative to the same run (no
+         baseline key needed): instrumentation must stay cheap enough
+         to leave on in production. *)
+      let off_s, on_s = telemetry_overhead () in
+      let limit = (off_s *. 1.5) +. 0.25 in
+      let bad3 = on_s > limit in
+      Format.fprintf ppf
+        "%-12s on %.2fs vs off %.2fs (limit %.2fs)%s@." "telemetry" on_s
+        off_s limit
+        (if bad3 then "  REGRESSED" else "");
+      if bad1 || bad2 || bad3 then begin
         Format.fprintf ppf
           "@.FAIL: wall-clock regression over 25%% against %s@." baseline_path;
         exit 1
@@ -801,6 +865,12 @@ let () =
   if List.mem "cluster" wanted then begin
     section "cluster";
     wall (cluster ~json)
+  end;
+  (* Telemetry-overhead bench (BENCH_7): explicit-only, it runs the
+     compute chain twice. *)
+  if List.mem "telemetry" wanted then begin
+    section "telemetry";
+    wall (telemetry_bench ~json)
   end;
   run "micro" micro;
   (match trace with

@@ -105,7 +105,15 @@ let with_trace_events trace_events k =
   k ();
   match trace_events with
   | Some path -> (
-    try T.write_trace_events path
+    try
+      T.write_trace_events path;
+      let dropped = T.events_dropped_count () in
+      if dropped > 0 then
+        Printf.eprintf
+          "sspc: warning: trace-events export truncated — %d events dropped \
+           at the %d-event capacity\n\
+           %!"
+          dropped !T.event_capacity
     with Sys_error msg ->
       Printf.eprintf "sspc: cannot write trace events: %s\n" msg;
       exit 1)
@@ -339,35 +347,98 @@ let explain_cmd =
       const run $ src_arg $ scale_arg $ pipeline_arg $ json_arg
       $ trace_events_arg $ jobs_arg)
 
+(* --cluster accepts either a router/shard TCP endpoint or a Unix socket
+   path, so it composes with every topology the repo can start. *)
+let cluster_addr_of s =
+  match String.rindex_opt s ':' with
+  | Some i when int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) <> None ->
+    Ssp_server.Client.Tcp
+      ( String.sub s 0 i,
+        int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+  | _ -> Ssp_server.Client.Unix_sock s
+
+let fetch_snapshot addr =
+  match
+    Ssp_server.Client.request_addr ~timeout_s:30. addr
+      Ssp_server.Proto.Stats_snapshot
+  with
+  | Ssp_server.Proto.Snapshot_reply { snapshot } ->
+    Ssp_server.Snapshot.decode snapshot
+  | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+    fail2 (Printf.sprintf "server error [%s]: %s" pass what)
+  | _ -> fail2 "unexpected reply to stats-snapshot request"
+
+let cluster_arg =
+  let doc =
+    "Ask a running daemon or router at $(docv) (HOST:PORT or a Unix socket \
+     path) for its merged telemetry snapshot instead of running the local \
+     pipeline. Against a router this aggregates every live shard: \
+     histograms merge bucket-wise (exact quantiles), counters sum, and \
+     eviction/rejection counters stay attributed per shard."
+  in
+  Arg.(value & opt (some string) None & info [ "cluster" ] ~docv:"ADDR" ~doc)
+
+let json_flag =
+  let doc = "Print the snapshot as JSON instead of a table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let stats_cmd =
-  let run src scale pipeline trace =
+  let stats_src_arg =
+    let doc =
+      "Workload name or mini-C file (required unless --cluster is given)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let run src scale pipeline trace cluster json =
     guard @@ fun () ->
-    T.set_enabled true;
-    let config =
-      match pipeline with
-      | "ooo" -> Ssp_machine.Config.out_of_order
-      | _ -> Ssp_machine.Config.in_order
-    in
-    let prog = Ssp_minic.Frontend.compile (read_source src scale) in
-    let profile = Ssp_profiling.Collect.collect prog in
-    let adapted = Ssp.Adapt.run ~config prog profile in
-    let r =
-      match config.Ssp_machine.Config.pipeline with
-      | Ssp_machine.Config.In_order ->
-        Ssp_sim.Inorder.run config adapted.Ssp.Adapt.prog
-      | Ssp_machine.Config.Out_of_order ->
-        Ssp_sim.Ooo.run config adapted.Ssp.Adapt.prog
-    in
-    let report = T.report () in
-    Format.printf "%a@.@.%a@." Ssp_sim.Stats.pp r T.pp_summary report;
-    match trace with Some path -> write_trace path report | None -> ()
+    match cluster with
+    | Some addr ->
+      let snap = fetch_snapshot (cluster_addr_of addr) in
+      if json then print_endline (Ssp_server.Snapshot.to_json snap)
+      else Format.printf "%a@." Ssp_server.Snapshot.pp snap
+    | None ->
+      let src =
+        match src with
+        | Some s -> s
+        | None -> fail2 "stats needs a PROGRAM (or --cluster ADDR)"
+      in
+      T.set_enabled true;
+      let config =
+        match pipeline with
+        | "ooo" -> Ssp_machine.Config.out_of_order
+        | _ -> Ssp_machine.Config.in_order
+      in
+      let prog = Ssp_minic.Frontend.compile (read_source src scale) in
+      let profile = Ssp_profiling.Collect.collect prog in
+      let adapted = Ssp.Adapt.run ~config prog profile in
+      let r =
+        match config.Ssp_machine.Config.pipeline with
+        | Ssp_machine.Config.In_order ->
+          Ssp_sim.Inorder.run config adapted.Ssp.Adapt.prog
+        | Ssp_machine.Config.Out_of_order ->
+          Ssp_sim.Ooo.run config adapted.Ssp.Adapt.prog
+      in
+      if json then
+        print_endline
+          (Ssp_server.Snapshot.to_json (Ssp_server.Snapshot.capture ()))
+      else begin
+        let report = T.report () in
+        Format.printf "%a@.@.%a@." Ssp_sim.Stats.pp r T.pp_summary report;
+        Format.printf "telemetry events dropped: %d@."
+          (T.events_dropped_count ())
+      end;
+      (match trace with Some path -> write_trace path (T.report ()) | None -> ())
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run the full pipeline (compile, profile, adapt, simulate) with \
-          telemetry on and print the phase-timing and counter summary")
-    Term.(const run $ src_arg $ scale_arg $ pipeline_arg $ trace_arg)
+          telemetry on and print the phase-timing and counter summary; with \
+          --cluster, fetch and print a running cluster's merged snapshot \
+          instead")
+    Term.(
+      const run $ stats_src_arg $ scale_arg $ pipeline_arg $ trace_arg
+      $ cluster_arg $ json_flag)
 
 let chaos_cmd =
   let run seed campaigns faults json jobs workloads =
@@ -680,11 +751,11 @@ let addr_of ~socket ~tcp =
   | Some (host, port) -> Ssp_server.Client.Tcp (host, port)
   | None -> Ssp_server.Client.Unix_sock socket
 
-let client_request ~socket ~tcp ~retries req =
+let client_request ?trace ~socket ~tcp ~retries req =
   let on_wait ~reason ~delay_s =
     Printf.eprintf "sspc: %s; retrying in %.2fs\n%!" reason delay_s
   in
-  Ssp_server.Client.request_retry ~attempts:retries ~on_wait
+  Ssp_server.Client.request_retry_hops ~attempts:retries ~on_wait ?trace
     (addr_of ~socket ~tcp) req
 
 let write_text out text =
@@ -695,14 +766,216 @@ let write_text out text =
     output_string oc text;
     close_out oc
 
+(* ---- distributed tracing: mint, propagate, stitch ---- *)
+
+let mint_trace_id () =
+  let st = Random.State.make_self_init () in
+  Printf.sprintf "%04x%04x%04x%04x"
+    (Random.State.int st 0x10000)
+    (Random.State.int st 0x10000)
+    (Random.State.int st 0x10000)
+    (Random.State.int st 0x10000)
+
+let client_trace_arg =
+  let doc =
+    "Distributed trace: mint a trace id, propagate it through the router \
+     into the shard, and write one stitched Chrome trace (one process \
+     timeline per hop — client, router, shard — with the per-hop latency \
+     breakdown, ts in microseconds) to this file. The trace id is printed \
+     on stderr and counted in each process's telemetry."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.JSON" ~doc)
+
+(* The reply carries durations, not wall-clock timestamps (the processes
+   do not share a clock); the stitcher centers each hop's window inside
+   its parent — nesting and widths are faithful, absolute offsets are a
+   visualization choice. Disjoint stages (queue/compute/serialize) are
+   laid out sequentially inside their node's window; span:* hops nest by
+   path under compute. *)
+let stitch_events ~trace_id ~label ~total_ms hops =
+  let module P = Ssp_server.Proto in
+  let nodes =
+    List.fold_left
+      (fun acc h ->
+        if List.mem h.P.hop_node acc then acc else acc @ [ h.P.hop_node ])
+      [] hops
+  in
+  let processes =
+    (0, "client")
+    :: List.mapi
+         (fun i n -> (i + 1, if String.equal n "router" then n else "shard " ^ n))
+         nodes
+  in
+  let pid_of node =
+    let rec idx i = function
+      | [] -> 0
+      | n :: _ when String.equal n node -> i + 1
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 nodes
+  in
+  let us ms = ms *. 1000. in
+  let events = ref [] in
+  let emit ?(args = []) ~pid ~ts ~dur name =
+    events :=
+      T.complete_event ~args ~cat:"trace" ~pid ~tid:0 ~ts:(us ts) ~dur:(us dur)
+        name
+      :: !events
+  in
+  emit
+    ~args:[ ("trace_id", trace_id) ]
+    ~pid:0 ~ts:0. ~dur:total_ms ("request " ^ label);
+  let hops_of node = List.filter (fun h -> String.equal h.P.hop_node node) hops in
+  (* Client window -> router forward window (if any) -> shard window. *)
+  let outer = ref (0., total_ms) in
+  let router_hops = hops_of "router" in
+  List.iter
+    (fun h ->
+      if String.equal h.P.hop_stage "forward" then begin
+        let start, dur = !outer in
+        let s = start +. Float.max 0. ((dur -. h.P.hop_ms) /. 2.) in
+        emit ~pid:(pid_of "router") ~ts:s ~dur:h.P.hop_ms "forward";
+        outer := (s, h.P.hop_ms)
+      end)
+    router_hops;
+  List.iter
+    (fun node ->
+      if not (String.equal node "router") then begin
+        let nhops = hops_of node in
+        let disjoint =
+          List.filter
+            (fun h ->
+              List.mem h.P.hop_stage [ "queue"; "compute"; "serialize" ])
+            nhops
+        in
+        let window =
+          List.fold_left (fun acc h -> acc +. h.P.hop_ms) 0. disjoint
+        in
+        let ostart, odur = !outer in
+        let cursor = ref (ostart +. Float.max 0. ((odur -. window) /. 2.)) in
+        let pid = pid_of node in
+        let compute_win = ref None in
+        List.iter
+          (fun h ->
+            emit ~pid ~ts:!cursor ~dur:h.P.hop_ms h.P.hop_stage;
+            if String.equal h.P.hop_stage "compute" then
+              compute_win := Some (!cursor, h.P.hop_ms);
+            cursor := !cursor +. h.P.hop_ms)
+          disjoint;
+        let cstart, _ =
+          match !compute_win with Some w -> w | None -> (ostart, odur)
+        in
+        (* store.lookup sits at the head of compute; span hops nest by
+           path, children packed from their parent's start. *)
+        List.iter
+          (fun h ->
+            if String.equal h.P.hop_stage "store.lookup" then
+              emit ~pid ~ts:cstart ~dur:h.P.hop_ms h.P.hop_stage)
+          nhops;
+        let cursors : (string, float) Hashtbl.t = Hashtbl.create 16 in
+        Hashtbl.replace cursors "" cstart;
+        List.iter
+          (fun h ->
+            match
+              if String.length h.P.hop_stage > 5
+                 && String.equal (String.sub h.P.hop_stage 0 5) "span:"
+              then
+                Some
+                  (String.sub h.P.hop_stage 5 (String.length h.P.hop_stage - 5))
+              else None
+            with
+            | None -> ()
+            | Some path ->
+              let parent =
+                match String.rindex_opt path '/' with
+                | Some i -> String.sub path 0 i
+                | None -> ""
+              in
+              let at =
+                match Hashtbl.find_opt cursors parent with
+                | Some c -> c
+                | None -> cstart
+              in
+              emit ~pid ~ts:at ~dur:h.P.hop_ms ("span " ^ path);
+              Hashtbl.replace cursors path at;
+              Hashtbl.replace cursors parent (at +. h.P.hop_ms))
+          nhops
+      end)
+    nodes;
+  (* Whatever the nested windows do not explain is connect + wire +
+     frame I/O: surfaced as its own client-side slice so the breakdown
+     visibly sums to the observed latency. *)
+  let _, inner = !outer in
+  let shard_window =
+    List.fold_left
+      (fun acc h ->
+        if
+          (not (String.equal h.P.hop_node "router"))
+          && List.mem h.P.hop_stage [ "queue"; "compute"; "serialize" ]
+        then acc +. h.P.hop_ms
+        else acc)
+      0. hops
+  in
+  let child = if router_hops <> [] then inner else shard_window in
+  let residual = Float.max 0. (total_ms -. child) in
+  events :=
+    T.complete_event
+      ~args:[ ("trace_id", trace_id) ]
+      ~cat:"trace" ~pid:0 ~tid:1 ~ts:0. ~dur:(us residual) "network+flush"
+    :: !events;
+  (processes, List.rev !events)
+
+let write_stitched_trace path ~trace_id ~label ~total_ms hops =
+  let processes, events = stitch_events ~trace_id ~label ~total_ms hops in
+  let oc = open_out path in
+  output_string oc (T.chrome_trace_json ~processes events);
+  output_char oc '\n';
+  close_out oc;
+  let pick stage =
+    List.fold_left
+      (fun acc h ->
+        if String.equal h.Ssp_server.Proto.hop_stage stage then
+          acc +. h.Ssp_server.Proto.hop_ms
+        else acc)
+      0. hops
+  in
+  Printf.eprintf
+    "sspc: trace %s: total %.2fms = queue %.2f + store.lookup %.2f + compute \
+     %.2f + serialize %.2f + network/flush %.2f (%d hops -> %s)\n\
+     %!"
+    trace_id total_ms (pick "queue") (pick "store.lookup") (pick "compute")
+    (pick "serialize")
+    (Float.max 0.
+       (total_ms -. pick "queue" -. pick "compute" -. pick "serialize"))
+    (List.length hops) path
+
+let with_client_trace trace label k =
+  match trace with
+  | None ->
+    let resp, _ = k None in
+    resp
+  | Some path ->
+    let trace_id = mint_trace_id () in
+    Printf.eprintf "sspc: trace %s\n%!" trace_id;
+    let ctx = { Ssp_server.Proto.trace_id; span_id = 1 } in
+    let t0 = Unix.gettimeofday () in
+    let resp, hops = k (Some ctx) in
+    let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    write_stitched_trace path ~trace_id ~label ~total_ms hops;
+    resp
+
 let client_adapt_cmd =
-  let run src scale pipeline socket tcp tenant retries out =
+  let run src scale pipeline socket tcp tenant retries out trace =
     guard @@ fun () ->
     let req =
       Ssp_server.Proto.Adapt
         { prog = prog_ref_of src scale; scale; pipeline; tenant }
     in
-    match server_error_to_exit2 (client_request ~socket ~tcp ~retries req) with
+    let resp =
+      with_client_trace trace ("adapt " ^ src) (fun ctx ->
+          client_request ?trace:ctx ~socket ~tcp ~retries req)
+    in
+    match server_error_to_exit2 resp with
     | Ssp_server.Proto.Adapted { report; asm; cache } ->
       (* Cache status goes to stderr so stdout stays byte-identical to
          the offline 'sspc adapt'. *)
@@ -717,30 +990,34 @@ let client_adapt_cmd =
          "Adapt via the daemon or router (output matches 'sspc adapt')")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ socket_arg $ tcp_arg
-      $ tenant_arg $ retries_arg $ out_arg)
+      $ tenant_arg $ retries_arg $ out_arg $ client_trace_arg)
 
 let client_sim_cmd =
-  let run src scale pipeline ssp socket tcp tenant retries =
+  let run src scale pipeline ssp socket tcp tenant retries trace =
     guard @@ fun () ->
     let req =
       Ssp_server.Proto.Sim
         { prog = prog_ref_of src scale; scale; pipeline; ssp; tenant }
     in
-    match server_error_to_exit2 (client_request ~socket ~tcp ~retries req) with
+    let resp =
+      with_client_trace trace ("sim " ^ src) (fun ctx ->
+          client_request ?trace:ctx ~socket ~tcp ~retries req)
+    in
+    match server_error_to_exit2 resp with
     | Ssp_server.Proto.Simmed { stats } -> print_string stats
     | _ -> fail2 "unexpected reply to sim request"
   in
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-simulate via the daemon or router")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ socket_arg
-      $ tcp_arg $ tenant_arg $ retries_arg)
+      $ tcp_arg $ tenant_arg $ retries_arg $ client_trace_arg)
 
 let client_stats_cmd =
   let run socket tcp retries =
     guard @@ fun () ->
     match
       server_error_to_exit2
-        (client_request ~socket ~tcp ~retries Ssp_server.Proto.Stats)
+        (fst (client_request ~socket ~tcp ~retries Ssp_server.Proto.Stats))
     with
     | Ssp_server.Proto.Stats_reply { summary } -> print_string summary
     | _ -> fail2 "unexpected reply to stats request"
@@ -774,6 +1051,183 @@ let client_cmd =
           router ('sspc route')")
     [ client_adapt_cmd; client_sim_cmd; client_stats_cmd; client_shutdown_cmd ]
 
+(* ---- sspc top: poll the snapshot plane and redraw ---- *)
+
+let top_cmd =
+  let addr_pos =
+    let doc = "Router or daemon endpoint (HOST:PORT or a Unix socket path)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) redraws (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.equal (String.sub s 0 (String.length prefix)) prefix
+  in
+  let strip prefix s =
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  in
+  let draw ~prev ~dt (snap : Ssp_server.Snapshot.t) =
+    let module S = Ssp_server.Snapshot in
+    let b = Buffer.create 1024 in
+    let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    addf "sspc top — node %s, %d counters, %d histograms\n"
+      (if snap.S.node = "" then "-" else snap.S.node)
+      (List.length snap.S.counters)
+      (List.length snap.S.hists);
+    (* Shard health + queue depth, from the merged gauges. Keys are
+       shard.<node>.<metric> where <node> itself contains dots
+       (host:port), so split by matching known metric suffixes. *)
+    let shard_metrics =
+      [ "up"; "server.queue_depth"; "store.entries"; "store.bytes";
+        "store.evictions" ]
+    in
+    let shards =
+      List.filter_map
+        (fun (name, v) ->
+          if starts_with "shard." name then
+            let rest = strip "shard." name in
+            List.find_map
+              (fun m ->
+                let suffix = "." ^ m in
+                let ls = String.length suffix and lr = String.length rest in
+                if
+                  lr > ls
+                  && String.equal (String.sub rest (lr - ls) ls) suffix
+                then Some (String.sub rest 0 (lr - ls), m, v)
+                else None)
+              shard_metrics
+          else None)
+        snap.S.gauges
+    in
+    let nodes =
+      List.sort_uniq String.compare (List.map (fun (n, _, _) -> n) shards)
+    in
+    if nodes <> [] then begin
+      addf "shards:\n";
+      List.iter
+        (fun node ->
+          let find metric =
+            List.find_map
+              (fun (n, m, v) ->
+                if String.equal n node && String.equal m metric then Some v
+                else None)
+              shards
+          in
+          let health =
+            match find "up" with
+            | Some v when v > 0.5 -> "up"
+            | Some _ -> "DOWN"
+            | None -> "?"
+          in
+          let depth =
+            match find "server.queue_depth" with
+            | Some v -> Printf.sprintf "%5.0f" v
+            | None -> "    -"
+          in
+          addf "  %-28s %-5s queue %s\n" node health depth)
+        nodes
+    end;
+    (* Per-tenant req/s from served-counter deltas against the previous
+       poll; p99 from the merged service-time histograms. *)
+    let served t snap =
+      match
+        List.assoc_opt ("server.tenant." ^ t ^ ".served") snap.S.counters
+      with
+      | Some v -> v
+      | None -> 0
+    in
+    let tenants =
+      List.filter_map
+        (fun (name, _) ->
+          if starts_with "server.tenant." name then
+            let rest = strip "server.tenant." name in
+            match String.rindex_opt rest '.' with
+            | Some i -> Some (String.sub rest 0 i)
+            | None -> None
+          else None)
+        snap.S.counters
+      |> List.sort_uniq String.compare
+    in
+    if tenants <> [] then begin
+      addf "tenants:\n";
+      addf "  %-20s %10s %10s %9s %9s\n" "" "served" "req/s" "p99 ms" "rejected";
+      List.iter
+        (fun t ->
+          let now = served t snap in
+          let rate =
+            match prev with
+            | Some p when dt > 0. -> float_of_int (now - served t p) /. dt
+            | _ -> 0.
+          in
+          let p99 =
+            match
+              List.assoc_opt
+                ("server.tenant." ^ t ^ ".service_ms")
+                snap.S.hists
+            with
+            | Some h -> Printf.sprintf "%9.3f" (T.hist_quantile h 0.99)
+            | None -> "        -"
+          in
+          let rejected =
+            match
+              List.assoc_opt
+                ("server.tenant." ^ t ^ ".rejected")
+                snap.S.counters
+            with
+            | Some v -> v
+            | None -> 0
+          in
+          addf "  %-20s %10d %10.1f %s %9d\n" t now rate p99 rejected)
+        tenants
+    end;
+    (match List.assoc_opt "server.service_ms" snap.S.hists with
+    | Some h ->
+      addf "service_ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  (n=%d)\n"
+        (T.hist_quantile h 0.5) (T.hist_quantile h 0.9)
+        (T.hist_quantile h 0.99) h.T.hs_max h.T.hs_n
+    | None -> ());
+    if snap.S.events_dropped > 0 then
+      addf "telemetry events dropped: %d\n" snap.S.events_dropped;
+    Buffer.contents b
+  in
+  let run addr interval iterations =
+    guard @@ fun () ->
+    let addr = cluster_addr_of addr in
+    let interval = Float.max 0.05 interval in
+    let prev = ref None in
+    let t_prev = ref (Unix.gettimeofday ()) in
+    let i = ref 0 in
+    let continue () = iterations <= 0 || !i < iterations in
+    while continue () do
+      incr i;
+      let snap = fetch_snapshot addr in
+      let now = Unix.gettimeofday () in
+      let dt = now -. !t_prev in
+      (* \027[H\027[2J = home + clear: redraw in place on a terminal,
+         harmless noise when piped. *)
+      if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+      print_string (draw ~prev:!prev ~dt snap);
+      flush stdout;
+      prev := Some snap;
+      t_prev := now;
+      if continue () then Unix.sleepf interval
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live cluster view: poll the stats-snapshot plane and redraw \
+          per-tenant request rates, p99 service time, shard queue depths \
+          and shard health")
+    Term.(const run $ addr_pos $ interval_arg $ iterations_arg)
+
 let () =
   let info = Cmd.info "sspc" ~doc:"SSP post-pass binary adaptation tool" in
   exit
@@ -788,6 +1242,7 @@ let () =
             sim_cmd;
             explain_cmd;
             stats_cmd;
+            top_cmd;
             chaos_cmd;
             serve_cmd;
             route_cmd;

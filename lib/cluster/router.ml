@@ -26,6 +26,7 @@
 module T = Ssp_telemetry.Telemetry
 module Proto = Ssp_server.Proto
 module Client = Ssp_server.Client
+module Snapshot = Ssp_server.Snapshot
 
 type config = {
   socket : string option;
@@ -66,7 +67,7 @@ let affinity_key = function
       (Digest.to_hex
          (Digest.string
             (Printf.sprintf "%s\x00%d\x00%s" prog_part scale pipeline)))
-  | Proto.Stats | Proto.Shutdown -> None
+  | Proto.Stats | Proto.Shutdown | Proto.Stats_snapshot -> None
 
 let error_reply (e : Ssp_ir.Error.info) =
   Proto.Error_reply
@@ -114,7 +115,7 @@ let serve ?ready cfg =
     Hashtbl.remove health node;
     Mutex.unlock health_mu
   in
-  let route req key =
+  let route ?trace req key =
     let candidates = Ring.successors ring key in
     let fresh, stale = List.partition (fun n -> not (quarantined n)) candidates in
     let plan = fresh @ stale in
@@ -122,30 +123,47 @@ let serve ?ready cfg =
     let rec attempt idx = function
       | [] ->
         T.count "router.degraded" 1;
-        Proto.Error_reply
-          {
-            pass = "router";
-            what =
-              Printf.sprintf "degraded: no live shard for this request; %s"
-                (String.concat "; " (List.rev !failures));
-            injected = false;
-          }
+        ( Proto.Error_reply
+            {
+              pass = "router";
+              what =
+                Printf.sprintf "degraded: no live shard for this request; %s"
+                  (String.concat "; " (List.rev !failures));
+              injected = false;
+            },
+          [] )
       | node :: rest -> (
         let host, port = List.assoc node addr_of_node in
+        let t0 = Unix.gettimeofday () in
         match
-          Client.request_addr ~max_frame:cfg.max_frame
-            ~timeout_s:cfg.shard_timeout_s
+          Client.request_hops ~max_frame:cfg.max_frame
+            ~timeout_s:cfg.shard_timeout_s ?trace
             (Client.Tcp (host, port))
             req
         with
-        | resp ->
+        | resp, shard_hops ->
           mark_live node;
+          let fwd_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          T.record_hist "router.forward_ms" fwd_ms;
           T.count ("router.shard." ^ node ^ ".requests") 1;
           if idx > 0 then T.count "router.failover" 1;
           (match resp with
           | Proto.Busy_reply _ -> T.count "router.busy" 1
           | _ -> ());
-          resp
+          let hops =
+            if trace = None then []
+            else
+              (* The router's forward time wraps the shard's hops; the
+                 gap between them is connect + wire + shard frame I/O,
+                 which the stitched trace shows as router overhead. *)
+              {
+                Proto.hop_node = "router";
+                hop_stage = "forward";
+                hop_ms = fwd_ms;
+              }
+              :: shard_hops
+          in
+          (resp, hops)
         | exception e ->
           let why =
             match e with
@@ -206,22 +224,66 @@ let serve ?ready cfg =
      winds down within a tick. The listeners are closed by [serve]
      itself once the acceptors have joined. *)
   let stop () = Atomic.set running false in
-  let handle req =
+  let handle ?trace req =
     match req with
     | Proto.Stats ->
       T.count "router.requests" 1;
       (`Reply
-         (Proto.Stats_reply
-            { summary = Format.asprintf "%a" T.pp_summary (T.report ()) }))
+         ( Proto.Stats_reply
+             { summary = Format.asprintf "%a" T.pp_summary (T.report ()) },
+           [] ))
+    | Proto.Stats_snapshot ->
+      (* The aggregated stats plane: fan the snapshot request out to
+         every shard on the ring, merge what answers (histograms
+         bucket-wise — exact, by the fixed layout — counters summed,
+         backpressure counters additionally kept per shard) and fold in
+         the router's own counters plus a liveness gauge per shard. *)
+      T.count "router.requests" 1;
+      let shard_snaps =
+        List.map
+          (fun (node, (host, port)) ->
+            match
+              Client.request_addr ~max_frame:cfg.max_frame
+                ~timeout_s:cfg.shard_timeout_s
+                (Client.Tcp (host, port))
+                Proto.Stats_snapshot
+            with
+            | Proto.Snapshot_reply { snapshot } -> (
+              match Snapshot.decode snapshot with
+              | s ->
+                mark_live node;
+                (node, Some s)
+              | exception _ -> (node, None))
+            | _ -> (node, None)
+            | exception _ ->
+              mark_dead node;
+              (node, None))
+          addr_of_node
+      in
+      let ups =
+        List.map
+          (fun (node, s) ->
+            ("shard." ^ node ^ ".up", if s = None then 0. else 1.))
+          shard_snaps
+      in
+      let own = Snapshot.capture ~node:"router" ~gauges:ups () in
+      let merged =
+        Snapshot.merge (own :: List.filter_map snd shard_snaps)
+      in
+      `Reply
+        (Proto.Snapshot_reply { snapshot = Snapshot.encode merged }, [])
     | Proto.Shutdown ->
       T.count "router.requests" 1;
       `Shutdown
     | Proto.Adapt _ | Proto.Sim _ ->
       T.count "router.requests" 1;
+      (match trace with
+      | Some tc -> T.count ("trace." ^ tc.Proto.trace_id) 1
+      | None -> ());
       let tenant = Proto.tenant_of req in
       T.count ("router.tenant." ^ tenant ^ ".requests") 1;
       let key = Option.get (affinity_key req) in
-      `Reply (route req key)
+      `Reply (route ?trace req key)
   in
   let conn_loop fd =
     let closed = ref false in
@@ -234,7 +296,9 @@ let serve ?ready cfg =
         try Unix.close fd with Unix.Unix_error _ -> ()
       end
     in
-    let send resp = Proto.write_frame fd (Proto.encode_response resp) in
+    let send ?(hops = []) resp =
+      Proto.write_frame fd (Proto.encode_response ~hops resp)
+    in
     (* Park in select, not read: a quiet connection must not pin this
        thread past shutdown, and read_frame only runs once bytes are
        already there (so it cannot block on an idle peer). *)
@@ -254,10 +318,10 @@ let serve ?ready cfg =
          match Proto.read_frame ~max_frame:cfg.max_frame fd with
          | None -> continue := false
          | Some payload -> (
-           match Proto.decode_request payload with
-           | req -> (
-             match handle req with
-             | `Reply resp -> send resp
+           match Proto.decode_request_traced payload with
+           | req, trace -> (
+             match handle ?trace req with
+             | `Reply (resp, hops) -> send ~hops resp
              | `Shutdown ->
                send Proto.Ok_reply;
                stop ();

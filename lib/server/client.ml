@@ -35,7 +35,7 @@ let connect addr =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e)
 
-let request_addr ?max_frame ?timeout_s addr req =
+let request_hops ?max_frame ?timeout_s ?trace addr req =
   let fd = connect addr in
   Fun.protect ~finally:(fun () ->
       try Unix.close fd with Unix.Unix_error _ -> ())
@@ -49,12 +49,15 @@ let request_addr ?max_frame ?timeout_s addr req =
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
     with Unix.Unix_error _ -> ())
   | _ -> ());
-  Proto.write_frame fd (Proto.encode_request req);
+  Proto.write_frame fd (Proto.encode_request ?trace req);
   match Proto.read_frame ?max_frame fd with
-  | Some payload -> Proto.decode_response payload
+  | Some payload -> Proto.decode_response_hops payload
   | None ->
     Ssp_ir.Error.raise_error ~pass:"proto"
       "server closed the connection without replying"
+
+let request_addr ?max_frame ?timeout_s addr req =
+  fst (request_hops ?max_frame ?timeout_s addr req)
 
 let request ?max_frame ~socket req = request_addr ?max_frame (Unix_sock socket) req
 
@@ -76,16 +79,16 @@ let transient_error = function
    back in lockstep. *)
 let jittered d = d *. (0.5 +. Random.float 1.0)
 
-let request_retry ?max_frame ?(attempts = 5) ?(base_delay_s = 0.05)
-    ?(max_delay_s = 2.0) ?on_wait addr req =
+let request_retry_hops ?max_frame ?(attempts = 5) ?(base_delay_s = 0.05)
+    ?(max_delay_s = 2.0) ?on_wait ?trace addr req =
   let wait reason d =
     let d = jittered (Float.min max_delay_s (Float.max 0.001 d)) in
     (match on_wait with Some f -> f ~reason ~delay_s:d | None -> ());
     Unix.sleepf d
   in
   let rec go k =
-    match request_addr ?max_frame addr req with
-    | Proto.Busy_reply { retry_after_s } when k < attempts ->
+    match request_hops ?max_frame ?trace addr req with
+    | Proto.Busy_reply { retry_after_s }, _ when k < attempts ->
       (* Admission backpressure: honor the server's retry-after hint. *)
       wait "server saturated" (Float.max retry_after_s base_delay_s);
       go (k + 1)
@@ -96,3 +99,9 @@ let request_retry ?max_frame ?(attempts = 5) ?(base_delay_s = 0.05)
       go (k + 1)
   in
   go 0
+
+let request_retry ?max_frame ?attempts ?base_delay_s ?max_delay_s ?on_wait addr
+    req =
+  fst
+    (request_retry_hops ?max_frame ?attempts ?base_delay_s ?max_delay_s
+       ?on_wait addr req)

@@ -16,6 +16,17 @@ val request_addr :
     [SO_SNDTIMEO] so a peer that accepts but never replies raises
     [EAGAIN] instead of hanging the caller. *)
 
+val request_hops :
+  ?max_frame:int ->
+  ?timeout_s:float ->
+  ?trace:Proto.trace_ctx ->
+  addr ->
+  Proto.request ->
+  Proto.response * Proto.hop list
+(** {!request_addr} that also propagates a trace context into the v3
+    request envelope and returns the per-hop latency breakdown stamped
+    into the reply (empty from untraced peers and v2 servers). *)
+
 val request : ?max_frame:int -> socket:string -> Proto.request -> Proto.response
 (** [request_addr] over a Unix-domain socket (the pre-cluster API). *)
 
@@ -40,3 +51,16 @@ val request_retry :
     (or the last exception re-raised) so the caller sees the true
     outcome. Non-transient errors and structured [Error_reply]s are
     never retried. *)
+
+val request_retry_hops :
+  ?max_frame:int ->
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?on_wait:(reason:string -> delay_s:float -> unit) ->
+  ?trace:Proto.trace_ctx ->
+  addr ->
+  Proto.request ->
+  Proto.response * Proto.hop list
+(** {!request_retry} + trace propagation + the reply's hop list, as in
+    {!request_hops}. *)

@@ -4,7 +4,8 @@
 
 module Bin = Ssp_store.Store.Bin
 
-let proto_version = 2
+let proto_version = 3
+let min_proto_version = 2
 let default_max_frame = 8 * 1024 * 1024
 let req_magic = "SSPQ"
 let resp_magic = "SSPR"
@@ -13,6 +14,15 @@ let default_tenant = "anon"
 let malformed what = Ssp_ir.Error.raise_error ~pass:"proto" what
 
 type program_ref = Workload of string | Source of string
+
+(* Trace context rides in a v3 envelope ahead of the request tag, so the
+   request variants themselves (and every construction site) are
+   untouched. An empty trace id on the wire means "untraced". *)
+type trace_ctx = { trace_id : string; span_id : int }
+
+(* Per-hop latency breakdown stamped into v3 response envelopes by each
+   process a traced request crosses. *)
+type hop = { hop_node : string; hop_stage : string; hop_ms : float }
 
 type request =
   | Adapt of {
@@ -30,10 +40,11 @@ type request =
     }
   | Stats
   | Shutdown
+  | Stats_snapshot
 
 let tenant_of = function
   | Adapt { tenant; _ } | Sim { tenant; _ } -> tenant
-  | Stats | Shutdown -> "-"
+  | Stats | Shutdown | Stats_snapshot -> "-"
 
 type error_info = { pass : string; what : string; injected : bool }
 
@@ -43,6 +54,7 @@ type response =
   | Stats_reply of { summary : string }
   | Ok_reply
   | Busy_reply of { retry_after_s : float }
+  | Snapshot_reply of { snapshot : string }
   | Error_reply of error_info
 
 (* ---- body codecs ---- *)
@@ -61,26 +73,70 @@ let r_program_ref r =
   | 1 -> Source (Bin.r_str r)
   | t -> malformed (Printf.sprintf "unknown program-ref tag %d" t)
 
-let encode magic emit =
+(* Envelopes. v3 inserts trace fields (requests) / a hop list
+   (responses) between the version byte and the body tag; v2 payloads
+   decode exactly as before, so old peers interoperate. *)
+
+let encode magic envelope emit =
   let b = Bin.writer () in
   Bin.w_str b magic;
   Bin.w_u8 b proto_version;
+  envelope b;
   emit b;
   Bin.contents b
 
-let decode magic payload k =
+let decode magic payload envelope k =
   let r = Bin.reader payload in
   let m = Bin.r_str r in
   if not (String.equal m magic) then malformed "bad payload magic";
   let v = Bin.r_u8 r in
-  if v <> proto_version then
-    malformed (Printf.sprintf "protocol version %d (want %d)" v proto_version);
+  if v < min_proto_version || v > proto_version then
+    malformed (Printf.sprintf "protocol version %d (want %d-%d)" v
+                 min_proto_version proto_version);
+  let env = envelope r v in
   let x = k r in
   Bin.expect_end r;
-  x
+  (x, env)
 
-let encode_request req =
-  encode req_magic (fun b ->
+let w_trace b = function
+  | None ->
+    Bin.w_str b "";
+    Bin.w_int b 0
+  | Some { trace_id; span_id } ->
+    Bin.w_str b trace_id;
+    Bin.w_int b span_id
+
+let r_trace r v =
+  if v < 3 then None
+  else begin
+    let trace_id = Bin.r_str r in
+    let span_id = Bin.r_int r in
+    if String.equal trace_id "" then None else Some { trace_id; span_id }
+  end
+
+let w_hops b hops =
+  Bin.w_int b (List.length hops);
+  List.iter
+    (fun { hop_node; hop_stage; hop_ms } ->
+      Bin.w_str b hop_node;
+      Bin.w_str b hop_stage;
+      Bin.w_float b hop_ms)
+    hops
+
+let r_hops r v =
+  if v < 3 then []
+  else begin
+    let n = Bin.r_int r in
+    if n < 0 || n > 4096 then malformed (Printf.sprintf "implausible hop count %d" n);
+    List.init n (fun _ ->
+        let hop_node = Bin.r_str r in
+        let hop_stage = Bin.r_str r in
+        let hop_ms = Bin.r_float r in
+        { hop_node; hop_stage; hop_ms })
+  end
+
+let encode_request ?trace req =
+  encode req_magic (fun b -> w_trace b trace) (fun b ->
       match req with
       | Adapt { prog; scale; pipeline; tenant } ->
         Bin.w_u8 b 1;
@@ -96,10 +152,11 @@ let encode_request req =
         Bin.w_bool b ssp;
         Bin.w_str b tenant
       | Stats -> Bin.w_u8 b 3
-      | Shutdown -> Bin.w_u8 b 4)
+      | Shutdown -> Bin.w_u8 b 4
+      | Stats_snapshot -> Bin.w_u8 b 5)
 
-let decode_request payload =
-  decode req_magic payload (fun r ->
+let decode_request_traced payload =
+  decode req_magic payload r_trace (fun r ->
       match Bin.r_u8 r with
       | 1 ->
         let prog = r_program_ref r in
@@ -116,10 +173,13 @@ let decode_request payload =
         Sim { prog; scale; pipeline; ssp; tenant }
       | 3 -> Stats
       | 4 -> Shutdown
+      | 5 -> Stats_snapshot
       | t -> malformed (Printf.sprintf "unknown request tag %d" t))
 
-let encode_response resp =
-  encode resp_magic (fun b ->
+let decode_request payload = fst (decode_request_traced payload)
+
+let encode_response ?(hops = []) resp =
+  encode resp_magic (fun b -> w_hops b hops) (fun b ->
       match resp with
       | Adapted { report; asm; cache } ->
         Bin.w_u8 b 1;
@@ -136,14 +196,17 @@ let encode_response resp =
       | Busy_reply { retry_after_s } ->
         Bin.w_u8 b 5;
         Bin.w_float b retry_after_s
+      | Snapshot_reply { snapshot } ->
+        Bin.w_u8 b 6;
+        Bin.w_str b snapshot
       | Error_reply { pass; what; injected } ->
         Bin.w_u8 b 255;
         Bin.w_str b pass;
         Bin.w_str b what;
         Bin.w_bool b injected)
 
-let decode_response payload =
-  decode resp_magic payload (fun r ->
+let decode_response_hops payload =
+  decode resp_magic payload r_hops (fun r ->
       match Bin.r_u8 r with
       | 1 ->
         let report = Bin.r_str r in
@@ -154,12 +217,15 @@ let decode_response payload =
       | 3 -> Stats_reply { summary = Bin.r_str r }
       | 4 -> Ok_reply
       | 5 -> Busy_reply { retry_after_s = Bin.r_float r }
+      | 6 -> Snapshot_reply { snapshot = Bin.r_str r }
       | 255 ->
         let pass = Bin.r_str r in
         let what = Bin.r_str r in
         let injected = Bin.r_bool r in
         Error_reply { pass; what; injected }
       | t -> malformed (Printf.sprintf "unknown response tag %d" t))
+
+let decode_response payload = fst (decode_response_hops payload)
 
 (* ---- framing ---- *)
 

@@ -9,6 +9,12 @@
     connection or a crash. *)
 
 val proto_version : int
+(** Version written by this build (3). *)
+
+val min_proto_version : int
+(** Oldest version still accepted by decoders (2): v2 payloads carry no
+    trace envelope and decode to an untraced request / hop-less
+    response. *)
 
 val default_max_frame : int
 (** Frames larger than this are rejected (8 MiB). *)
@@ -19,6 +25,17 @@ val default_tenant : string
 type program_ref =
   | Workload of string  (** a named suite workload, compiled server-side *)
   | Source of string  (** mini-C source text shipped in the request *)
+
+type trace_ctx = { trace_id : string; span_id : int }
+(** Distributed-trace context minted by the client and propagated in the
+    v3 request envelope; [span_id] is the sender's span, i.e. the
+    receiver's parent span. An empty [trace_id] never appears here — it
+    encodes "untraced" on the wire. *)
+
+type hop = { hop_node : string; hop_stage : string; hop_ms : float }
+(** One entry of the per-hop latency breakdown stamped into a v3
+    response envelope ([hop_node] e.g. ["shard 127.0.0.1:7301"],
+    [hop_stage] e.g. ["queue"], ["store.lookup"], ["serialize"]). *)
 
 type request =
   | Adapt of {
@@ -39,6 +56,9 @@ type request =
       (** cycle simulation, optionally adapting first *)
   | Stats  (** the server's telemetry summary *)
   | Shutdown  (** acknowledge, then stop serving *)
+  | Stats_snapshot
+      (** a versioned binary telemetry snapshot (see {!Snapshot}); the
+          router fans this out to every live shard and merges *)
 
 val tenant_of : request -> string
 (** The declaring tenant of a work request; ["-"] for control requests
@@ -55,12 +75,23 @@ type response =
   | Busy_reply of { retry_after_s : float }
       (** admission control: the shard's queue is saturated; retry after
           (roughly) this many seconds — clients add jitter *)
+  | Snapshot_reply of { snapshot : string }
+      (** {!Snapshot.encode}d binary telemetry snapshot *)
   | Error_reply of error_info
 
-val encode_request : request -> string
+val encode_request : ?trace:trace_ctx -> request -> string
 val decode_request : string -> request
-val encode_response : response -> string
+
+val decode_request_traced : string -> request * trace_ctx option
+(** Like {!decode_request} but also returns the trace envelope ([None]
+    for v2 payloads and untraced v3 requests). *)
+
+val encode_response : ?hops:hop list -> response -> string
 val decode_response : string -> response
+
+val decode_response_hops : string -> response * hop list
+(** Like {!decode_response} but also returns the per-hop latency
+    breakdown ([[]] for v2 payloads and untraced replies). *)
 
 val frame : string -> string
 (** Prefix a payload with its 4-byte big-endian length. *)

@@ -100,7 +100,7 @@ let handle cfg req =
         | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
       in
       Proto.Simmed { stats = Format.asprintf "%a@." Ssp_sim.Stats.pp stats }
-    | Proto.Stats | Proto.Shutdown ->
+    | Proto.Stats | Proto.Shutdown | Proto.Stats_snapshot ->
       (* Control requests are answered inline by the loop. *)
       plain_error "server" "control request routed to a worker"
   with
@@ -234,10 +234,21 @@ let serve ?ready cfg =
       | _ -> (Some fd, Some port))
   in
   let listeners = List.filter_map Fun.id [ unix_fd; tcp_fd ] in
+  (* How this shard names itself in trace hops and snapshots — the TCP
+     endpoint when there is one (what the router calls it), else the
+     socket path. *)
+  let node_name =
+    match (cfg.tcp, tcp_port) with
+    | Some (host, _), Some p -> host ^ ":" ^ string_of_int p
+    | _ -> ( match cfg.socket with Some path -> path | None -> "server")
+  in
   (match ready with Some f -> f ~tcp_port | None -> ());
   let pool = Ssp_parallel.Pool.create ~jobs:(max 1 cfg.jobs) in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
-  let adm : (conn * Proto.request * float) Admission.t = Admission.create () in
+  let adm :
+      (conn * Proto.request * Proto.trace_ctx option * float) Admission.t =
+    Admission.create ()
+  in
   let running = ref true in
   let depth_series = T.series "server.queue_depth" in
   let batch_no = ref 0 in
@@ -250,10 +261,10 @@ let serve ?ready cfg =
      a peer that stops draining parks its bytes in [c.out] (drained via
      select's write set, dropped after the timeout) — it can lose its
      own connection, but never stall the loop. *)
-  let send c resp =
+  let send ?(hops = []) c resp =
     if c.dead then ()
     else
-      match Proto.frame (Proto.encode_response resp) with
+      match Proto.frame (Proto.encode_response ~hops resp) with
       | framed ->
       if out_pending c = 0 then begin
         c.out <- framed;
@@ -371,8 +382,8 @@ let serve ?ready cfg =
                   (* Anything a hostile payload makes the decoder raise —
                      structured or not — is an error reply, never a dead
                      connection or a dead loop. *)
-                  match Proto.decode_request payload with
-                  | req -> batch := (c, req, now) :: !batch
+                  match Proto.decode_request_traced payload with
+                  | req, trace -> batch := (c, req, trace, now) :: !batch
                   | exception Ssp_ir.Error.Error e ->
                     send c (error_reply e);
                     c.closing <- true
@@ -413,13 +424,31 @@ let serve ?ready cfg =
        through admission: reject with retry-after when the queue is
        saturated, otherwise queue under the declaring tenant. *)
     List.iter
-      (fun (c, req, t0) ->
+      (fun (c, req, trace, t0) ->
         match req with
         | Proto.Stats ->
           T.count "server.requests" 1;
           send c
             (Proto.Stats_reply
                { summary = Format.asprintf "%a" T.pp_summary (T.report ()) })
+        | Proto.Stats_snapshot ->
+          T.count "server.requests" 1;
+          let gauges =
+            ("server.queue_depth", float_of_int (Admission.backlog adm))
+            ::
+            (match cfg.cache with
+            | None -> []
+            | Some cache ->
+              [
+                ( "store.entries",
+                  float_of_int (Store.Cache.entry_count cache) );
+                ("store.bytes", float_of_int (Store.Cache.size_bytes cache));
+                ( "store.evictions",
+                  float_of_int (Store.Cache.evictions cache) );
+              ])
+          in
+          let snap = Snapshot.capture ~node:node_name ~gauges () in
+          send c (Proto.Snapshot_reply { snapshot = Snapshot.encode snap })
         | Proto.Shutdown ->
           T.count "server.requests" 1;
           send c Proto.Ok_reply;
@@ -433,14 +462,14 @@ let serve ?ready cfg =
           end
           else begin
             T.count ("server.tenant." ^ tenant ^ ".requests") 1;
-            Admission.enqueue adm ~tenant (c, req, t0)
+            Admission.enqueue adm ~tenant (c, req, trace, t0)
           end)
       (List.rev !batch);
     (* On shutdown, every still-queued request gets a structured error
        instead of silence. *)
     if not !running then
       List.iter
-        (fun (_, (c, _, _)) ->
+        (fun (_, (c, _, _, _)) ->
           send c (plain_error "server" "server shutting down"))
         (Admission.drain adm);
     (* One bounded, tenant-fair batch across the pool per round. *)
@@ -450,21 +479,91 @@ let serve ?ready cfg =
       T.count "server.batches" 1;
       T.sample depth_series ~x:(float_of_int !batch_no)
         ~y:(float_of_int (List.length work + Admission.backlog adm));
+      let round_t0 = Unix.gettimeofday () in
       let replies =
         Ssp_parallel.Pool.map pool
-          (fun (_, (c, req, t0)) ->
-            if c.dead then plain_error "server" "client went away"
+          (fun (tenant, (c, req, trace, t0)) ->
+            if c.dead then (plain_error "server" "client went away", [])
             else if Unix.gettimeofday () -. t0 > cfg.timeout_s then
-              plain_error "server" "request timed out in queue"
-            else T.with_span "server.request" (fun () -> handle cfg req))
+              (plain_error "server" "request timed out in queue", [])
+            else begin
+              (* Timings are taken whenever the request is traced, even
+                 with local telemetry off: the client paid for the trace
+                 and gets real hop numbers either way. *)
+              let timed = !T.enabled || trace <> None in
+              let ts = if timed then Unix.gettimeofday () else 0. in
+              let queue_ms = if timed then (ts -. t0) *. 1000. else 0. in
+              if timed then begin
+                T.record_hist "server.queue_wait_ms" queue_ms;
+                ignore (Store.take_lookup_ms ())
+              end;
+              let run () =
+                T.with_span "server.request" (fun () -> handle cfg req)
+              in
+              let resp, spans =
+                match trace with
+                | Some tc ->
+                  T.count ("trace." ^ tc.Proto.trace_id) 1;
+                  T.capture_spans run
+                | None -> (run (), [])
+              in
+              let service_ms =
+                if timed then (Unix.gettimeofday () -. ts) *. 1000. else 0.
+              in
+              let lookup_ms = if timed then Store.take_lookup_ms () else 0. in
+              if timed then begin
+                T.record_hist "server.service_ms" service_ms;
+                T.record_hist
+                  ("server.tenant." ^ tenant ^ ".service_ms")
+                  service_ms
+              end;
+              match trace with
+              | None -> (resp, [])
+              | Some _ ->
+                (* The reply is encoded once more when sent; measuring a
+                   throwaway encode here is the only way to get the
+                   serialize cost INTO the hop list it reports. *)
+                let tser = Unix.gettimeofday () in
+                ignore (Proto.encode_response resp);
+                let serialize_ms = (Unix.gettimeofday () -. tser) *. 1000. in
+                let hop stage ms =
+                  { Proto.hop_node = node_name; hop_stage = stage; hop_ms = ms }
+                in
+                (* Pass/sim spans ride along as nested detail (stage
+                   "span:<path>"); the disjoint stages queue / compute /
+                   serialize are the ones that sum to this shard's share
+                   of the client-observed latency. *)
+                let rec flat prefix acc (sp : T.span) =
+                  if List.length acc >= 256 then acc
+                  else begin
+                    let path =
+                      if prefix = "" then sp.T.sp_name
+                      else prefix ^ "/" ^ sp.T.sp_name
+                    in
+                    let acc = hop ("span:" ^ path) sp.T.ms :: acc in
+                    List.fold_left (flat path) acc sp.T.children
+                  end
+                in
+                let span_hops = List.rev (List.fold_left (flat "") [] spans) in
+                let hops =
+                  hop "queue" queue_ms
+                  :: hop "store.lookup" lookup_ms
+                  :: hop "compute" (Float.max 0. (service_ms -. lookup_ms))
+                  :: hop "serialize" serialize_ms
+                  :: span_hops
+                in
+                (resp, hops)
+            end)
           work
       in
       List.iter2
-        (fun (tenant, (c, _, _)) resp ->
+        (fun (tenant, (c, _, _, _)) (resp, hops) ->
           T.count "server.requests" 1;
           T.count ("server.tenant." ^ tenant ^ ".served") 1;
-          send c resp)
-        work replies
+          send ~hops c resp)
+        work replies;
+      T.record_hist "server.round_ms"
+        ((Unix.gettimeofday () -. round_t0) *. 1000.)
     end;
     (* Sweep closing connections whose replies have drained (outside any
        Hashtbl.iter). Undrained ones stay for select's write set until

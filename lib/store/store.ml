@@ -408,6 +408,22 @@ let cache_key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
 (* ---- on-disk cache ---- *)
 
+(* Cache-lookup wall clock accumulated per domain: the serving layer
+   attributes a request's store time to its trace hop by draining this
+   after running the request on a pool worker, with no timing plumbed
+   through the pipeline's return types. *)
+let lookup_ms_key = Domain.DLS.new_key (fun () -> ref 0.)
+
+let add_lookup_ms ms =
+  let r = Domain.DLS.get lookup_ms_key in
+  r := !r +. ms
+
+let take_lookup_ms () =
+  let r = Domain.DLS.get lookup_ms_key in
+  let v = !r in
+  r := 0.;
+  v
+
 module Cache = struct
   (* [evictions] is atomic because [put] (and so [evict]) runs on pool
      domains when the server fans a batch out. *)
@@ -504,6 +520,7 @@ module Cache = struct
   let tmp_seq = Atomic.make 0
 
   let put t key blob =
+    let tput = if !T.enabled then Unix.gettimeofday () else 0. in
     let tmp =
       Filename.concat t.dir
         (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
@@ -518,22 +535,33 @@ module Cache = struct
        T.count "store.put" 1
      with Sys_error _ | Unix.Unix_error _ ->
        (try Sys.remove tmp with Sys_error _ -> ()));
-    evict t
+    evict t;
+    if !T.enabled then
+      T.record_hist "store.put_ms" ((Unix.gettimeofday () -. tput) *. 1000.)
 
   let get t key ~decode =
-    match find t key with
-    | None ->
-      T.count "store.miss" 1;
-      None
-    | Some blob -> (
-      match decode blob with
-      | v ->
-        T.count "store.hit" 1;
-        Some v
-      | exception Ssp_ir.Error.Error _ ->
-        T.count "store.corrupt" 1;
-        remove t key;
-        None)
+    let t0 = if !T.enabled then Unix.gettimeofday () else 0. in
+    let r =
+      match find t key with
+      | None ->
+        T.count "store.miss" 1;
+        None
+      | Some blob -> (
+        match decode blob with
+        | v ->
+          T.count "store.hit" 1;
+          Some v
+        | exception Ssp_ir.Error.Error _ ->
+          T.count "store.corrupt" 1;
+          remove t key;
+          None)
+    in
+    if !T.enabled then begin
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      T.record_hist "store.get_ms" ms;
+      add_lookup_ms ms
+    end;
+    r
 end
 
 (* ---- cache-aware pipeline fast paths ---- *)

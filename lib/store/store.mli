@@ -89,6 +89,12 @@ val cache_key : string list -> string
 
 (** {1 On-disk content-addressed cache} *)
 
+val take_lookup_ms : unit -> float
+(** Drain the calling domain's accumulated {!Cache.get} wall-clock
+    (milliseconds; only accumulates while telemetry is enabled). The
+    serving layer uses this to attribute a traced request's cache-lookup
+    time to its per-hop latency breakdown. *)
+
 module Cache : sig
   type t
 

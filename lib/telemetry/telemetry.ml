@@ -32,6 +32,49 @@ type dist = {
   mutable sumsq : float;
 }
 
+(* ---- quantile histograms ----
+
+   Log-bucketed with a FIXED layout shared by every histogram in every
+   process: [hist_subbuckets] buckets per power of two, from 2^-20 up to
+   2^44, plus an underflow and an overflow bucket. Because the layout is
+   a compile-time constant, two shards' (or two cluster nodes')
+   histograms of the same name merge EXACTLY by adding bucket counts —
+   the quantiles of the merge equal the quantiles of the union stream.
+   A bucket spans a value ratio of 2^(1/subbuckets) (~9% at 8), so any
+   quantile estimate (the bucket's geometric midpoint) carries a bounded
+   relative error of about +/-4.5%. *)
+
+let hist_subbuckets = 8
+let hist_min_log2 = -20.0 (* ~1e-6: below this is the underflow bucket *)
+let hist_log_buckets = 64 * hist_subbuckets (* up to 2^44 *)
+let hist_bucket_count = hist_log_buckets + 2 (* + underflow + overflow *)
+
+(* Index 0 is underflow (v < 2^-20, zero, negative, or non-finite),
+   index [hist_bucket_count - 1] overflow; bucket i in between covers
+   [2^(min + (i-1)/sub), 2^(min + i/sub)). *)
+let hist_index v =
+  if not (Float.is_finite v) || v < 0x1p-20 then 0
+  else
+    let e = (Float.log2 v -. hist_min_log2) *. float_of_int hist_subbuckets in
+    let i = 1 + int_of_float e in
+    if i > hist_log_buckets then hist_log_buckets + 1 else i
+
+(* Geometric midpoint of bucket [i] — the bounded-relative-error
+   representative used for quantile estimates. *)
+let hist_bucket_value i =
+  Float.exp2
+    (hist_min_log2
+    +. ((float_of_int (i - 1) +. 0.5) /. float_of_int hist_subbuckets))
+
+type hist = {
+  h_name : string;
+  h_counts : int array; (* length [hist_bucket_count] *)
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_lo : float;
+  mutable h_hi : float;
+}
+
 type series = {
   s_name : string;
   mutable points : (float * float) list; (* newest first *)
@@ -71,6 +114,7 @@ type event = {
 type shard = {
   counters : (string, counter) Hashtbl.t;
   dists : (string, dist) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
   seriess : (string, series) Hashtbl.t;
   root : span;
   mutable stack : span list; (* innermost first *)
@@ -83,6 +127,7 @@ let new_shard () =
   {
     counters = Hashtbl.create 64;
     dists = Hashtbl.create 64;
+    hists = Hashtbl.create 16;
     seriess = Hashtbl.create 16;
     root = new_span "root";
     stack = [];
@@ -155,6 +200,39 @@ let observe d v =
 
 let observe_int d v = observe d (float_of_int v)
 let record name v = observe (dist name) v
+
+(* ---- histograms (hot-path latency sites wanting tail quantiles) ---- *)
+
+let hist name =
+  let sh = my_shard () in
+  match Hashtbl.find_opt sh.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_counts = Array.make hist_bucket_count 0;
+        h_n = 0;
+        h_sum = 0.;
+        h_lo = infinity;
+        h_hi = neg_infinity;
+      }
+    in
+    Hashtbl.replace sh.hists name h;
+    h
+
+let hobserve h v =
+  if !enabled then begin
+    let i = hist_index v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_n <- h.h_n + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_lo then h.h_lo <- v;
+    if v > h.h_hi then h.h_hi <- v
+  end
+
+(* Convenience for cold paths; interns by name on every call. *)
+let record_hist name v = hobserve (hist name) v
 
 let dist_mean d = if d.n = 0 then 0.0 else d.sum /. float_of_int d.n
 
@@ -309,6 +387,14 @@ let reset () =
           d.hi <- neg_infinity;
           d.sumsq <- 0.)
         sh.dists;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.h_counts 0 hist_bucket_count 0;
+          h.h_n <- 0;
+          h.h_sum <- 0.;
+          h.h_lo <- infinity;
+          h.h_hi <- neg_infinity)
+        sh.hists;
       Hashtbl.iter (fun _ s -> s.points <- []) sh.seriess;
       sh.root.children <- [];
       sh.root.ms <- 0.;
@@ -331,13 +417,94 @@ type dist_summary = {
   ds_max : float;
   ds_mean : float;
   ds_stddev : float;
+  ds_sumsq : float; (* carried so summaries merge exactly *)
 }
+
+let merge_dist_summary a b =
+  if a.ds_n = 0 then b
+  else if b.ds_n = 0 then a
+  else begin
+    let n = a.ds_n + b.ds_n in
+    let sum = a.ds_sum +. b.ds_sum in
+    let sumsq = a.ds_sumsq +. b.ds_sumsq in
+    let mean = sum /. float_of_int n in
+    {
+      ds_n = n;
+      ds_sum = sum;
+      ds_min = Float.min a.ds_min b.ds_min;
+      ds_max = Float.max a.ds_max b.ds_max;
+      ds_mean = mean;
+      ds_stddev =
+        sqrt (max 0.0 ((sumsq /. float_of_int n) -. (mean *. mean)));
+      ds_sumsq = sumsq;
+    }
+  end
+
+type hist_summary = {
+  hs_n : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_counts : int array; (* the fixed layout: [hist_bucket_count] *)
+}
+
+let empty_hist_summary () =
+  {
+    hs_n = 0;
+    hs_sum = 0.;
+    hs_min = infinity;
+    hs_max = neg_infinity;
+    hs_counts = Array.make hist_bucket_count 0;
+  }
+
+(* Bucket-wise exact merge: both sides share the fixed layout, so the
+   merged histogram is indistinguishable from one that observed the
+   union of the two sample streams. *)
+let merge_hist_summary a b =
+  if Array.length a.hs_counts <> Array.length b.hs_counts then
+    invalid_arg "Telemetry.merge_hist_summary: bucket layouts differ";
+  {
+    hs_n = a.hs_n + b.hs_n;
+    hs_sum = a.hs_sum +. b.hs_sum;
+    hs_min = Float.min a.hs_min b.hs_min;
+    hs_max = Float.max a.hs_max b.hs_max;
+    hs_counts = Array.init (Array.length a.hs_counts) (fun i ->
+        a.hs_counts.(i) + b.hs_counts.(i));
+  }
+
+(* Quantile estimate with bounded relative error: walk the cumulative
+   counts to the target rank, answer the bucket's geometric midpoint
+   (underflow/overflow answer the observed min/max), clamped into the
+   observed [min, max]. *)
+let hist_quantile hs q =
+  if hs.hs_n = 0 then 0.
+  else begin
+    let target = Float.max 1.0 (q *. float_of_int hs.hs_n) in
+    let cum = ref 0 in
+    let found = ref None in
+    Array.iteri
+      (fun i c ->
+        cum := !cum + c;
+        if !found = None && c > 0 && float_of_int !cum >= target then
+          found := Some i)
+      hs.hs_counts;
+    let raw =
+      match !found with
+      | None | Some 0 -> hs.hs_min
+      | Some i when i = Array.length hs.hs_counts - 1 -> hs.hs_max
+      | Some i -> hist_bucket_value i
+    in
+    Float.min hs.hs_max (Float.max hs.hs_min raw)
+  end
+
+let hist_mean hs = if hs.hs_n = 0 then 0. else hs.hs_sum /. float_of_int hs.hs_n
 
 type report = {
   r_spans : span list; (* deep copies, oldest first *)
   r_counters : (string * int) list; (* sorted by name *)
   r_dists : (string * dist_summary) list;
-  r_series : (string * (float * float) list) list; (* oldest sample first *)
+  r_hists : (string * hist_summary) list;
+  r_series : (string * (float * float) list) list; (* sorted by x *)
 }
 
 let rec copy_span sp =
@@ -396,6 +563,23 @@ let report () =
           if d.hi > m.hi then m.hi <- d.hi;
           m.sumsq <- m.sumsq +. d.sumsq)
   in
+  let hists =
+    merge_tables
+      (fun sh f -> Hashtbl.iter (fun name h -> if h.h_n > 0 then f name h) sh.hists)
+      (fun acc name (h : hist) ->
+        let s =
+          {
+            hs_n = h.h_n;
+            hs_sum = h.h_sum;
+            hs_min = h.h_lo;
+            hs_max = h.h_hi;
+            hs_counts = Array.copy h.h_counts;
+          }
+        in
+        match Hashtbl.find_opt acc name with
+        | None -> Hashtbl.replace acc name s
+        | Some m -> Hashtbl.replace acc name (merge_hist_summary m s))
+  in
   let seriess =
     merge_tables
       (fun sh f ->
@@ -422,12 +606,24 @@ let report () =
               ds_max = d.hi;
               ds_mean = dist_mean d;
               ds_stddev = dist_stddev d;
+              ds_sumsq = d.sumsq;
             } )
           :: acc)
         dists []
       |> List.sort by_name;
+    r_hists =
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []
+      |> List.sort by_name;
     r_series =
-      Hashtbl.fold (fun name pts acc -> (name, pts) :: acc) seriess []
+      (* Shards accumulate by list-prepend and merge by concatenation, so
+         raw points arrive in interleaved insertion order; exports sort
+         by x (stable: ties keep shard insertion order). *)
+      Hashtbl.fold
+        (fun name pts acc ->
+          ( name,
+            List.stable_sort (fun (x1, _) (x2, _) -> Float.compare x1 x2) pts )
+          :: acc)
+        seriess []
       |> List.sort by_name;
   }
 
@@ -516,6 +712,29 @@ let to_json r =
                          ("stddev", fun () -> buf_float b d.ds_stddev);
                        ] ))
                r.r_dists) );
+      ( "hists",
+        fun () ->
+          buf_obj b
+            (List.map
+               (fun (name, h) ->
+                 ( name,
+                   fun () ->
+                     buf_obj b
+                       [
+                         ( "n",
+                           fun () ->
+                             Buffer.add_string b (string_of_int h.hs_n) );
+                         ("sum", fun () -> buf_float b h.hs_sum);
+                         ("min", fun () -> buf_float b h.hs_min);
+                         ("max", fun () -> buf_float b h.hs_max);
+                         ("mean", fun () -> buf_float b (hist_mean h));
+                         ("p50", fun () -> buf_float b (hist_quantile h 0.5));
+                         ("p90", fun () -> buf_float b (hist_quantile h 0.9));
+                         ("p99", fun () -> buf_float b (hist_quantile h 0.99));
+                         ( "p999",
+                           fun () -> buf_float b (hist_quantile h 0.999) );
+                       ] ))
+               r.r_hists) );
       ( "series",
         fun () ->
           buf_obj b
@@ -648,6 +867,17 @@ let pp_summary ppf r =
           d.ds_n d.ds_mean d.ds_min d.ds_max d.ds_stddev)
       r.r_dists
   end;
+  if r.r_hists <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    Format.fprintf ppf "  %-30s %8s %10s %10s %10s %10s %10s@," "" "n" "mean"
+      "p50" "p90" "p99" "max";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-30s %8d %10.3f %10.3f %10.3f %10.3f %10.3f@,"
+          name h.hs_n (hist_mean h) (hist_quantile h 0.5) (hist_quantile h 0.9)
+          (hist_quantile h 0.99) h.hs_max)
+      r.r_hists
+  end;
   if r.r_series <> [] then begin
     Format.fprintf ppf "series:@,";
     List.iter
@@ -665,3 +895,82 @@ let rec find_span spans = function
     match List.find_opt (fun s -> String.equal s.sp_name name) spans with
     | Some s -> find_span s.children rest
     | None -> None)
+
+(* ---- per-request span capture (distributed tracing) ----
+
+   Spans accumulate globally; a traced server request needs just ITS
+   slice of the tree. [capture_spans f] snapshots the calling domain's
+   span tree, runs [f], and returns the delta — safe because a domain
+   (one pool worker, or the main thread) runs one request at a time, so
+   everything that accrued on this domain during [f] belongs to it. *)
+
+let rec span_delta (before : span option) (after : span) =
+  let b_ms, b_calls, b_children =
+    match before with
+    | Some b -> (b.ms, b.calls, b.children)
+    | None -> (0., 0, [])
+  in
+  let children =
+    List.filter_map
+      (fun (c : span) ->
+        let bc =
+          List.find_opt (fun (x : span) -> String.equal x.sp_name c.sp_name)
+            b_children
+        in
+        span_delta bc c)
+      after.children
+  in
+  let ms = Float.max 0. (after.ms -. b_ms) in
+  let calls = max 0 (after.calls - b_calls) in
+  if calls = 0 && ms <= 0. && children = [] then None
+  else Some { sp_name = after.sp_name; ms; calls; children }
+
+let capture_spans f =
+  if not !enabled then (f (), [])
+  else begin
+    let sh = my_shard () in
+    let before = copy_span sh.root in
+    let r = f () in
+    let after = copy_span sh.root in
+    let delta =
+      match span_delta (Some before) after with
+      | Some d -> d.children
+      | None -> []
+    in
+    (r, delta)
+  end
+
+(* ---- generic Chrome trace builder (client-side trace stitching) ----
+
+   [chrome_trace_json ~processes events] renders an explicit event list
+   with caller-chosen pids — the stitched cluster trace gives one pid to
+   each process a request crossed (client, router, shard), unlike the
+   in-process export above whose pids are fixed. *)
+
+let complete_event ?(args = []) ~cat ~pid ~tid ~ts ~dur name =
+  {
+    e_name = name;
+    e_cat = cat;
+    e_pid = pid;
+    e_tid = tid;
+    e_ts = ts;
+    e_dur = dur;
+    e_ph = Ph_complete;
+    e_args = args;
+  }
+
+let chrome_trace_json ~processes evs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i (pid, name) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_metadata b ~name:"process_name" ~pid ~tid:0 ~key:"name" name)
+    processes;
+  List.iter
+    (fun ev ->
+      if processes <> [] then Buffer.add_char b ',';
+      buf_trace_event b ev)
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b

@@ -342,6 +342,125 @@ let test_router_forwards_busy () =
   shutdown (Client.Tcp ("127.0.0.1", port));
   Thread.join th
 
+(* ---- the trace and stats planes across the router ---- *)
+
+module T = Ssp_telemetry.Telemetry
+module Snapshot = Ssp_server.Snapshot
+
+let with_telemetry f () =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    f
+
+let test_traced_through_router =
+  with_telemetry @@ fun () ->
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  let ctx = { Proto.trace_id = "0ddba11"; span_id = 1 } in
+  let t0 = Unix.gettimeofday () in
+  let resp, hops = Client.request_hops ~trace:ctx router (adapt_req "em3d") in
+  let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  ignore (expect_adapted resp);
+  (* One trace crosses both processes: the router stamps its forward
+     window, the shard its queue/lookup/compute/serialize breakdown. *)
+  let forward =
+    List.filter
+      (fun h ->
+        String.equal h.Proto.hop_node "router"
+        && String.equal h.Proto.hop_stage "forward")
+      hops
+  in
+  Alcotest.(check int) "router stamped one forward hop" 1 (List.length forward);
+  let fwd_ms = (List.hd forward).Proto.hop_ms in
+  let shard_sum =
+    List.fold_left
+      (fun acc h ->
+        if
+          (not (String.equal h.Proto.hop_node "router"))
+          && List.mem h.Proto.hop_stage [ "queue"; "compute"; "serialize" ]
+        then acc +. h.Proto.hop_ms
+        else acc)
+      0. hops
+  in
+  Alcotest.(check bool) "shard did measurable work" true (shard_sum > 0.);
+  (* The windows nest: shard breakdown <= router forward <= client
+     total, each within scheduling slop. *)
+  let slop = 50. in
+  Alcotest.(check bool)
+    (Printf.sprintf "shard %.1fms <= forward %.1fms (+slop)" shard_sum fwd_ms)
+    true
+    (shard_sum <= fwd_ms +. slop);
+  Alcotest.(check bool)
+    (Printf.sprintf "forward %.1fms <= total %.1fms (+slop)" fwd_ms total_ms)
+    true
+    (fwd_ms <= total_ms +. slop);
+  (* Both hops of the path counted the same trace id (everything is
+     in-process here, so one report sees both). *)
+  Alcotest.(check int) "trace id counted at router and shard" 2
+    (List.assoc "trace.0ddba11" (T.report ()).T.r_counters);
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", p1));
+  shutdown (Client.Tcp ("127.0.0.1", p2));
+  Thread.join th1;
+  Thread.join th2
+
+let test_cluster_snapshot_merge =
+  with_telemetry @@ fun () ->
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  List.iter
+    (fun n -> ignore (expect_adapted (Client.request_addr router (adapt_req n))))
+    [ "em3d"; "mst" ];
+  let snap =
+    match Client.request_addr router Proto.Stats_snapshot with
+    | Proto.Snapshot_reply { snapshot } -> Snapshot.decode snapshot
+    | _ -> Alcotest.fail "expected the router's merged snapshot"
+  in
+  Alcotest.(check string) "merged under the cluster node" "cluster"
+    snap.Snapshot.node;
+  (* Both shards report live, exactly once each (no double prefixes). *)
+  List.iter
+    (fun p ->
+      let key = Printf.sprintf "shard.127.0.0.1:%d.up" p in
+      match List.assoc_opt key snap.Snapshot.gauges with
+      | Some v -> Alcotest.(check (float 0.)) (key ^ " = 1") 1.0 v
+      | None -> Alcotest.fail ("missing liveness gauge " ^ key))
+    [ p1; p2 ];
+  Alcotest.(check bool) "no double-prefixed gauges" true
+    (List.for_all
+       (fun (name, _) ->
+         not
+           (String.length name >= 12
+           && String.equal (String.sub name 0 12) "shard.router"))
+       snap.Snapshot.gauges);
+  (* The merged histograms cover the served requests; the router's
+     forward times ride in the same snapshot. *)
+  (match List.assoc_opt "server.service_ms" snap.Snapshot.hists with
+  | Some h -> Alcotest.(check bool) "service hist populated" true (h.T.hs_n >= 2)
+  | None -> Alcotest.fail "server.service_ms histogram missing");
+  (match List.assoc_opt "router.forward_ms" snap.Snapshot.hists with
+  | Some h -> Alcotest.(check bool) "forward hist populated" true (h.T.hs_n >= 2)
+  | None -> Alcotest.fail "router.forward_ms histogram missing");
+  Alcotest.(check bool) "router counted the requests" true
+    (Option.value ~default:0
+       (List.assoc_opt "router.requests" snap.Snapshot.counters)
+    >= 2);
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", p1));
+  shutdown (Client.Tcp ("127.0.0.1", p2));
+  Thread.join th1;
+  Thread.join th2
+
 (* ---- client retry/backoff ---- *)
 
 let test_client_retries_connect () =
@@ -454,6 +573,10 @@ let suite =
       test_router_failover_mid_campaign;
     Alcotest.test_case "router: forwards Busy untouched" `Quick
       test_router_forwards_busy;
+    Alcotest.test_case "trace: one id across router and shard" `Quick
+      test_traced_through_router;
+    Alcotest.test_case "stats plane: merged cluster snapshot" `Quick
+      test_cluster_snapshot_merge;
     Alcotest.test_case "client: backoff until daemon appears" `Quick
       test_client_retries_connect;
     Alcotest.test_case "client: honors retry-after, bounded waits" `Quick

@@ -27,13 +27,15 @@ let wait_for_socket socket =
   in
   go 100
 
-let with_server ?(jobs = 2) ?(with_cache = true) ?(timeout_s = 60.)
-    ?(max_batch = 32) ?(max_queue = 256) f =
+let with_server ?(jobs = 2) ?(with_cache = true) ?cache_max_bytes
+    ?(timeout_s = 60.) ?(max_batch = 32) ?(max_queue = 256) f =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
   let cache =
     if with_cache then
-      Some (Store.Cache.open_dir (Filename.concat dir "cache"))
+      Some
+        (Store.Cache.open_dir ?max_bytes:cache_max_bytes
+           (Filename.concat dir "cache"))
     else None
   in
   let cfg =
@@ -339,6 +341,186 @@ let test_reject_all_when_queue_zero () =
   | Proto.Busy_reply _ -> ()
   | _ -> Alcotest.fail "max_queue=0 must reject all work"
 
+(* ---- v3 trace plane + snapshot stats plane ---- *)
+
+module T = Ssp_telemetry.Telemetry
+module Snapshot = Ssp_server.Snapshot
+module Bin = Store.Bin
+
+(* Telemetry is process-global; scope it tightly so the other suites in
+   this binary keep seeing it off. *)
+let with_telemetry f () =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    f
+
+let test_proto_v2_compat () =
+  (* Hand-built v2 payloads (no trace/hop envelope between the version
+     byte and the tag) must still decode: old peers interoperate. *)
+  let b = Bin.writer () in
+  Bin.w_str b "SSPQ";
+  Bin.w_u8 b 2;
+  Bin.w_u8 b 3;
+  let req, trace = Proto.decode_request_traced (Bin.contents b) in
+  (match req with
+  | Proto.Stats -> ()
+  | _ -> Alcotest.fail "v2 Stats body misdecoded");
+  Alcotest.(check bool) "v2 requests are untraced" true (trace = None);
+  let b = Bin.writer () in
+  Bin.w_str b "SSPR";
+  Bin.w_u8 b 2;
+  Bin.w_u8 b 4;
+  let resp, hops = Proto.decode_response_hops (Bin.contents b) in
+  (match resp with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "v2 Ok body misdecoded");
+  Alcotest.(check int) "v2 replies carry no hops" 0 (List.length hops);
+  (* v1 is below the floor *)
+  let b = Bin.writer () in
+  Bin.w_str b "SSPQ";
+  Bin.w_u8 b 1;
+  Bin.w_u8 b 3;
+  (match Proto.decode_request_traced (Bin.contents b) with
+  | _ -> Alcotest.fail "v1 accepted"
+  | exception Ssp_ir.Error.Error _ -> ());
+  (* v3 roundtrip carries the context and the breakdown *)
+  let ctx = { Proto.trace_id = "cafe01"; span_id = 7 } in
+  let req', trace' =
+    Proto.decode_request_traced (Proto.encode_request ~trace:ctx (adapt_req "em3d"))
+  in
+  (match req' with
+  | Proto.Adapt { tenant; _ } ->
+    Alcotest.(check string) "body survives the envelope" Proto.default_tenant
+      tenant
+  | _ -> Alcotest.fail "traced request body misdecoded");
+  (match trace' with
+  | Some c ->
+    Alcotest.(check string) "trace id" "cafe01" c.Proto.trace_id;
+    Alcotest.(check int) "span id" 7 c.Proto.span_id
+  | None -> Alcotest.fail "trace context dropped");
+  Alcotest.(check bool) "untraced v3 request decodes as None" true
+    (snd (Proto.decode_request_traced (Proto.encode_request Proto.Stats)) = None);
+  let hops =
+    [
+      { Proto.hop_node = "s1"; hop_stage = "queue"; hop_ms = 1.25 };
+      { Proto.hop_node = "s1"; hop_stage = "compute"; hop_ms = 40.5 };
+    ]
+  in
+  let resp', hops' =
+    Proto.decode_response_hops (Proto.encode_response ~hops Proto.Ok_reply)
+  in
+  (match resp' with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "response body misdecoded");
+  Alcotest.(check int) "hops round-trip" 2 (List.length hops');
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "node" a.Proto.hop_node b.Proto.hop_node;
+      Alcotest.(check string) "stage" a.Proto.hop_stage b.Proto.hop_stage;
+      Alcotest.(check (float 1e-9)) "ms" a.Proto.hop_ms b.Proto.hop_ms)
+    hops hops'
+
+let test_traced_hops () =
+  (* A traced request comes back with a per-hop latency breakdown even
+     when the shard's own telemetry is off; untraced requests don't pay
+     for one. *)
+  with_server @@ fun socket ->
+  let addr = Client.Unix_sock socket in
+  let ctx = { Proto.trace_id = "deadbeef"; span_id = 1 } in
+  let resp, hops = Client.request_hops ~trace:ctx addr (adapt_req "em3d") in
+  ignore (expect_adapted resp);
+  let stage s = List.exists (fun h -> String.equal h.Proto.hop_stage s) hops in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("hop " ^ s) true (stage s))
+    [ "queue"; "store.lookup"; "compute"; "serialize" ];
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "hop duration non-negative" true (h.Proto.hop_ms >= 0.);
+      Alcotest.(check bool) "hop node named" true
+        (String.length h.Proto.hop_node > 0))
+    hops;
+  let _, nohops = Client.request_hops addr (adapt_req "em3d") in
+  Alcotest.(check int) "untraced: no hops" 0 (List.length nohops)
+
+(* With the shard's telemetry on, the per-pass span tree rides into the
+   breakdown as nested span:* hops and the trace id lands in the shard's
+   counters (the CI smoke greps for it on both sides of the router). *)
+let test_traced_hops_spans =
+  with_telemetry @@ fun () ->
+  with_server @@ fun socket ->
+  let addr = Client.Unix_sock socket in
+  let ctx = { Proto.trace_id = "feedf00d"; span_id = 1 } in
+  let resp, hops = Client.request_hops ~trace:ctx addr (adapt_req "em3d") in
+  ignore (expect_adapted resp);
+  Alcotest.(check bool) "nested pass spans ride along" true
+    (List.exists
+       (fun h ->
+         String.length h.Proto.hop_stage > 5
+         && String.equal (String.sub h.Proto.hop_stage 0 5) "span:")
+       hops);
+  Alcotest.(check int) "trace id counted shard-side" 1
+    (List.assoc "trace.feedf00d" (T.report ()).T.r_counters)
+
+let fetch_snapshot socket =
+  match
+    Client.request ~socket Proto.Stats_snapshot
+  with
+  | Proto.Snapshot_reply { snapshot } -> Snapshot.decode snapshot
+  | _ -> Alcotest.fail "expected a Snapshot_reply"
+
+let counter snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.Snapshot.counters)
+
+(* Satellite: the per-tenant admission counters are visible through the
+   stats plane and line up with the Busy replies the client saw. *)
+let test_snapshot_admission_counters =
+  with_telemetry @@ fun () ->
+  with_server ~max_queue:0 @@ fun socket ->
+  let busy = ref 0 in
+  for _ = 1 to 5 do
+    match Client.request ~socket (adapt_req ~tenant:"hog" "em3d") with
+    | Proto.Busy_reply { retry_after_s } ->
+      incr busy;
+      Alcotest.(check bool) "retry-after positive" true (retry_after_s > 0.)
+    | _ -> Alcotest.fail "max_queue=0 must reject"
+  done;
+  let snap = fetch_snapshot socket in
+  Alcotest.(check int) "server.rejected matches Busy replies" !busy
+    (counter snap "server.rejected");
+  Alcotest.(check int) "per-tenant rejected matches" !busy
+    (counter snap "server.tenant.hog.rejected");
+  Alcotest.(check int) "nothing served" 0 (counter snap "server.tenant.hog.served");
+  (* the snapshot codec round-trips what the server sent *)
+  let again = Snapshot.decode (Snapshot.encode snap) in
+  Alcotest.(check bool) "snapshot codec round-trips" true (again = snap)
+
+(* Satellite: cache pressure is observable end to end — force LRU
+   evictions with a tiny cache and require the store.evict counter to
+   reach the snapshot, agreeing with the handle's own count. *)
+let test_snapshot_eviction_counter =
+  with_telemetry @@ fun () ->
+  with_server ~cache_max_bytes:2000 @@ fun socket ->
+  List.iter
+    (fun name -> ignore (expect_adapted (Client.request ~socket (adapt_req name))))
+    [ "em3d"; "mst"; "health" ];
+  let snap = fetch_snapshot socket in
+  let evicted = counter snap "store.evict" in
+  Alcotest.(check bool) "tiny cache forced evictions" true (evicted > 0);
+  (match List.assoc_opt "store.evictions" snap.Snapshot.gauges with
+  | Some g -> Alcotest.(check int) "gauge agrees with counter" evicted
+      (int_of_float g)
+  | None -> Alcotest.fail "store.evictions gauge missing");
+  Alcotest.(check bool) "service-time histogram populated" true
+    (match List.assoc_opt "server.service_ms" snap.Snapshot.hists with
+    | Some h -> h.T.hs_n >= 3
+    | None -> false);
+  Alcotest.(check bool) "queue depth gauge present" true
+    (List.mem_assoc "server.queue_depth" snap.Snapshot.gauges)
+
 let test_shutdown () =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
@@ -384,5 +566,14 @@ let suite =
       `Quick test_saturation_busy_reply;
     Alcotest.test_case "admission: max_queue=0 rejects all work" `Quick
       test_reject_all_when_queue_zero;
+    Alcotest.test_case "proto: v2 compat + v3 trace roundtrip" `Quick
+      test_proto_v2_compat;
+    Alcotest.test_case "trace: per-hop breakdown" `Quick test_traced_hops;
+    Alcotest.test_case "trace: span hops + trace counter" `Quick
+      test_traced_hops_spans;
+    Alcotest.test_case "snapshot: admission counters line up" `Quick
+      test_snapshot_admission_counters;
+    Alcotest.test_case "snapshot: eviction counter reaches the plane" `Quick
+      test_snapshot_eviction_counter;
     Alcotest.test_case "clean shutdown" `Quick test_shutdown;
   ]

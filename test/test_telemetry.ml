@@ -197,6 +197,107 @@ let test_series =
     "in order" [ (1.0, 10.0); (2.0, 20.0) ]
     (List.assoc "t.s" r.T.r_series)
 
+(* Samples recorded out of x-order (e.g. from racing domains) export
+   sorted, so downstream plotting never sees a zig-zag artifact. *)
+let test_series_sorted =
+  scoped @@ fun () ->
+  let s = T.series "t.sorted" in
+  T.sample s ~x:3.0 ~y:30.0;
+  T.sample s ~x:1.0 ~y:10.0;
+  T.sample s ~x:2.0 ~y:20.0;
+  let r = T.report () in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "sorted by x"
+    [ (1.0, 10.0); (2.0, 20.0); (3.0, 30.0) ]
+    (List.assoc "t.sorted" r.T.r_series)
+
+(* ---- log-bucketed quantile histograms ---- *)
+
+(* With [hist_subbuckets] sub-buckets per octave the bucket edges are
+   2^(1/8) apart, so a geometric-midpoint estimate is within
+   2^(1/16) - 1 (< 4.5%) of the true value — check against a known
+   stream with a safety margin. *)
+let test_hist_quantiles =
+  scoped @@ fun () ->
+  let h = T.hist "t.h" in
+  for i = 1 to 1000 do
+    T.hobserve h (float_of_int i)
+  done;
+  let r = T.report () in
+  let s = List.assoc "t.h" r.T.r_hists in
+  Alcotest.(check int) "n" 1000 s.T.hs_n;
+  Alcotest.(check (float 1e-9)) "sum" 500500.0 s.T.hs_sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.T.hs_min;
+  Alcotest.(check (float 1e-9)) "max" 1000.0 s.T.hs_max;
+  List.iter
+    (fun (q, truth) ->
+      let est = T.hist_quantile s q in
+      let rel = Float.abs (est -. truth) /. truth in
+      if rel > 0.05 then
+        Alcotest.failf "q=%.3f: estimate %.2f vs true %.2f (rel %.3f)" q est
+          truth rel)
+    [ (0.5, 500.); (0.9, 900.); (0.99, 990.); (0.999, 999.) ];
+  (* quantiles clamp into the observed range *)
+  Alcotest.(check bool) "p999 <= max" true (T.hist_quantile s 0.999 <= 1000.0);
+  Alcotest.(check bool) "p0 >= min" true (T.hist_quantile s 0.0001 >= 1.0);
+  (* the empty histogram reports 0 and stays out of the report *)
+  Alcotest.(check (float 0.)) "empty" 0.0
+    (T.hist_quantile (T.empty_hist_summary ()) 0.99)
+
+(* The acceptance property of the stats plane: merging per-shard
+   histograms bucket-wise is EXACT — quantiles of the merged summary
+   equal quantiles of a single histogram fed the union of the streams,
+   bit for bit, because the layout is fixed at compile time. *)
+let test_hist_merge_exact =
+  scoped @@ fun () ->
+  let stream_a = List.init 400 (fun i -> 0.05 +. (float_of_int i *. 0.37)) in
+  let stream_b = List.init 300 (fun i -> 3.0 +. (float_of_int i *. 5.11)) in
+  let summarize name values =
+    T.reset ();
+    let h = T.hist name in
+    List.iter (T.hobserve h) values;
+    List.assoc name (T.report ()).T.r_hists
+  in
+  let sa = summarize "t.m" stream_a in
+  let sb = summarize "t.m" stream_b in
+  let union = summarize "t.m" (stream_a @ stream_b) in
+  let merged = T.merge_hist_summary sa sb in
+  Alcotest.(check int) "n" union.T.hs_n merged.T.hs_n;
+  Alcotest.(check (float 1e-9)) "sum" union.T.hs_sum merged.T.hs_sum;
+  Alcotest.(check (float 0.)) "min" union.T.hs_min merged.T.hs_min;
+  Alcotest.(check (float 0.)) "max" union.T.hs_max merged.T.hs_max;
+  Alcotest.(check (array int)) "buckets" union.T.hs_counts merged.T.hs_counts;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "q=%.3f exact" q)
+        (T.hist_quantile union q) (T.hist_quantile merged q))
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  (* merging a layout from another build must fail loudly *)
+  let alien = { sa with T.hs_counts = Array.make 7 0 } in
+  (match T.merge_hist_summary sa alien with
+  | _ -> Alcotest.fail "layout mismatch accepted"
+  | exception Invalid_argument _ -> ())
+
+(* capture_spans diffs the live span tree around a thunk: only spans
+   opened inside the window appear, with per-window times. *)
+let test_capture_spans =
+  scoped @@ fun () ->
+  T.with_span "outside" (fun () -> ());
+  let (), delta =
+    T.capture_spans (fun () ->
+        T.with_span "win" (fun () ->
+            T.with_span "sub" (fun () -> ());
+            T.with_span "sub" (fun () -> ())))
+  in
+  let names = List.map (fun s -> s.T.sp_name) delta in
+  Alcotest.(check (list string)) "window roots" [ "win" ] names;
+  (match T.find_span delta [ "win"; "sub" ] with
+  | Some s -> Alcotest.(check int) "window calls" 2 s.T.calls
+  | None -> Alcotest.fail "nested delta missing");
+  Alcotest.(check bool) "outside excluded" true
+    (T.find_span delta [ "outside" ] = None)
+
 (* ---- spans ---- *)
 
 let test_span_nesting =
@@ -338,6 +439,10 @@ let suite =
     Alcotest.test_case "counter math" `Quick test_counter_math;
     Alcotest.test_case "distribution math" `Quick test_dist_math;
     Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "series sorted by x" `Quick test_series_sorted;
+    Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+    Alcotest.test_case "hist merge exact" `Quick test_hist_merge_exact;
+    Alcotest.test_case "capture spans" `Quick test_capture_spans;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "pipeline report" `Slow test_pipeline_report;
