@@ -250,10 +250,39 @@ let config_of_pipeline pipeline =
   | "ooo" -> Ssp_machine.Config.out_of_order
   | _ -> Ssp_machine.Config.in_order
 
-let simulate ?attrib config prog =
+let simulate ?attrib ?sampling config prog =
   match config.Ssp_machine.Config.pipeline with
-  | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run ?attrib config prog
-  | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run ?attrib config prog
+  | Ssp_machine.Config.In_order ->
+    Ssp_sim.Inorder.run ?attrib ?sampling config prog
+  | Ssp_machine.Config.Out_of_order ->
+    Ssp_sim.Ooo.run ?attrib ?sampling config prog
+
+let sample_arg =
+  let doc =
+    "Sampled simulation: alternate $(docv) (DETAIL:FF, in main-thread \
+     instructions) cycle-accurate instructions with FF fast-forwarded, \
+     functionally-warmed ones. Outputs stay byte-identical to a full run; \
+     cycles are extrapolated from the detailed windows. 'default' picks \
+     the validated windows."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "sample" ] ~docv:"DETAIL:FF" ~doc)
+
+let parse_sampling = function
+  | None -> None
+  | Some "default" -> Some Ssp_sim.Smt.default_sampling
+  | Some s -> (
+    match String.index_opt s ':' with
+    | Some i -> (
+      let d = int_of_string_opt (String.sub s 0 i) in
+      let f =
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      match (d, f) with
+      | Some d, Some f when d > 0 && f > 0 ->
+        Some { Ssp_sim.Smt.detail_window = d; ff_window = f }
+      | _ -> fail2 ("bad --sample spec " ^ s ^ " (want DETAIL:FF)"))
+    | None -> fail2 ("bad --sample spec " ^ s ^ " (want DETAIL:FF)"))
 
 let explain_flag =
   let doc =
@@ -264,10 +293,11 @@ let explain_flag =
   Arg.(value & flag & info [ "explain" ] ~doc)
 
 let sim_cmd =
-  let run src scale pipeline ssp explain trace trace_events jobs =
+  let run src scale pipeline ssp explain trace trace_events jobs sample =
     guard @@ fun () ->
     with_trace trace @@ fun () ->
     with_trace_events trace_events @@ fun () ->
+    let sampling = parse_sampling sample in
     let config = config_of_pipeline pipeline in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
     let ssp = ssp || explain in
@@ -289,7 +319,7 @@ let sim_cmd =
       | _ -> None
     in
     let t0 = Unix.gettimeofday () in
-    let r = simulate ?attrib config prog in
+    let r = simulate ?attrib ?sampling config prog in
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Ssp_sim.Stats.pp r;
     Format.printf "; simulated in %.2fs (%.2f Mcycle/s)@." dt
@@ -306,7 +336,7 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ explain_flag
-      $ trace_arg $ trace_events_arg $ jobs_arg)
+      $ trace_arg $ trace_events_arg $ jobs_arg $ sample_arg)
 
 let explain_cmd =
   let run src scale pipeline json trace_events jobs =
@@ -441,7 +471,7 @@ let stats_cmd =
       $ cluster_arg $ json_flag)
 
 let chaos_cmd =
-  let run seed campaigns faults json jobs workloads =
+  let run seed campaigns faults json jobs corpus workloads =
     guard @@ fun () ->
     let specs =
       match faults with
@@ -451,16 +481,21 @@ let chaos_cmd =
         | Ok specs -> specs
         | Error msg -> fail2 msg)
     in
+    let named =
+      List.map
+        (fun n ->
+          match Ssp_workloads.Suite.find n with
+          | w -> w
+          | exception Not_found -> fail2 ("unknown workload " ^ n))
+        workloads
+    in
+    let generated =
+      if corpus > 0 then Ssp_workloads.Suite.corpus ~n:corpus ~seed else []
+    in
     let ws =
-      match workloads with
+      match named @ generated with
       | [] -> Ssp_workloads.Suite.all
-      | names ->
-        List.map
-          (fun n ->
-            match Ssp_workloads.Suite.find n with
-            | w -> w
-            | exception Not_found -> fail2 ("unknown workload " ^ n))
-          names
+      | ws -> ws
     in
     let report = Ssp_harness.Chaos.run ~jobs ~specs ~seed ~campaigns ws in
     Format.printf "%a@." Ssp_harness.Chaos.pp report;
@@ -497,6 +532,14 @@ let chaos_cmd =
     let doc = "Workloads to sweep (default: all)." in
     Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
   in
+  let corpus_arg =
+    let doc =
+      "Also sweep $(docv) generated workloads (gen:SEED .. gen:SEED+N-1, \
+       seeds starting at --seed): a seeded, replayable corpus grid \
+       differential-testing the adaptation pipeline."
+    in
+    Arg.(value & opt int 0 & info [ "corpus" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -507,7 +550,7 @@ let chaos_cmd =
           fault-free unadapted run. Exits 1 on any safety violation.")
     Term.(
       const run $ seed_arg $ campaigns_arg $ faults_arg $ json_arg $ jobs_arg
-      $ workloads_arg)
+      $ corpus_arg $ workloads_arg)
 
 let bench_cmd =
   let run () =

@@ -28,10 +28,10 @@ let config_for setting pipeline =
   if setting.cache_divisor = 1 then base
   else Config.scale_caches base setting.cache_divisor
 
-let simulate ?attrib (cfg : Config.t) prog =
+let simulate ?attrib ?sampling (cfg : Config.t) prog =
   match cfg.Config.pipeline with
-  | Config.In_order -> Ssp_sim.Inorder.run ?attrib cfg prog
-  | Config.Out_of_order -> Ssp_sim.Ooo.run ?attrib cfg prog
+  | Config.In_order -> Ssp_sim.Inorder.run ?attrib ?sampling cfg prog
+  | Config.Out_of_order -> Ssp_sim.Ooo.run ?attrib ?sampling cfg prog
 
 let adapt_and_run setting ~pipeline prog profile =
   let cfg = config_for setting pipeline in
@@ -67,6 +67,44 @@ let attributed_run ?(setting = reference) ~pipeline
     a_ssp = ssp;
     a_result = result;
     a_attrib = Ssp_sim.Attrib.summary attrib;
+  }
+
+let l1d_miss_rate (s : Ssp_sim.Stats.t) =
+  let accesses, l1 =
+    Ssp_ir.Iref.Tbl.fold
+      (fun _ (site : Ssp_sim.Stats.load_site) (a, h) ->
+        (a + site.Ssp_sim.Stats.accesses, h + site.Ssp_sim.Stats.l1))
+      s.Ssp_sim.Stats.loads (0, 0)
+  in
+  if accesses = 0 then 0.
+  else 1. -. (float_of_int l1 /. float_of_int accesses)
+
+type sampling_check = {
+  sc_name : string;
+  sc_full : Ssp_sim.Stats.t;
+  sc_sampled : Ssp_sim.Stats.t;
+  sc_ipc_err : float;
+  sc_l1d_err : float;
+  sc_outputs_equal : bool;
+}
+
+let sampling_accuracy ?(setting = quick)
+    ?(sampling = Ssp_sim.Smt.default_sampling) ~pipeline
+    (w : Ssp_workloads.Workload.t) =
+  let cfg = config_for setting pipeline in
+  let prog = Ssp_workloads.Workload.program w ~scale:setting.scale in
+  let full = simulate cfg prog in
+  let sampled = simulate ~sampling cfg prog in
+  let ipc = Ssp_sim.Stats.ipc in
+  {
+    sc_name = w.Ssp_workloads.Workload.name;
+    sc_full = full;
+    sc_sampled = sampled;
+    sc_ipc_err =
+      abs_float (ipc sampled -. ipc full) /. Float.max 1e-9 (ipc full);
+    sc_l1d_err = abs_float (l1d_miss_rate sampled -. l1d_miss_rate full);
+    sc_outputs_equal =
+      sampled.Ssp_sim.Stats.outputs = full.Ssp_sim.Stats.outputs;
   }
 
 (* The memo is shared by every figure; guard it so workloads primed from

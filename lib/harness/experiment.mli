@@ -74,3 +74,25 @@ val attributed_run :
 
 val config_for :
   setting -> Ssp_machine.Config.pipeline -> Ssp_machine.Config.t
+
+val l1d_miss_rate : Ssp_sim.Stats.t -> float
+(** Main-thread L1d miss rate aggregated over the per-site load stats. *)
+
+type sampling_check = {
+  sc_name : string;
+  sc_full : Ssp_sim.Stats.t;  (** full-detail run *)
+  sc_sampled : Ssp_sim.Stats.t;  (** sampled run, same binary *)
+  sc_ipc_err : float;  (** relative IPC error of the sampled run *)
+  sc_l1d_err : float;  (** absolute L1d-miss-rate difference *)
+  sc_outputs_equal : bool;  (** must always hold: FF is architecturally exact *)
+}
+
+val sampling_accuracy :
+  ?setting:setting ->
+  ?sampling:Ssp_sim.Smt.sampling ->
+  pipeline:Ssp_machine.Config.pipeline ->
+  Ssp_workloads.Workload.t ->
+  sampling_check
+(** Run one workload full-detail and sampled (default
+    {!Ssp_sim.Smt.default_sampling}, default [quick] setting) and compare:
+    the accuracy contract behind the sampled-simulation mode. *)

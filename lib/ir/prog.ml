@@ -39,14 +39,19 @@ let func_by_code_id t id =
 
 let funcs_in_order t = List.map (find_func t) t.func_order
 
+(* All parameters passed explicitly: a local closure here would allocate
+   on every taken branch of every simulated instruction. *)
+let rec block_index_from blocks label n i =
+  if i >= n then raise Not_found
+  else
+    let l = blocks.(i).label in
+    (* Labels flow from a single frontend intern point, so physical
+       equality almost always decides the comparison without a byte scan. *)
+    if l == label || String.equal l label then i
+    else block_index_from blocks label n (i + 1)
+
 let block_index f label =
-  let n = Array.length f.blocks in
-  let rec go i =
-    if i >= n then raise Not_found
-    else if String.equal f.blocks.(i).label label then i
-    else go (i + 1)
-  in
-  go 0
+  block_index_from f.blocks label (Array.length f.blocks) 0
 
 let instr t (r : Iref.t) =
   let f = find_func t r.fn in

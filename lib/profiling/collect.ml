@@ -79,27 +79,32 @@ let collect ?(config = Ssp_machine.Config.in_order) ?max_instrs prog =
     Hashtbl.replace tbl callee
       (1 + Option.value ~default:0 (Hashtbl.find_opt tbl callee))
   in
-  let hook (th : Ssp_sim.Thread.t) iref op ev =
+  let hook (env : Ssp_sim.Exec.env) (th : Ssp_sim.Thread.t) iref op ev =
     incr clock;
     profile.Profile.total_instrs <- profile.Profile.total_instrs + 1;
     bump_block iref;
     match ev with
-    | Ssp_sim.Exec.Ev_load { addr; _ } -> record_load iref addr
-    | Ssp_sim.Exec.Ev_store { addr; _ } ->
+    | Ssp_sim.Exec.Ev_load -> record_load iref env.Ssp_sim.Exec.ev_addr
+    | Ssp_sim.Exec.Ev_store ->
       (* Stores touch the hierarchy (write-allocate) but are not load
          candidates. *)
       incr clock;
-      ignore (Ssp_sim.Hierarchy.access hierarchy ~now:!clock addr)
-    | Ssp_sim.Exec.Ev_branch { taken } -> (
+      ignore
+        (Ssp_sim.Hierarchy.access hierarchy ~now:!clock
+           env.Ssp_sim.Exec.ev_addr)
+    | Ssp_sim.Exec.Ev_branch_taken | Ssp_sim.Exec.Ev_branch_not_taken -> (
       match op with
-      | Op.Brnz _ | Op.Brz _ -> record_branch iref taken
+      | Op.Brnz _ | Op.Brz _ ->
+        record_branch iref (ev = Ssp_sim.Exec.Ev_branch_taken)
       | Op.Br _ | _ -> ())
     | Ssp_sim.Exec.Ev_call ->
       (* The thread has already entered the callee. *)
       record_call iref th.Ssp_sim.Thread.fn
-    | Ssp_sim.Exec.Ev_plain | Ssp_sim.Exec.Ev_prefetch _
-    | Ssp_sim.Exec.Ev_ret | Ssp_sim.Exec.Ev_halt | Ssp_sim.Exec.Ev_kill
-    | Ssp_sim.Exec.Ev_chk _ | Ssp_sim.Exec.Ev_spawn _ | Ssp_sim.Exec.Ev_lib ->
+    | Ssp_sim.Exec.Ev_plain | Ssp_sim.Exec.Ev_prefetch | Ssp_sim.Exec.Ev_ret
+    | Ssp_sim.Exec.Ev_halt | Ssp_sim.Exec.Ev_kill
+    | Ssp_sim.Exec.Ev_chk_fired | Ssp_sim.Exec.Ev_chk_nofire
+    | Ssp_sim.Exec.Ev_spawned | Ssp_sim.Exec.Ev_spawn_denied
+    | Ssp_sim.Exec.Ev_lib ->
       ()
   in
   ignore (Ssp_sim.Funcsim.run ?max_instrs ~hook prog);

@@ -5,6 +5,9 @@ type t = {
   btb_tags : int array;  (* sets * ways, -1 invalid *)
   btb_lru : int array;
   btb_sets : int;
+  btb_set_mask : int;
+      (* [btb_sets - 1] when a power of two (set select is a [land]);
+         [-1] otherwise, falling back to [mod] *)
   btb_ways : int;
   mutable clock : int;
   mutable lookups : int;
@@ -21,6 +24,7 @@ let create (cfg : Ssp_machine.Config.t) =
     btb_tags = Array.make (sets * cfg.btb_ways) (-1);
     btb_lru = Array.make (sets * cfg.btb_ways) 0;
     btb_sets = sets;
+    btb_set_mask = (if sets > 0 && sets land (sets - 1) = 0 then sets - 1 else -1);
     btb_ways = cfg.btb_ways;
     clock = 0;
     lookups = 0;
@@ -41,30 +45,33 @@ let update t ~thread ~pc ~taken =
   t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
   t.history.(thread) <- ((t.history.(thread) lsl 1) lor Bool.to_int taken) land t.mask
 
+(* Way index holding [pc], or -1: an int result and explicit parameters
+   keep the per-branch hot path allocation-free (a local closure would
+   allocate per lookup). *)
+let rec scan_btb tags base pc ways w =
+  if w >= ways then -1
+  else if tags.(base + w) = pc then base + w
+  else scan_btb tags base pc ways (w + 1)
+
+let btb_set t ~pc =
+  if t.btb_set_mask >= 0 then pc land t.btb_set_mask else pc mod t.btb_sets
+
 let btb_find t ~pc =
-  let s = pc mod t.btb_sets in
-  let base = s * t.btb_ways in
-  let rec go w =
-    if w >= t.btb_ways then None
-    else if t.btb_tags.(base + w) = pc then Some (base + w)
-    else go (w + 1)
-  in
-  go 0
+  let base = btb_set t ~pc * t.btb_ways in
+  scan_btb t.btb_tags base pc t.btb_ways 0
 
 let btb_lookup t ~pc =
-  match btb_find t ~pc with
-  | Some i ->
+  let i = btb_find t ~pc in
+  if i >= 0 then begin
     t.clock <- t.clock + 1;
     t.btb_lru.(i) <- t.clock;
     true
-  | None -> false
+  end
+  else false
 
 let btb_insert t ~pc =
-  match btb_find t ~pc with
-  | Some _ -> ()
-  | None ->
-    let s = pc mod t.btb_sets in
-    let base = s * t.btb_ways in
+  if btb_find t ~pc < 0 then begin
+    let base = btb_set t ~pc * t.btb_ways in
     let victim = ref base in
     for w = 1 to t.btb_ways - 1 do
       if t.btb_lru.(base + w) < t.btb_lru.(!victim) then victim := base + w
@@ -72,6 +79,7 @@ let btb_insert t ~pc =
     t.clock <- t.clock + 1;
     t.btb_tags.(!victim) <- pc;
     t.btb_lru.(!victim) <- t.clock
+  end
 
 let mispredicts t = t.mispredicts
 let lookups t = t.lookups

@@ -8,7 +8,10 @@ type t = {
          back to [mod] so odd set counts keep their exact behavior *)
   ways : int;
   line_bits : int;
-  tags : int64 array;  (* sets * ways, -1 = invalid *)
+  tags : int array;  (* sets * ways, -1 = invalid; line numbers as native
+                        ints — the address space is 62-bit (Memory masks
+                        with [land max_int]), so probes avoid int64 boxing
+                        and compare immediates *)
   lru : int array;  (* higher = more recent *)
   mutable clock : int;
   mutable accesses : int;
@@ -27,7 +30,7 @@ let create ?name (g : Ssp_machine.Config.cache_geom) =
     set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
     ways = g.ways;
     line_bits;
-    tags = Array.make (sets * g.ways) (-1L);
+    tags = Array.make (sets * g.ways) (-1);
     lru = Array.make (sets * g.ways) 0;
     clock = 0;
     accesses = 0;
@@ -38,26 +41,26 @@ let create ?name (g : Ssp_machine.Config.cache_geom) =
       | None -> None);
   }
 
-let line_of t addr = Int64.shift_right_logical addr t.line_bits
+let line_of_i t a = (a land max_int) lsr t.line_bits
+let line_of t addr = line_of_i t (Int64.to_int addr)
 
 let set_of t line =
-  if t.set_mask >= 0 then Int64.to_int line land t.set_mask
-  else (Int64.to_int line land max_int) mod t.sets
+  if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
 
-(* Index of the way holding [addr]'s line, or -1 on a miss. Returning an
-   int keeps the probe loop allocation-free (this runs once or more per
-   simulated cycle). *)
+(* Index of the way holding [addr]'s line, or -1 on a miss. A top-level
+   scan with explicit parameters: the probe loop allocates nothing (this
+   runs once or more per simulated cycle, and a local closure would
+   allocate per call). *)
+let rec scan_ways tags line lim i =
+  if i >= lim then -1
+  else if Array.unsafe_get tags i = line then i
+  else scan_ways tags line lim (i + 1)
+
 let find_idx t addr =
   let line = line_of t addr in
   let s = set_of t line in
   let base = s * t.ways in
-  let lim = base + t.ways in
-  let rec go i =
-    if i >= lim then -1
-    else if Int64.equal (Array.unsafe_get t.tags i) line then i
-    else go (i + 1)
-  in
-  go base
+  scan_ways t.tags line (base + t.ways) base
 
 let probe t addr = find_idx t addr >= 0
 
@@ -102,8 +105,54 @@ let access t addr =
     false
   end
 
+(* [access] and, on a miss, [install] in one set scan — the functional-
+   warming hot path. State effects match access-then-install exactly up to
+   LRU clock values (a hit is touched once instead of twice; relative
+   recency order, tags, and hit/miss counts are identical). *)
+let warm_access_i t a =
+  t.accesses <- t.accesses + 1;
+  let line = line_of_i t a in
+  let s = set_of t line in
+  let base = s * t.ways in
+  let lim = base + t.ways in
+  let tags = t.tags and lru = t.lru in
+  (* One pass over the set: find the line and track the LRU victim at the
+     same time, so a miss needs no second scan. *)
+  let hit = ref (-1) in
+  let victim = ref base in
+  let vlru = ref max_int in
+  let i = ref base in
+  while !hit < 0 && !i < lim do
+    if Array.unsafe_get tags !i = line then hit := !i
+    else begin
+      let l = Array.unsafe_get lru !i in
+      if l < !vlru then begin
+        vlru := l;
+        victim := !i
+      end;
+      incr i
+    end
+  done;
+  t.clock <- t.clock + 1;
+  if !hit >= 0 then begin
+    lru.(!hit) <- t.clock;
+    (match t.tel with Some (h, _) -> T.incr h | None -> ());
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (match t.tel with Some (_, m) -> T.incr m | None -> ());
+    tags.(!victim) <- line;
+    lru.(!victim) <- t.clock;
+    false
+  end
+
+let warm_access t addr = warm_access_i t (Int64.to_int addr)
+
 let line_addr t addr =
-  Int64.shift_left (line_of t addr) t.line_bits
+  Int64.shift_left (Int64.of_int (line_of t addr)) t.line_bits
+
+let line_bits t = t.line_bits
 
 let stats_accesses t = t.accesses
 let stats_misses t = t.misses

@@ -21,7 +21,21 @@ val install : t -> int64 -> unit
 val access : t -> int64 -> bool
 (** [probe]; on hit also [touch]. Returns whether it hit. *)
 
+val warm_access : t -> int64 -> bool
+(** [access], and on a miss also [install], in one set scan: the
+    functional-warming hot path. Equivalent to [access] followed by
+    [install] up to LRU clock values (identical tags, recency order, and
+    hit/miss counts). *)
+
+val warm_access_i : t -> int -> bool
+(** [warm_access] with the address as a native int (62-bit address
+    space) — no int64 boxing on the warming path. *)
+
 val line_addr : t -> int64 -> int64
+
+val line_bits : t -> int
+(** log2 of the line size in bytes. *)
+
 val stats_accesses : t -> int
 val stats_misses : t -> int
 val reset_stats : t -> unit

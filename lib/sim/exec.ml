@@ -6,127 +6,174 @@ type env = {
   chk_free : unit -> bool;
   spawn : src:Ssp_ir.Iref.t -> fn:string -> blk:int -> live_in:int64 array -> bool;
   output : int64 -> unit;
+  mutable ev_addr : int64;
 }
 
+(* Events are all constant constructors (immediates): returning one from the
+   per-instruction hot path allocates nothing. The address of the last
+   load/store/prefetch is passed out of band in [env.ev_addr] — assigning an
+   int64 that [step] computed anyway stores the existing box. *)
 type event =
   | Ev_plain
-  | Ev_load of { addr : int64; width : int }
-  | Ev_store of { addr : int64; width : int }
-  | Ev_prefetch of int64
-  | Ev_branch of { taken : bool }
+  | Ev_load
+  | Ev_store
+  | Ev_prefetch
+  | Ev_branch_taken
+  | Ev_branch_not_taken
   | Ev_call
   | Ev_ret
   | Ev_halt
   | Ev_kill
-  | Ev_chk of { fired : bool }
-  | Ev_spawn of { accepted : bool }
+  | Ev_chk_fired
+  | Ev_chk_nofire
+  | Ev_spawned
+  | Ev_spawn_denied
   | Ev_lib
 
-let normalize_pc prog (t : Thread.t) =
-  let rec go () =
+(* Function lookup memoized per thread: a thread's [fn] only changes at
+   calls/returns/spawns, so the front physical-equality probe hits on
+   nearly every instruction and the Hashtbl lookup disappears from the hot
+   path. Four move-to-front slots: a tight loop calling through a couple
+   of helpers cycles over several functions, and fewer slots thrash back
+   to the Hashtbl on every call and return. *)
+let memo_promote (t : Thread.t) i f =
+  let fns = t.cached_fns and fs = t.cached_funcs in
+  for j = i downto 1 do
+    fns.(j) <- fns.(j - 1);
+    fs.(j) <- fs.(j - 1)
+  done;
+  fns.(0) <- t.fn;
+  fs.(0) <- f
+
+let func_of prog (t : Thread.t) =
+  let fns = t.cached_fns and fn = t.fn in
+  if Array.unsafe_get fns 0 == fn then Array.unsafe_get t.cached_funcs 0
+  else if Array.unsafe_get fns 1 == fn then begin
+    let f = t.cached_funcs.(1) in
+    memo_promote t 1 f;
+    f
+  end
+  else if Array.unsafe_get fns 2 == fn then begin
+    let f = t.cached_funcs.(2) in
+    memo_promote t 2 f;
+    f
+  end
+  else if Array.unsafe_get fns 3 == fn then begin
+    let f = t.cached_funcs.(3) in
+    memo_promote t 3 f;
+    f
+  end
+  else begin
     let f = Ssp_ir.Prog.find_func prog t.fn in
-    if t.blk < Array.length f.blocks
-       && t.ins >= Array.length f.blocks.(t.blk).ops
-    then begin
-      t.blk <- t.blk + 1;
-      t.ins <- 0;
-      go ()
-    end
-  in
-  go ()
+    memo_promote t 3 f;
+    f
+  end
+
+let normalize_pc prog (t : Thread.t) =
+  let f = func_of prog t in
+  let blocks = f.Ssp_ir.Prog.blocks in
+  let n = Array.length blocks in
+  while t.blk < n && t.ins >= Array.length blocks.(t.blk).ops do
+    t.blk <- t.blk + 1;
+    t.ins <- 0
+  done
 
 let instr_at prog (t : Thread.t) =
   normalize_pc prog t;
-  let f = Ssp_ir.Prog.find_func prog t.fn in
-  f.blocks.(t.blk).ops.(t.ins)
+  let f = func_of prog t in
+  f.Ssp_ir.Prog.blocks.(t.blk).ops.(t.ins)
 
-let sign_extend v width =
-  match width with
-  | 8 -> v
-  | _ ->
-    (* Loads zero-extend (documented in Op); value already masked. *)
-    v
-
-let step env (t : Thread.t) =
-  normalize_pc env.prog t;
-  let f = Ssp_ir.Prog.find_func env.prog t.fn in
-  let op = f.blocks.(t.blk).ops.(t.ins) in
+(* The per-instruction dispatch allocates nothing on the common paths: no
+   closures (the old [next]/[jump]/[get]/[set] bindings cost four closure
+   allocations per call), and direct [Thread.get]/[Thread.set] applications
+   that the compiler can inline. [step_op] is the fetch-free core for
+   callers that already normalized the pc and hold the function and
+   instruction word (the cycle models and the fast-forward loop do, for
+   their own bookkeeping); [step] is the self-contained form. *)
+let step_op env (t : Thread.t) (f : Ssp_ir.Prog.func) (op : Op.t) =
   t.instrs <- t.instrs + 1;
-  let next () = t.ins <- t.ins + 1 in
-  let jump label =
-    t.blk <- Ssp_ir.Prog.block_index f label;
-    t.ins <- 0
-  in
-  let get = Thread.get t and set = Thread.set t in
   match op with
   | Op.Nop ->
-    next ();
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Movi (d, i) ->
-    set d i;
-    next ();
+    Thread.set t d i;
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Mov (d, s) ->
-    set d (get s);
-    next ();
+    Thread.set t d (Thread.get t s);
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Alu (o, d, a, b) ->
-    set d (Op.alu_eval o (get a) (get b));
-    next ();
+    Thread.set t d (Op.alu_eval o (Thread.get t a) (Thread.get t b));
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Alui (o, d, a, i) ->
-    set d (Op.alu_eval o (get a) i);
-    next ();
+    Thread.set t d (Op.alu_eval o (Thread.get t a) i);
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Cmp (o, d, a, b) ->
-    set d (if Op.cmp_eval o (get a) (get b) then 1L else 0L);
-    next ();
+    Thread.set t d
+      (if Op.cmp_eval o (Thread.get t a) (Thread.get t b) then 1L else 0L);
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Cmpi (o, d, a, i) ->
-    set d (if Op.cmp_eval o (get a) i then 1L else 0L);
-    next ();
+    Thread.set t d (if Op.cmp_eval o (Thread.get t a) i then 1L else 0L);
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Load (w, d, b, off) ->
-    let addr = Int64.add (get b) (Int64.of_int off) in
-    let width = Op.width_bytes w in
-    set d (sign_extend (Memory.read env.mem addr width) width);
-    next ();
-    Ev_load { addr; width }
+    let addr = Int64.add (Thread.get t b) (Int64.of_int off) in
+    (* Loads zero-extend (documented in Op); value already masked. *)
+    Thread.set t d (Memory.read env.mem addr (Op.width_bytes w));
+    t.ins <- t.ins + 1;
+    env.ev_addr <- addr;
+    Ev_load
   | Op.Store (w, s, b, off) ->
-    let addr = Int64.add (get b) (Int64.of_int off) in
-    let width = Op.width_bytes w in
-    if not t.speculative then Memory.write env.mem addr width (get s);
-    next ();
-    Ev_store { addr; width }
+    let addr = Int64.add (Thread.get t b) (Int64.of_int off) in
+    if not t.speculative then
+      Memory.write env.mem addr (Op.width_bytes w) (Thread.get t s);
+    t.ins <- t.ins + 1;
+    env.ev_addr <- addr;
+    Ev_store
   | Op.Lfetch (b, off) ->
-    let addr = Int64.add (get b) (Int64.of_int off) in
-    next ();
-    Ev_prefetch addr
+    let addr = Int64.add (Thread.get t b) (Int64.of_int off) in
+    t.ins <- t.ins + 1;
+    env.ev_addr <- addr;
+    Ev_prefetch
   | Op.Br l ->
-    jump l;
-    Ev_branch { taken = true }
+    t.blk <- Ssp_ir.Prog.block_index f l;
+    t.ins <- 0;
+    Ev_branch_taken
   | Op.Brnz (s, l) ->
-    let taken = not (Int64.equal (get s) 0L) in
-    if taken then jump l else next ();
-    Ev_branch { taken }
+    if not (Int64.equal (Thread.get t s) 0L) then begin
+      t.blk <- Ssp_ir.Prog.block_index f l;
+      t.ins <- 0;
+      Ev_branch_taken
+    end
+    else begin
+      t.ins <- t.ins + 1;
+      Ev_branch_not_taken
+    end
   | Op.Brz (s, l) ->
-    let taken = Int64.equal (get s) 0L in
-    if taken then jump l else next ();
-    Ev_branch { taken }
+    if Int64.equal (Thread.get t s) 0L then begin
+      t.blk <- Ssp_ir.Prog.block_index f l;
+      t.ins <- 0;
+      Ev_branch_taken
+    end
+    else begin
+      t.ins <- t.ins + 1;
+      Ev_branch_not_taken
+    end
   | Op.Call (callee, _) ->
-    let saved =
-      Array.sub t.regs Reg.first_stacked (Reg.count - Reg.first_stacked)
-    in
-    t.frames <-
-      { Thread.saved_stacked = saved; ret_blk = t.blk; ret_ins = t.ins + 1;
-        ret_fn = t.fn }
-      :: t.frames;
+    let fr = Thread.push_frame t ~ret_blk:t.blk ~ret_ins:(t.ins + 1) in
+    Array.blit t.regs Reg.first_stacked fr.Thread.saved_stacked 0
+      (Reg.count - Reg.first_stacked);
     t.fn <- callee;
     t.blk <- 0;
     t.ins <- 0;
     Ev_call
   | Op.Icall (r, _) -> (
-    let id = Int64.to_int (get r) in
+    let id = Int64.to_int (Thread.get t r) in
     match Ssp_ir.Prog.func_by_code_id env.prog id with
     | None ->
       (* An indirect call through garbage: speculative threads tolerate it
@@ -134,34 +181,32 @@ let step env (t : Thread.t) =
       if not t.speculative then
         failwith
           (Printf.sprintf "Exec: indirect call to unknown code id %d" id);
-      next ();
+      t.ins <- t.ins + 1;
       Ev_plain
     | Some callee ->
-      let saved =
-        Array.sub t.regs Reg.first_stacked (Reg.count - Reg.first_stacked)
-      in
-      t.frames <-
-        { Thread.saved_stacked = saved; ret_blk = t.blk; ret_ins = t.ins + 1;
-          ret_fn = t.fn }
-        :: t.frames;
+      let fr = Thread.push_frame t ~ret_blk:t.blk ~ret_ins:(t.ins + 1) in
+      Array.blit t.regs Reg.first_stacked fr.Thread.saved_stacked 0
+        (Reg.count - Reg.first_stacked);
       t.fn <- callee.Ssp_ir.Prog.name;
       t.blk <- 0;
       t.ins <- 0;
       Ev_call)
-  | Op.Ret -> (
-    match t.frames with
-    | [] ->
+  | Op.Ret ->
+    if t.frame_n = 0 then begin
       (* Returning from the outermost frame ends the thread. *)
       t.active <- false;
       if t.speculative then Ev_kill else Ev_halt
-    | fr :: rest ->
+    end
+    else begin
+      t.frame_n <- t.frame_n - 1;
+      let fr = t.frames.(t.frame_n) in
       Array.blit fr.Thread.saved_stacked 0 t.regs Reg.first_stacked
-        (Reg.count - Reg.first_stacked);
+        fr.Thread.saved_n;
       t.fn <- fr.Thread.ret_fn;
       t.blk <- fr.Thread.ret_blk;
       t.ins <- fr.Thread.ret_ins;
-      t.frames <- rest;
-      Ev_ret)
+      Ev_ret
+    end
   | Op.Halt ->
     t.active <- false;
     Ev_halt
@@ -169,32 +214,41 @@ let step env (t : Thread.t) =
     t.active <- false;
     Ev_kill
   | Op.Chk_c stub ->
-    let fired = env.chk_free () in
-    if fired then jump stub else next ();
-    Ev_chk { fired }
+    if env.chk_free () then begin
+      t.blk <- Ssp_ir.Prog.block_index f stub;
+      t.ins <- 0;
+      Ev_chk_fired
+    end
+    else begin
+      t.ins <- t.ins + 1;
+      Ev_chk_nofire
+    end
   | Op.Spawn (fn, label) ->
     let target = Ssp_ir.Prog.find_func env.prog fn in
     let blk = Ssp_ir.Prog.block_index target label in
     let src = { Ssp_ir.Iref.fn = t.fn; blk = t.blk; ins = t.ins } in
     let accepted = env.spawn ~src ~fn ~blk ~live_in:t.lib_out in
-    next ();
-    Ev_spawn { accepted }
+    t.ins <- t.ins + 1;
+    if accepted then Ev_spawned else Ev_spawn_denied
   | Op.Lib_st (slot, s) ->
-    if slot >= 0 && slot < Thread.lib_slots then t.lib_out.(slot) <- get s;
-    next ();
+    if slot >= 0 && slot < Thread.lib_slots then
+      t.lib_out.(slot) <- Thread.get t s;
+    t.ins <- t.ins + 1;
     Ev_lib
   | Op.Lib_ld (d, slot) ->
-    if slot >= 0 && slot < Thread.lib_slots then set d t.live_in.(slot)
-    else set d 0L;
-    next ();
+    if slot >= 0 && slot < Thread.lib_slots then
+      Thread.set t d t.live_in.(slot)
+    else Thread.set t d 0L;
+    t.ins <- t.ins + 1;
     Ev_lib
   | Op.Alloc (d, s) ->
-    if t.speculative then set d 0L else set d (Memory.alloc env.mem (get s));
-    next ();
+    if t.speculative then Thread.set t d 0L
+    else Thread.set t d (Memory.alloc env.mem (Thread.get t s));
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Print s ->
-    if not t.speculative then env.output (get s);
-    next ();
+    if not t.speculative then env.output (Thread.get t s);
+    t.ins <- t.ins + 1;
     Ev_plain
   | Op.Rand d ->
     (* xorshift64*; deterministic per thread. *)
@@ -203,6 +257,11 @@ let step env (t : Thread.t) =
     let x = Int64.logxor x (Int64.shift_right_logical x 7) in
     let x = Int64.logxor x (Int64.shift_left x 17) in
     t.rand_state <- x;
-    set d (Int64.shift_right_logical x 1);
-    next ();
+    Thread.set t d (Int64.shift_right_logical x 1);
+    t.ins <- t.ins + 1;
     Ev_plain
+
+let step env (t : Thread.t) =
+  normalize_pc env.prog t;
+  let f = func_of env.prog t in
+  step_op env t f f.Ssp_ir.Prog.blocks.(t.blk).ops.(t.ins)

@@ -21,20 +21,29 @@ type env = {
       (** try to bind a free context; false = ignored. [src] is the
           spawning [Spawn] instruction (for attribution). *)
   output : int64 -> unit;  (** observable output of [Print] *)
+  mutable ev_addr : int64;
+      (** effective address of the most recent [Ev_load]/[Ev_store]/
+          [Ev_prefetch]; undefined after other events *)
 }
 
+(** All constructors are constant (immediate values): the per-instruction
+    hot path allocates nothing to report its event. Addresses travel in
+    [env.ev_addr]. *)
 type event =
   | Ev_plain
-  | Ev_load of { addr : int64; width : int }
-  | Ev_store of { addr : int64; width : int }
-  | Ev_prefetch of int64
-  | Ev_branch of { taken : bool }
+  | Ev_load  (** address in [env.ev_addr] *)
+  | Ev_store  (** address in [env.ev_addr] *)
+  | Ev_prefetch  (** address in [env.ev_addr] *)
+  | Ev_branch_taken
+  | Ev_branch_not_taken
   | Ev_call
   | Ev_ret
   | Ev_halt
   | Ev_kill
-  | Ev_chk of { fired : bool }
-  | Ev_spawn of { accepted : bool }
+  | Ev_chk_fired
+  | Ev_chk_nofire
+  | Ev_spawned
+  | Ev_spawn_denied
   | Ev_lib  (** live-in buffer access *)
 
 val step : env -> Thread.t -> event
@@ -42,6 +51,17 @@ val step : env -> Thread.t -> event
     thread must be active and its pc valid ([blk]/[ins] in range); a pc one
     past the last instruction of a block falls through to the next block
     first. *)
+
+val step_op : env -> Thread.t -> Ssp_ir.Prog.func -> Ssp_isa.Op.t -> event
+(** [step] without the pc normalization and instruction fetch: the caller
+    passes the thread's current function and the instruction at its
+    (already normalized) pc. The cycle models and the fast-forward loop
+    fetch the instruction anyway for their own bookkeeping; this avoids
+    doing it twice per instruction. *)
+
+val func_of : Ssp_ir.Prog.t -> Thread.t -> Ssp_ir.Prog.func
+(** The thread's current function, memoized in the thread (physical
+    equality on [fn]); allocation-free on the hit path. *)
 
 val instr_at : Ssp_ir.Prog.t -> Thread.t -> Ssp_isa.Op.t
 (** The instruction the thread will execute next (after fall-through

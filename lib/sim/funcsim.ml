@@ -41,6 +41,7 @@ let run ?(max_instrs = 200_000_000) ?(spawning = false) ?hook prog =
               incr spawns;
               true);
       output = (fun v -> outputs := v :: !outputs);
+      ev_addr = 0L;
     }
   in
   let step_thread th =
@@ -51,7 +52,7 @@ let run ?(max_instrs = 200_000_000) ?(spawning = false) ?hook prog =
       let iref = Ssp_ir.Iref.make th.Thread.fn th.Thread.blk th.Thread.ins in
       let op = Exec.instr_at prog th in
       let ev = Exec.step env th in
-      h th iref op ev;
+      h env th iref op ev;
       ev
   in
   let watchdog = 1_000_000 in

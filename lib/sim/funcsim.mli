@@ -21,11 +21,14 @@ type result = {
 val run :
   ?max_instrs:int ->
   ?spawning:bool ->
-  ?hook:(Thread.t -> Ssp_ir.Iref.t -> Ssp_isa.Op.t -> Exec.event -> unit) ->
+  ?hook:
+    (Exec.env -> Thread.t -> Ssp_ir.Iref.t -> Ssp_isa.Op.t -> Exec.event -> unit) ->
   Ssp_ir.Prog.t ->
   result
 (** Execute from the program entry. [max_instrs] (default 200M) bounds the
-    main thread; exceeding it raises [Failure]. The [hook] fires after each
+    main thread; exceeding it raises [Failure]. The [hook] receives the
+    execution environment first (event payloads such as the effective
+    address live in [env.ev_addr]) and fires after each
     executed instruction of {e any} thread. With [spawning] (default false)
     a spawned thread runs for a bounded slice of instructions interleaved
     with the main thread, mimicking concurrency coarsely; at most 3

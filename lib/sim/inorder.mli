@@ -15,6 +15,18 @@
     threads never update memory and are reclaimed by [kill] or the
     watchdog. Simulation ends when the main thread halts. *)
 
-val run : ?attrib:Attrib.t -> Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+val run :
+  ?attrib:Attrib.t ->
+  ?sampling:Smt.sampling ->
+  Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Stats.t
 (** [attrib] attaches prefetch-lifecycle attribution; recording is passive
-    and never changes cycle counts or outputs. *)
+    and never changes cycle counts or outputs.
+
+    [sampling] enables sampled simulation: [detail_window] cycle-accurate
+    main-thread instructions alternate with [ff_window] fast-forwarded,
+    functionally-warmed ones; [cycles] is extrapolated so the sampled IPC
+    equals the detailed-window IPC. Outputs are byte-identical to a full
+    run (fast-forward is architecturally exact); per-site load stats and
+    cycle categories cover the detailed windows only. *)

@@ -30,8 +30,12 @@ let page t id =
     p
   end
 
-let read t addr bytes =
-  let a = Int64.to_int addr land max_int in
+(* [read_i]/[write_i] take the address as a native int (the address space
+   is 62-bit: [Int64.to_int addr land max_int] everywhere) — the decoded
+   fast-forward loop computes addresses in int arithmetic and skips the
+   int64 boxing entirely. *)
+let read_i t a bytes =
+  let a = a land max_int in
   let off = a land (page_size - 1) in
   if off + bytes <= page_size then begin
     let p = page t (a lsr page_bits) in
@@ -55,8 +59,10 @@ let read t addr bytes =
     go (bytes - 1) 0L
   end
 
-let write t addr bytes v =
-  let a = Int64.to_int addr land max_int in
+let read t addr bytes = read_i t (Int64.to_int addr) bytes
+
+let write_i t a bytes v =
+  let a = a land max_int in
   let off = a land (page_size - 1) in
   if off + bytes <= page_size then begin
     let p = page t (a lsr page_bits) in
@@ -75,6 +81,8 @@ let write t addr bytes v =
         (b land (page_size - 1))
         (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
     done
+
+let write t addr bytes v = write_i t (Int64.to_int addr) bytes v
 
 let alloc t size =
   let size = Int64.logand (Int64.add size 7L) (Int64.lognot 7L) in

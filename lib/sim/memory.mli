@@ -11,6 +11,13 @@ val read : t -> int64 -> int -> int64
 
 val write : t -> int64 -> int -> int64 -> unit
 
+val read_i : t -> int -> int -> int64
+(** [read] with the address already truncated to the native-int 62-bit
+    address space — the decoded fast-forward loop computes addresses in
+    int arithmetic to avoid int64 boxing. *)
+
+val write_i : t -> int -> int -> int64 -> unit
+
 val alloc : t -> int64 -> int64
 (** Bump-allocate the given number of bytes (8-byte aligned); returns the
     base address. *)

@@ -6,16 +6,21 @@ module T = Ssp_telemetry.Telemetry
    instructions whose execution starts at a future cycle. *)
 let rs_horizon = 4096
 
+(* The per-thread ROB is a preallocated ring of completion cycles in
+   program order (dispatch refuses to exceed [rob_entries], so the ring
+   never overflows). *)
 type othread = {
   ctx : Smt.context;
-  rob : int Queue.t;  (* completion cycles, program order *)
+  rob : int array;  (* completion cycles, program order *)
+  mutable rob_head : int;
+  mutable rob_n : int;
   future_starts : int array;
   mutable waiting : int;  (* dispatched but not yet started *)
   mutable retired_this_cycle : int;
   mutable rob_max : int;  (* max completion among in-flight entries *)
 }
 
-let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
+let run ?attrib ?sampling (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
   T.with_span "sim.ooo" @@ fun () ->
   let m = Smt.create ?attrib cfg prog in
   let stats = m.Smt.stats in
@@ -35,15 +40,19 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
             && Ssp_fault.Fault.fire Smt.site_chain_break
           then false
           else Smt.try_spawn m ~now:!now ~src ~fn ~blk ~live_in);
-      output = (fun v -> stats.Stats.outputs <- v :: stats.Stats.outputs);
+      output = (fun v -> Stats.push_output stats v);
+      ev_addr = 0L;
     }
   in
+  let rob_cap = max 1 cfg.Config.rob_entries in
   let oths =
     Array.map
       (fun ctx ->
         {
           ctx;
-          rob = Queue.create ();
+          rob = Array.make rob_cap 0;
+          rob_head = 0;
+          rob_n = 0;
           future_starts = Array.make rs_horizon 0;
           waiting = 0;
           retired_this_cycle = 0;
@@ -51,6 +60,25 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
         })
       m.Smt.ctxs
   in
+  (* Scratch for allocation-free operand queries. *)
+  let ubuf = Array.make Op.scratch_regs 0 in
+  let dbuf = Array.make Op.scratch_regs 0 in
+  (* Sampled-simulation bookkeeping. *)
+  let detail_left = ref max_int in
+  let ff_total = ref 0 in
+  let est_extra = ref 0.0 in
+  (* Local (per-window) CPI extrapolation with per-window detailed
+     warming — see Inorder. *)
+  let win_cycles0 = ref 0 in
+  let win_instrs0 = ref 0 in
+  let measuring = ref false in
+  let jst = ref Smt.jitter_seed in
+  (* Centered extrapolation — see Inorder. *)
+  let pending_k = ref 0 in
+  let prev_cpi = ref 0.0 in
+  (match sampling with
+  | Some s -> detail_left := s.Smt.detail_window
+  | None -> ());
   (* Shared memory ports: per-cycle usage ring (cycle-tagged), so a port
      reserved for a distant future cycle never blocks an earlier one. *)
   let port_ring = 8192 in
@@ -82,15 +110,15 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
   let retire ot =
     let n = ref 0 in
     let continue_ = ref true in
-    while !continue_ && !n < cfg.Config.retire_width
-          && not (Queue.is_empty ot.rob) do
-      if Queue.peek ot.rob <= !now then begin
-        ignore (Queue.pop ot.rob);
+    while !continue_ && !n < cfg.Config.retire_width && ot.rob_n > 0 do
+      if ot.rob.(ot.rob_head) <= !now then begin
+        ot.rob_head <- (ot.rob_head + 1) mod rob_cap;
+        ot.rob_n <- ot.rob_n - 1;
         incr n
       end
       else continue_ := false
     done;
-    if Queue.is_empty ot.rob then ot.rob_max <- !now;
+    if ot.rob_n = 0 then ot.rob_max <- !now;
     ot.retired_this_cycle <- !n
   in
   (* Dispatch one instruction of the thread; false = dispatch must stop. *)
@@ -99,104 +127,116 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     stepping := ctx;
     let th = ctx.Smt.thread in
     if not th.Thread.active then false
-    else if Queue.length ot.rob >= cfg.Config.rob_entries then false
+    else if ot.rob_n >= cfg.Config.rob_entries then false
     else begin
       Exec.normalize_pc prog th;
-      let iref = Ssp_ir.Iref.make th.Thread.fn th.Thread.blk th.Thread.ins in
-      let op = Exec.instr_at prog th in
-      let ready_at =
-        List.fold_left
-          (fun acc r -> max acc ctx.Smt.reg_ready.(r))
-          !now (Op.uses op)
-      in
+      let e = Smt.layout_of m ctx in
+      let blk0 = th.Thread.blk and ins0 = th.Thread.ins in
+      let pcid = e.Layout.block_base.(blk0) + ins0 in
+      let op = e.Layout.func.Ssp_ir.Prog.blocks.(blk0).ops.(ins0) in
+      let nu = Op.uses_into op ubuf in
+      let ready_at = ref !now in
+      for i = 0 to nu - 1 do
+        if ctx.Smt.reg_ready.(ubuf.(i)) > !ready_at then
+          ready_at := ctx.Smt.reg_ready.(ubuf.(i))
+      done;
+      let ready_at = !ready_at in
       if ready_at > !now && ot.waiting >= cfg.Config.rs_entries then false
       else if ready_at - !now >= rs_horizon then false
       else begin
-        let pcid =
-          Smt.pc_id m.Smt.pcs ~fn:th.Thread.fn ~blk:th.Thread.blk
-            ~ins:th.Thread.ins
+        let is_cond =
+          match op with Op.Brnz _ | Op.Brz _ -> true | _ -> false
         in
         let predicted =
-          match op with
-          | Op.Brnz _ | Op.Brz _ ->
-            Some (Bpred.predict m.Smt.bp ~thread:th.Thread.id ~pc:pcid)
-          | _ -> None
+          is_cond && Bpred.predict m.Smt.bp ~thread:th.Thread.id ~pc:pcid
         in
         let ev = Exec.step env th in
-        if th.Thread.id = 0 then
-          stats.Stats.main_instrs <- stats.Stats.main_instrs + 1
+        if th.Thread.id = 0 then begin
+          stats.Stats.main_instrs <- stats.Stats.main_instrs + 1;
+          decr detail_left
+        end
         else stats.Stats.spec_instrs <- stats.Stats.spec_instrs + 1;
         let base_latency = max 1 (Latency.of_op op) in
         let complete = ref (ready_at + base_latency) in
         (match ev with
-        | Exec.Ev_load { addr; _ } ->
+        | Exec.Ev_load ->
           let start = acquire_port ready_at in
-          let o = Smt.demand_access m ~now:start ~ctx ~iref addr in
+          let o = Smt.demand_access m ~now:start ~ctx ~pc:pcid env.Exec.ev_addr in
           complete := o.Hierarchy.ready
-        | Exec.Ev_store { addr; _ } ->
+        | Exec.Ev_store -> (
           let start = acquire_port ready_at in
-          ignore
-            (Hierarchy.access m.Smt.hier ~now:start
-               ~demand_main:(th.Thread.id = 0) addr);
-          complete := start + 1
-        | Exec.Ev_prefetch addr ->
+          (match m.Smt.attrib with
+          | None ->
+            ignore
+              (Hierarchy.demand m.Smt.hier ~now:start ~low_priority:false
+                 env.Exec.ev_addr)
+          | Some _ ->
+            ignore
+              (Hierarchy.access m.Smt.hier ~now:start
+                 ~demand_main:(th.Thread.id = 0) env.Exec.ev_addr));
+          complete := start + 1)
+        | Exec.Ev_prefetch -> (
           stats.Stats.prefetches <- stats.Stats.prefetches + 1;
           let start = acquire_port ready_at in
-          ignore
-            (Hierarchy.access m.Smt.hier ~now:start ~prefetch:true
-               ?pf_tag:(Smt.pf_tag_of m ctx iref) addr);
-          complete := start + 1
-        | Exec.Ev_branch { taken } -> (
-          match predicted with
-          | Some p ->
+          (match m.Smt.attrib with
+          | None ->
+            ignore (Hierarchy.prefetch m.Smt.hier ~now:start env.Exec.ev_addr)
+          | Some _ ->
+            let iref = Layout.iref_of m.Smt.lay pcid in
+            ignore
+              (Hierarchy.access m.Smt.hier ~now:start ~prefetch:true
+                 ?pf_tag:(Smt.pf_tag_of m ctx iref) env.Exec.ev_addr));
+          complete := start + 1)
+        | Exec.Ev_branch_taken | Exec.Ev_branch_not_taken ->
+          let taken = ev = Exec.Ev_branch_taken in
+          if is_cond then begin
             Bpred.update m.Smt.bp ~thread:th.Thread.id ~pc:pcid ~taken;
-            if p <> taken then begin
+            if predicted <> taken then begin
               stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
               (* Redirect when the branch resolves. *)
-              ctx.Smt.redirect_until <-
-                !complete + cfg.Config.front_end_penalty
+              ctx.Smt.redirect_until <- !complete + cfg.Config.front_end_penalty
             end
             else if taken && not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
               Bpred.btb_insert m.Smt.bp ~pc:pcid;
               ctx.Smt.redirect_until <- !now + 2
             end
-          | None ->
-            if not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
-              Bpred.btb_insert m.Smt.bp ~pc:pcid;
-              ctx.Smt.redirect_until <- !now + 1
-            end)
-        | Exec.Ev_chk { fired } ->
-          if fired then begin
-            stats.Stats.chk_fired <- stats.Stats.chk_fired + 1;
-            if cfg.Config.spawn_flush then begin
-              (* Spawning happens at retirement: flush costs the front-end
-                 refill plus draining the in-flight window (§4.4.1). *)
-              (* The recovery refetches everything that was in flight. *)
-              let drain =
-                Queue.length ot.rob / max 1 cfg.Config.retire_width
-              in
-              ctx.Smt.redirect_until <-
-                !now + cfg.Config.front_end_penalty + drain
-            end
           end
+          else if not (Bpred.btb_lookup m.Smt.bp ~pc:pcid) then begin
+            Bpred.btb_insert m.Smt.bp ~pc:pcid;
+            ctx.Smt.redirect_until <- !now + 1
+          end
+        | Exec.Ev_chk_fired ->
+          stats.Stats.chk_fired <- stats.Stats.chk_fired + 1;
+          if cfg.Config.spawn_flush then begin
+            (* Spawning happens at retirement: flush costs the front-end
+               refill plus draining the in-flight window (§4.4.1). *)
+            let drain = ot.rob_n / max 1 cfg.Config.retire_width in
+            ctx.Smt.redirect_until <-
+              !now + cfg.Config.front_end_penalty + drain
+          end
+        | Exec.Ev_chk_nofire -> ()
         | Exec.Ev_call | Exec.Ev_ret -> ctx.Smt.redirect_until <- !now + 1
         | Exec.Ev_halt | Exec.Ev_kill ->
           if th.Thread.speculative then
             Smt.note_thread_end m ctx ~now:!now ~watchdog:false
-        | Exec.Ev_spawn _ | Exec.Ev_lib | Exec.Ev_plain -> ());
+        | Exec.Ev_spawned | Exec.Ev_spawn_denied | Exec.Ev_lib | Exec.Ev_plain
+          ->
+          ());
         (match ev with
         | Exec.Ev_lib -> complete := ready_at + cfg.Config.lib_latency
         | _ -> ());
-        List.iter
-          (fun r -> ctx.Smt.reg_ready.(r) <- !complete)
-          (Op.defs op);
-        Queue.push !complete ot.rob;
+        let nd = Op.defs_into op dbuf in
+        for i = 0 to nd - 1 do
+          ctx.Smt.reg_ready.(dbuf.(i)) <- !complete
+        done;
+        ot.rob.((ot.rob_head + ot.rob_n) mod rob_cap) <- !complete;
+        ot.rob_n <- ot.rob_n + 1;
         ot.rob_max <- max ot.rob_max !complete;
         (* Spawning happens at the retirement stage (§2.1): the child
            context cannot start before everything ahead of the spawn in
            this thread's window has retired. *)
         (match ev with
-        | Exec.Ev_spawn { accepted = true } when m.Smt.last_spawned >= 0 ->
+        | Exec.Ev_spawned when m.Smt.last_spawned >= 0 ->
           let child = m.Smt.ctxs.(m.Smt.last_spawned) in
           let retire_at = max !now ot.rob_max in
           child.Smt.redirect_until <-
@@ -243,7 +283,7 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     let ot = oths.(c.Smt.thread.Thread.id) in
     c.Smt.thread.Thread.active
     && c.Smt.redirect_until <= !now
-    && Queue.length ot.rob < cfg.Config.rob_entries
+    && ot.rob_n < cfg.Config.rob_entries
     && ot.waiting < cfg.Config.rs_entries
   in
   let dispatch_budget = ref 0 in
@@ -261,31 +301,70 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     if !now > cfg.Config.max_cycles then failwith "Ooo.run: exceeded max_cycles";
     Array.iter begin_cycle oths;
     Array.iter retire oths;
-    let chosen = Smt.select_threads m ~eligible in
+    let nsel = Smt.select_threads m ~eligible in
     dispatch_budget :=
-      (match chosen with
-      | [ _ ] -> cfg.Config.issue_bundles * 3
-      | _ -> 3);
-    List.iter dispatch_chosen chosen;
+      (if nsel = 1 then cfg.Config.issue_bundles * 3 else 3);
+    for i = 0 to nsel - 1 do
+      dispatch_chosen m.Smt.sel.(i)
+    done;
     (* Figure 10 accounting: execution is "active" when the main thread
        retired something this cycle. *)
-    let outstanding = Smt.outstanding_level main.ctx ~now:!now in
+    let rank = Smt.outstanding_rank main.ctx ~now:!now in
     let active = main.retired_this_cycle > 0 in
     let cat =
-      match (active, outstanding) with
-      | true, Some _ -> Stats.Cat_cache_exec
-      | true, None -> Stats.Cat_exec
-      | false, Some Hierarchy.Mem -> Stats.Cat_l3
-      | false, Some Hierarchy.L3 -> Stats.Cat_l2
-      | false, Some Hierarchy.L2 -> Stats.Cat_l1
-      | false, Some Hierarchy.L1 | false, None -> Stats.Cat_other
+      if active then if rank > 0 then Stats.Cat_cache_exec else Stats.Cat_exec
+      else
+        match rank with
+        | 4 -> Stats.Cat_l3
+        | 3 -> Stats.Cat_l2
+        | 2 -> Stats.Cat_l1
+        | _ -> Stats.Cat_other
     in
     Stats.add_category stats cat;
     incr now;
     tel_tick ();
     stats.Stats.cycles <- !now;
+    (* Sampled mode: after the detailed window's instruction budget is
+       spent, fast-forward with functional warming and extrapolate the
+       skipped cycles from the detailed cycles-per-instruction so far. *)
+    (match sampling with
+    | Some s ->
+      if
+        (not !measuring)
+        && s.Smt.detail_window - !detail_left >= s.Smt.detail_window / 3
+      then begin
+        win_cycles0 := !now;
+        win_instrs0 := stats.Stats.main_instrs - !ff_total;
+        measuring := true
+      end;
+      if !detail_left <= 0 && main.ctx.Smt.thread.Thread.active then begin
+        let det_instrs =
+          stats.Stats.main_instrs - !ff_total - !win_instrs0
+        in
+        let det_cycles = !now - !win_cycles0 in
+        let cpi_w =
+          if det_instrs > 0 then
+            float_of_int det_cycles /. float_of_int det_instrs
+          else !prev_cpi
+        in
+        if !pending_k > 0 then
+          est_extra :=
+            !est_extra
+            +. (float_of_int !pending_k *. ((!prev_cpi +. cpi_w) /. 2.0));
+        let k =
+          Smt.fast_forward m env ~now:!now
+            ~instrs:(Smt.ff_jitter jst ~window:s.Smt.ff_window)
+        in
+        ff_total := !ff_total + k;
+        stats.Stats.main_instrs <- stats.Stats.main_instrs + k;
+        pending_k := k;
+        prev_cpi := cpi_w;
+        measuring := false;
+        detail_left := s.Smt.detail_window
+      end
+    | None -> ());
     (* End when the main thread has halted and drained its window. *)
-    if (not main.ctx.Smt.thread.Thread.active) && Queue.is_empty main.rob then
+    if (not main.ctx.Smt.thread.Thread.active) && main.rob_n = 0 then
       running := false
   done;
   (* Settle attribution: speculative threads still alive at program end,
@@ -294,4 +373,18 @@ let run ?attrib (cfg : Config.t) (prog : Ssp_ir.Prog.t) =
     (fun c -> Smt.note_thread_end m c ~now:!now ~watchdog:false)
     m.Smt.ctxs;
   (match attrib with Some a -> Attrib.finalize a | None -> ());
-  Stats.finish stats
+  if !ff_total > 0 then begin
+    if !pending_k > 0 then
+      est_extra := !est_extra +. (float_of_int !pending_k *. !prev_cpi);
+    stats.Stats.cycles <- !now + int_of_float (Float.round !est_extra);
+    (* Cycle categories are only counted during detailed windows;
+       extrapolate them by the same factor as cycles so the printed
+       breakdown stays a per-cycle distribution. *)
+    let k = float_of_int stats.Stats.cycles /. float_of_int (max 1 !now) in
+    Array.iteri
+      (fun i c ->
+        stats.Stats.categories.(i) <-
+          int_of_float (Float.round (float_of_int c *. k)))
+      stats.Stats.categories
+  end;
+  Stats.finish ~irefs:m.Smt.lay.Layout.irefs stats

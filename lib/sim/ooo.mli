@@ -13,6 +13,16 @@
     retirement: the flush costs the front-end penalty plus draining the
     ROB. *)
 
-val run : ?attrib:Attrib.t -> Ssp_machine.Config.t -> Ssp_ir.Prog.t -> Stats.t
+val run :
+  ?attrib:Attrib.t ->
+  ?sampling:Smt.sampling ->
+  Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Stats.t
 (** [attrib] attaches prefetch-lifecycle attribution; recording is passive
-    and never changes cycle counts or outputs. *)
+    and never changes cycle counts or outputs.
+
+    [sampling] enables sampled simulation (see {!Inorder.run}): detailed
+    windows alternate with fast-forwarded functionally-warmed ones, and
+    [cycles] is extrapolated from the detailed-window IPC. Outputs are
+    byte-identical to a full run. *)

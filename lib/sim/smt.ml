@@ -12,50 +12,54 @@ let site_spawn_delay = F.site "sim.spawn.delay"
 let site_starve = F.site "sim.context.starve"
 let site_chain_break = F.site "sim.chain.break"
 
-type pcmap = {
-  bases : (string, int array) Hashtbl.t;  (* per func: block start offsets *)
-  func_base : (string, int) Hashtbl.t;
-}
+(* Sampled simulation: alternate [detail_window] cycle-accurate main-thread
+   instructions with [ff_window] functionally-warmed fast-forward ones. *)
+type sampling = { detail_window : int; ff_window : int }
 
-let pcmap_of (prog : Ssp_ir.Prog.t) =
-  let bases = Hashtbl.create 16 and func_base = Hashtbl.create 16 in
-  let next = ref 0 in
-  List.iter
-    (fun (f : Ssp_ir.Prog.func) ->
-      Hashtbl.replace func_base f.name !next;
-      let offs = Array.make (Array.length f.blocks) 0 in
-      let o = ref 0 in
-      Array.iteri
-        (fun i (b : Ssp_ir.Prog.block) ->
-          offs.(i) <- !o;
-          o := !o + Array.length b.ops)
-        f.blocks;
-      Hashtbl.replace bases f.name offs;
-      next := !next + !o)
-    (Ssp_ir.Prog.funcs_in_order prog);
-  { bases; func_base }
+(* 10% detailed with a short period: many small windows average over
+   program phases far better than a few large ones at the same ratio.
+   Validated by the sampled-accuracy tests (IPC within a few percent of a
+   full run on every suite workload). *)
+let default_sampling = { detail_window = 500; ff_window = 4_500 }
 
-let pc_id t ~fn ~blk ~ins =
-  match (Hashtbl.find_opt t.func_base fn, Hashtbl.find_opt t.bases fn) with
-  | Some base, Some offs -> base + offs.(blk) + ins
-  | _ -> 0
+(* splitmix64, for the fast-forward length jitter below. *)
+let sm64 (st : int64 ref) =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
 
-let code_base = 0x4000_0000L
+let jitter_seed = 0x5350_4331L
 
-let pc_addr t ~fn ~blk ~ins =
-  Int64.add code_base (Int64.of_int (16 * pc_id t ~fn ~blk ~ins))
+(* Strictly periodic sampling resonates with loop periodicity (a window
+   landing always on the same phase of an inner loop biases the estimate
+   arbitrarily badly); drawing each fast-forward's length uniformly from
+   [0.5, 1.5)x the nominal window de-correlates the sample points. The
+   stream is seeded by a constant, so runs stay bit-reproducible. *)
+let ff_jitter st ~window =
+  let r = Int64.to_int (Int64.logand (sm64 st) 0xFFFFL) in
+  let f = 0.5 +. (float_of_int r /. 65536.0) in
+  max 1 (int_of_float (float_of_int window *. f))
 
 type context = {
   thread : Thread.t;
   mutable redirect_until : int;
   reg_ready : int array;
-  reg_level : Hierarchy.level option array;
-  mutable fills : (Hierarchy.level * int) list;
+  fill_ready : int array;
   mutable bundle_left : int;
   mutable last_chk_fire : int;
   mutable spawned_at : int;  (* cycle the current speculative thread began; -1 idle *)
   mutable spawn_src : Ssp_ir.Iref.t option;  (* Spawn instruction that bound it *)
   mutable spawn_target : string;  (* "fn#blk" label for timelines *)
+  lay_fns : string array;  (* physical-equality keys of [lays], MRU first *)
+  lays : Layout.entry array;
 }
 
 type machine = {
@@ -64,12 +68,14 @@ type machine = {
   mem : Memory.t;
   hier : Hierarchy.t;
   bp : Bpred.t;
-  pcs : pcmap;
+  lay : Layout.t;
   ctxs : context array;
+  sel : context array;
   stats : Stats.t;
   mutable rr : int;
-  delinquent : Ssp_ir.Iref.Set.t;
+  delinquent_pc : bool array;
   mutable last_spawned : int;  (* context id bound by the latest try_spawn *)
+  mutable ff : bool;  (* inside a fast-forward window *)
   attrib : Attrib.t option;
   tel_spawns : T.counter;
   tel_spawn_denied : T.counter;
@@ -81,13 +87,14 @@ let new_context id =
     thread = Thread.create ~id;
     redirect_until = 0;
     reg_ready = Array.make Ssp_isa.Reg.count 0;
-    reg_level = Array.make Ssp_isa.Reg.count None;
-    fills = [];
+    fill_ready = Array.make 5 0;
     bundle_left = 0;
     last_chk_fire = min_int / 2;
     spawned_at = -1;
     spawn_src = None;
     spawn_target = "";
+    lay_fns = Array.init 4 (fun _ -> String.make 1 '\000');
+    lays = Array.make 4 Layout.dummy;
   }
 
 let create ?attrib cfg prog =
@@ -96,30 +103,77 @@ let create ?attrib cfg prog =
   main.Thread.fn <- prog.Ssp_ir.Prog.entry;
   main.Thread.active <- true;
   Thread.set main Ssp_isa.Reg.sp Ssp_ir.Prog.stack_base;
-  let delinquent =
-    match cfg.Config.memory_mode with
-    | Config.Perfect_delinquent s -> s
-    | Config.Normal | Config.Perfect_memory -> Ssp_ir.Iref.Set.empty
-  in
+  let lay = Layout.of_prog prog in
+  let delinquent_pc = Array.make (max 1 lay.Layout.n_pcs) false in
+  (match cfg.Config.memory_mode with
+  | Config.Perfect_delinquent s ->
+    Array.iteri
+      (fun pc iref ->
+        if Ssp_ir.Iref.Set.mem iref s then delinquent_pc.(pc) <- true)
+      lay.Layout.irefs
+  | Config.Normal | Config.Perfect_memory -> ());
   let hier = Hierarchy.create cfg in
   (match attrib with Some a -> Hierarchy.set_attrib hier a | None -> ());
+  let stats = Stats.create () in
+  Stats.ensure_sites stats lay.Layout.n_pcs;
   {
     cfg;
     prog;
     mem = Memory.create ();
     hier;
     bp = Bpred.create cfg;
-    pcs = pcmap_of prog;
+    lay;
     ctxs;
-    stats = Stats.create ();
+    sel = Array.copy ctxs;
+    stats;
     rr = 0;
-    delinquent;
+    delinquent_pc;
     last_spawned = -1;
+    ff = false;
     attrib;
     tel_spawns = T.counter "sim.spawns";
     tel_spawn_denied = T.counter "sim.spawn_denied";
     tel_watchdog_kills = T.counter "sim.watchdog_kills";
   }
+
+(* The context's current layout entry, memoized exactly like the thread's
+   function record (four move-to-front physical-equality slots, so a loop
+   cycling through a few functions stays off the Hashtbl — see
+   [Exec.func_of]). *)
+let lay_promote (ctx : context) i fn e =
+  let fns = ctx.lay_fns and ls = ctx.lays in
+  for j = i downto 1 do
+    fns.(j) <- fns.(j - 1);
+    ls.(j) <- ls.(j - 1)
+  done;
+  fns.(0) <- fn;
+  ls.(0) <- e
+
+let layout_of m (ctx : context) =
+  let fn = ctx.thread.Thread.fn in
+  let fns = ctx.lay_fns in
+  if Array.unsafe_get fns 0 == fn then Array.unsafe_get ctx.lays 0
+  else if Array.unsafe_get fns 1 == fn then begin
+    let e = ctx.lays.(1) in
+    lay_promote ctx 1 fn e;
+    e
+  end
+  else if Array.unsafe_get fns 2 == fn then begin
+    let e = ctx.lays.(2) in
+    lay_promote ctx 2 fn e;
+    e
+  end
+  else if Array.unsafe_get fns 3 == fn then begin
+    let e = ctx.lays.(3) in
+    lay_promote ctx 3 fn e;
+    e
+  end
+  else
+    match Layout.find m.lay fn with
+    | Some e ->
+      lay_promote ctx 3 fn e;
+      e
+    | None -> invalid_arg (Printf.sprintf "Smt.layout_of: no function %s" fn)
 
 let free_count m =
   let n = ref 0 in
@@ -130,9 +184,12 @@ let free_count m =
 
 (* The chk.c firing policy: a free context (or several, per config), and a
    refractory interval per triggering thread to bound flush costs. The
-   caller must have set [cur] to the checking context. *)
+   caller must have set [cur] to the checking context. Never fires inside a
+   fast-forward window (no timing context to spawn into; architecturally a
+   chk.c that does not fire is a nop, so outputs are unaffected). *)
 let chk_allowed m ~now (ctx : context) =
-  free_count m >= m.cfg.Config.chk_min_free
+  (not m.ff)
+  && free_count m >= m.cfg.Config.chk_min_free
   && now - ctx.last_chk_fire >= m.cfg.Config.chk_refractory
   && (not (F.fire site_starve))
   && (ctx.last_chk_fire <- now;
@@ -182,8 +239,7 @@ let try_spawn m ~now ~src ~fn ~blk ~live_in =
     Thread.reset_for_spawn ctx.thread ~fn ~blk ~live_in
       ~rand_state:(Int64.of_int ((ctx.thread.Thread.id * 1103515245) + 12345));
     Array.fill ctx.reg_ready 0 (Array.length ctx.reg_ready) 0;
-    Array.fill ctx.reg_level 0 (Array.length ctx.reg_level) None;
-    ctx.fills <- [];
+    Array.fill ctx.fill_ready 0 (Array.length ctx.fill_ready) 0;
     ctx.redirect_until <-
       now + m.cfg.Config.spawn_latency + m.cfg.Config.lib_latency
       + (if F.fire site_spawn_delay then 64 else 0);
@@ -199,27 +255,27 @@ let try_spawn m ~now ~src ~fn ~blk ~live_in =
     m.last_spawned <- ctx.thread.Thread.id;
     true
 
+(* Fill [m.sel] with up to [issue_threads] eligible contexts — the
+   non-speculative thread first (it has priority for fetch/issue slots),
+   speculative contexts round-robin — and return how many. The scratch
+   array replaces the per-cycle list the old selector consed. *)
 let select_threads m ~eligible =
-  (* The non-speculative thread has priority for fetch/issue slots;
-     speculative contexts share the remainder round-robin. Helper threads
-     must not slow the thread they are helping. *)
   let n = Array.length m.ctxs in
-  let picked = ref [] in
   let count = ref 0 in
   if eligible m.ctxs.(0) then begin
-    picked := [ m.ctxs.(0) ];
+    m.sel.(0) <- m.ctxs.(0);
     count := 1
   end;
   for k = 0 to n - 2 do
     let i = 1 + ((m.rr + k) mod (n - 1)) in
     let c = m.ctxs.(i) in
     if !count < m.cfg.Config.issue_threads && eligible c then begin
-      picked := c :: !picked;
+      m.sel.(!count) <- c;
       incr count
     end
   done;
   m.rr <- (m.rr + 1) mod (max 1 (n - 1));
-  List.rev !picked
+  !count
 
 let level_rank = function
   | Hierarchy.L1 -> 1
@@ -227,14 +283,14 @@ let level_rank = function
   | Hierarchy.L3 -> 3
   | Hierarchy.Mem -> 4
 
-let outstanding_level ctx ~now =
-  ctx.fills <- List.filter (fun (_, ready) -> ready > now) ctx.fills;
-  List.fold_left
-    (fun acc (lvl, _) ->
-      match acc with
-      | None -> Some lvl
-      | Some best -> if level_rank lvl > level_rank best then Some lvl else acc)
-    None ctx.fills
+(* Deepest level-rank among the thread's outstanding fills (0 = none): the
+   per-rank max ready cycle is outstanding iff it is still in the future.
+   Replaces filtering a (level, ready) list every cycle. *)
+let outstanding_rank (ctx : context) ~now =
+  if ctx.fill_ready.(4) > now then 4
+  else if ctx.fill_ready.(3) > now then 3
+  else if ctx.fill_ready.(2) > now then 2
+  else 0
 
 (* A speculative demand load at a slice site that maps back to a
    delinquent load IS the prefetch for value-used targets (no lfetch is
@@ -254,26 +310,32 @@ let pf_tag_of m (ctx : context) iref =
     | None -> None)
   | _ -> None
 
-let demand_access m ~now ~ctx ~iref addr =
-  let perfect = Ssp_ir.Iref.Set.mem iref m.delinquent in
+let demand_access m ~now ~ctx ~pc addr =
+  let perfect = m.delinquent_pc.(pc) in
   (* Speculative-thread misses must not starve the main thread's demand
      misses out of the fill buffer. *)
   let low_priority = ctx.thread.Thread.id <> 0 in
   let o =
     if perfect then Hierarchy.perfect_hit m.hier ~now
     else
-      Hierarchy.access m.hier ~now ~low_priority ?pf_tag:(pf_tag_of m ctx iref)
-        ~demand_iref:iref
-        ~demand_main:(ctx.thread.Thread.id = 0)
-        addr
+      match m.attrib with
+      | None -> Hierarchy.demand m.hier ~now ~low_priority addr
+      | Some _ ->
+        let iref = Layout.iref_of m.lay pc in
+        Hierarchy.access m.hier ~now ~low_priority
+          ?pf_tag:(pf_tag_of m ctx iref) ~demand_iref:iref
+          ~demand_main:(not low_priority) addr
   in
   if ctx.thread.Thread.id = 0 then
-    Stats.record_load m.stats iref o.Hierarchy.level
+    Stats.record_load_pc m.stats ~pc o.Hierarchy.level
       ~partial:o.Hierarchy.partial;
   (* Track the fill for stall attribution if it is an L1 miss. *)
   (match o.Hierarchy.level with
   | Hierarchy.L1 -> ()
-  | lvl -> ctx.fills <- (lvl, o.Hierarchy.ready) :: ctx.fills);
+  | lvl ->
+    let r = level_rank lvl in
+    if o.Hierarchy.ready > ctx.fill_ready.(r) then
+      ctx.fill_ready.(r) <- o.Hierarchy.ready);
   o
 
 let watchdog_check m ~now ctx =
@@ -290,3 +352,263 @@ let watchdog_check m ~now ctx =
       th.Thread.active <- false;
       note_thread_end m ctx ~now ~watchdog:true
     end
+
+(* Fast-forward the main thread [instrs] architectural instructions with
+   functional warming: memory state, outputs, caches and branch predictor
+   advance; the clock does not. Live speculative threads are ended first
+   (their timing context is meaningless across the gap; architecturally
+   they never affect main-thread state). Returns the instruction count
+   actually executed (the main thread may halt mid-window). *)
+let fast_forward m (env : Exec.env) ~now ~instrs =
+  m.ff <- true;
+  Array.iteri
+    (fun i (c : context) ->
+      if i > 0 && c.thread.Thread.active then begin
+        c.thread.Thread.active <- false;
+        note_thread_end m c ~now ~watchdog:false
+      end)
+    m.ctxs;
+  let main = m.ctxs.(0) in
+  let th = main.thread in
+  let done_ = ref 0 in
+  Hierarchy.reset_warm_filter m.hier;
+  (* Decoded-stream interpreter. The opcode literals below mirror
+     [Decode.enc]'s map exactly (see decode.ml for the word layout); the
+     sampling accuracy tests pin the two representations together by
+     asserting that sampled and full runs produce identical outputs.
+
+     Invariants the loop leans on: only the main thread runs here (so
+     stores always commit — the thread is never speculative), register
+     fields were range-validated by every producer (so reads use
+     [unsafe_get]), and r0 is never written (so reading [regs.(0)] always
+     yields the hardwired zero without a branch). [fn] only changes at
+     calls and returns, so the current layout entry lives in a local
+     refreshed on those events. *)
+  let hier = m.hier in
+  let bp = m.bp in
+  let regs = th.Thread.regs in
+  let mem = env.Exec.mem in
+  let e = ref (layout_of m main) in
+  while !done_ < instrs && th.Thread.active do
+    let dec = (!e).Layout.dec in
+    let code = dec.Decode.code in
+    let nb = Array.length code in
+    while
+      th.Thread.blk < nb
+      && th.Thread.ins >= Array.length (Array.unsafe_get code th.Thread.blk)
+    do
+      th.Thread.blk <- th.Thread.blk + 1;
+      th.Thread.ins <- 0
+    done;
+    let blk = th.Thread.blk and ins = th.Thread.ins in
+    let w = code.(blk).(ins) in
+    if ins = 0 then
+      Hierarchy.warm_ifetch_i hier (Array.unsafe_get (!e).Layout.blk0_iaddr blk);
+    incr done_;
+    th.Thread.instrs <- th.Thread.instrs + 1;
+    (match w land 63 with
+    | 0 -> th.Thread.ins <- ins + 1 (* nop *)
+    | 1 ->
+      (* movi *)
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then
+        Array.unsafe_set regs d (Array.unsafe_get dec.Decode.imms (w asr 27));
+      th.Thread.ins <- ins + 1
+    | 2 ->
+      (* mov *)
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then
+        Array.unsafe_set regs d (Array.unsafe_get regs ((w lsr 13) land 127));
+      th.Thread.ins <- ins + 1
+    | (3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 | 12) as opc ->
+      (* alu: add sub mul div rem and or xor shl shr *)
+      let a = Array.unsafe_get regs ((w lsr 13) land 127)
+      and b = Array.unsafe_get regs ((w lsr 20) land 127) in
+      let v =
+        match opc with
+        | 3 -> Int64.add a b
+        | 4 -> Int64.sub a b
+        | 5 -> Int64.mul a b
+        | 6 -> if Int64.equal b 0L then 0L else Int64.div a b
+        | 7 -> if Int64.equal b 0L then 0L else Int64.rem a b
+        | 8 -> Int64.logand a b
+        | 9 -> Int64.logor a b
+        | 10 -> Int64.logxor a b
+        | 11 -> Int64.shift_left a (Int64.to_int b land 63)
+        | _ -> Int64.shift_right a (Int64.to_int b land 63)
+      in
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then Array.unsafe_set regs d v;
+      th.Thread.ins <- ins + 1
+    | (13 | 14 | 15 | 16 | 17 | 18 | 19 | 20 | 21 | 22) as opc ->
+      (* alui *)
+      let a = Array.unsafe_get regs ((w lsr 13) land 127)
+      and b = Array.unsafe_get dec.Decode.imms (w asr 27) in
+      let v =
+        match opc with
+        | 13 -> Int64.add a b
+        | 14 -> Int64.sub a b
+        | 15 -> Int64.mul a b
+        | 16 -> if Int64.equal b 0L then 0L else Int64.div a b
+        | 17 -> if Int64.equal b 0L then 0L else Int64.rem a b
+        | 18 -> Int64.logand a b
+        | 19 -> Int64.logor a b
+        | 20 -> Int64.logxor a b
+        | 21 -> Int64.shift_left a (Int64.to_int b land 63)
+        | _ -> Int64.shift_right a (Int64.to_int b land 63)
+      in
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then Array.unsafe_set regs d v;
+      th.Thread.ins <- ins + 1
+    | (23 | 24 | 25 | 26 | 27 | 28) as opc ->
+      (* cmp: eq ne lt le gt ge *)
+      let a = Array.unsafe_get regs ((w lsr 13) land 127)
+      and b = Array.unsafe_get regs ((w lsr 20) land 127) in
+      let c = Int64.compare a b in
+      let v =
+        match opc with
+        | 23 -> c = 0
+        | 24 -> c <> 0
+        | 25 -> c < 0
+        | 26 -> c <= 0
+        | 27 -> c > 0
+        | _ -> c >= 0
+      in
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then Array.unsafe_set regs d (if v then 1L else 0L);
+      th.Thread.ins <- ins + 1
+    | (29 | 30 | 31 | 32 | 33 | 34) as opc ->
+      (* cmpi *)
+      let a = Array.unsafe_get regs ((w lsr 13) land 127)
+      and b = Array.unsafe_get dec.Decode.imms (w asr 27) in
+      let c = Int64.compare a b in
+      let v =
+        match opc with
+        | 29 -> c = 0
+        | 30 -> c <> 0
+        | 31 -> c < 0
+        | 32 -> c <= 0
+        | 33 -> c > 0
+        | _ -> c >= 0
+      in
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then Array.unsafe_set regs d (if v then 1L else 0L);
+      th.Thread.ins <- ins + 1
+    | (35 | 36 | 37 | 38) as opc ->
+      (* load, widths 1 2 4 8 *)
+      let base = Array.unsafe_get regs ((w lsr 13) land 127) in
+      let addr = (Int64.to_int base + (w asr 27)) land max_int in
+      let v = Memory.read_i mem addr (1 lsl (opc - 35)) in
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then Array.unsafe_set regs d v;
+      th.Thread.ins <- ins + 1;
+      Hierarchy.warm_i hier addr
+    | (39 | 40 | 41 | 42) as opc ->
+      (* store, widths 1 2 4 8 *)
+      let base = Array.unsafe_get regs ((w lsr 13) land 127) in
+      let addr = (Int64.to_int base + (w asr 27)) land max_int in
+      Memory.write_i mem addr
+        (1 lsl (opc - 39))
+        (Array.unsafe_get regs ((w lsr 6) land 127));
+      th.Thread.ins <- ins + 1;
+      Hierarchy.warm_i hier addr
+    | 43 ->
+      (* lfetch: warm the target line — the timed runs' prefetch traffic
+         fills the hierarchy, so skipping it would leave the next detailed
+         window colder than a full run *)
+      let base = Array.unsafe_get regs ((w lsr 13) land 127) in
+      let addr = (Int64.to_int base + (w asr 27)) land max_int in
+      th.Thread.ins <- ins + 1;
+      Hierarchy.warm_i hier addr
+    | 44 ->
+      (* br *)
+      let pc = Array.unsafe_get (!e).Layout.block_base blk + ins in
+      th.Thread.blk <- w asr 27;
+      th.Thread.ins <- 0;
+      if not (Bpred.btb_lookup bp ~pc) then Bpred.btb_insert bp ~pc
+    | (45 | 46) as opc ->
+      (* brnz / brz *)
+      let z =
+        Int64.equal (Array.unsafe_get regs ((w lsr 13) land 127)) 0L
+      in
+      let taken = if opc = 45 then not z else z in
+      let pc = Array.unsafe_get (!e).Layout.block_base blk + ins in
+      Bpred.update bp ~thread:0 ~pc ~taken;
+      if taken then begin
+        th.Thread.blk <- w asr 27;
+        th.Thread.ins <- 0;
+        if not (Bpred.btb_lookup bp ~pc) then Bpred.btb_insert bp ~pc
+      end
+      else th.Thread.ins <- ins + 1
+    | 47 ->
+      (* call: save only the caller's mentioned stacked-register prefix —
+         the return restores [saved_n], so the code resuming after it sees
+         every register it can read *)
+      let fr = Thread.push_frame th ~ret_blk:blk ~ret_ins:(ins + 1) in
+      let k = dec.Decode.n_save in
+      fr.Thread.saved_n <- k;
+      Array.blit regs Ssp_isa.Reg.first_stacked fr.Thread.saved_stacked 0 k;
+      let e' = m.lay.Layout.by_index.(w asr 27) in
+      th.Thread.fn <- e'.Layout.func.Ssp_ir.Prog.name;
+      th.Thread.blk <- 0;
+      th.Thread.ins <- 0;
+      e := e'
+    | 48 ->
+      (* ret *)
+      if th.Thread.frame_n = 0 then th.Thread.active <- false
+      else begin
+        th.Thread.frame_n <- th.Thread.frame_n - 1;
+        let fr = th.Thread.frames.(th.Thread.frame_n) in
+        Array.blit fr.Thread.saved_stacked 0 regs Ssp_isa.Reg.first_stacked
+          fr.Thread.saved_n;
+        th.Thread.fn <- fr.Thread.ret_fn;
+        th.Thread.blk <- fr.Thread.ret_blk;
+        th.Thread.ins <- fr.Thread.ret_ins;
+        e := layout_of m main
+      end
+    | 49 | 50 -> th.Thread.active <- false (* halt / kill *)
+    | 51 ->
+      (* chk.c *)
+      if env.Exec.chk_free () then begin
+        th.Thread.blk <- w asr 27;
+        th.Thread.ins <- 0
+      end
+      else th.Thread.ins <- ins + 1
+    | 52 ->
+      (* rand: xorshift64*, same stream as Exec *)
+      let x = th.Thread.rand_state in
+      let x = Int64.logxor x (Int64.shift_left x 13) in
+      let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+      let x = Int64.logxor x (Int64.shift_left x 17) in
+      th.Thread.rand_state <- x;
+      let d = (w lsr 6) land 127 in
+      if d <> 0 then
+        Array.unsafe_set regs d (Int64.shift_right_logical x 1);
+      th.Thread.ins <- ins + 1
+    | _ ->
+      (* slow path: rare ops (icall, spawn, lib.st/ld, alloc, print, and
+         unresolved static targets) run on the boxed form *)
+      th.Thread.instrs <- th.Thread.instrs - 1 (* step_op recounts *);
+      let f = (!e).Layout.func in
+      let op = f.Ssp_ir.Prog.blocks.(blk).Ssp_ir.Prog.ops.(ins) in
+      let ev = Exec.step_op env th f op in
+      (match ev with
+      | Exec.Ev_load | Exec.Ev_store | Exec.Ev_prefetch ->
+        Hierarchy.warm hier env.Exec.ev_addr
+      | Exec.Ev_branch_taken | Exec.Ev_branch_not_taken ->
+        (* unresolved-target branches: warm the predictor like the hot
+           arms do *)
+        let pc = Layout.pc_id !e ~blk ~ins in
+        let taken = ev = Exec.Ev_branch_taken in
+        (match op with
+        | Ssp_isa.Op.Brnz _ | Ssp_isa.Op.Brz _ ->
+          Bpred.update bp ~thread:0 ~pc ~taken
+        | _ -> ());
+        if taken && not (Bpred.btb_lookup bp ~pc) then
+          Bpred.btb_insert bp ~pc
+      | Exec.Ev_call | Exec.Ev_ret ->
+        if th.Thread.active then e := layout_of m main
+      | _ -> ()))
+  done;
+  m.ff <- false;
+  !done_

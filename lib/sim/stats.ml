@@ -22,6 +22,9 @@ type t = {
   categories : int array;
   loads : load_site Ssp_ir.Iref.Tbl.t;
   mutable outputs : int64 list;
+  mutable out_buf : int64 array;
+  mutable out_n : int;
+  mutable sites : load_site option array;
 }
 
 let create () =
@@ -36,7 +39,28 @@ let create () =
     categories = Array.make 6 0;
     loads = Ssp_ir.Iref.Tbl.create 64;
     outputs = [];
+    out_buf = [||];
+    out_n = 0;
+    sites = [||];
   }
+
+let push_output t v =
+  let n = t.out_n in
+  let cap = Array.length t.out_buf in
+  if n >= cap then begin
+    let nb = Array.make (max 64 (2 * cap)) 0L in
+    Array.blit t.out_buf 0 nb 0 cap;
+    t.out_buf <- nb
+  end;
+  t.out_buf.(n) <- v;
+  t.out_n <- n + 1
+
+let ensure_sites t n =
+  if Array.length t.sites < n then begin
+    let ns = Array.make n None in
+    Array.blit t.sites 0 ns 0 (Array.length t.sites);
+    t.sites <- ns
+  end
 
 let category_index = function
   | Cat_l3 -> 0
@@ -69,8 +93,7 @@ let load_site t iref =
     Ssp_ir.Iref.Tbl.replace t.loads iref s;
     s
 
-let record_load t iref level ~partial =
-  let s = load_site t iref in
+let bump_site s level ~partial =
   s.accesses <- s.accesses + 1;
   match (level, partial) with
   | Hierarchy.L1, _ -> s.l1 <- s.l1 + 1
@@ -81,8 +104,55 @@ let record_load t iref level ~partial =
   | Hierarchy.Mem, false -> s.mem <- s.mem + 1
   | Hierarchy.Mem, true -> s.mem_partial <- s.mem_partial + 1
 
-let finish t =
-  t.outputs <- List.rev t.outputs;
+let record_load t iref level ~partial = bump_site (load_site t iref) level ~partial
+
+let record_load_pc t ~pc level ~partial =
+  let s =
+    match t.sites.(pc) with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          accesses = 0;
+          l1 = 0;
+          l2 = 0;
+          l2_partial = 0;
+          l3 = 0;
+          l3_partial = 0;
+          mem = 0;
+          mem_partial = 0;
+        }
+      in
+      t.sites.(pc) <- Some s;
+      s
+  in
+  bump_site s level ~partial
+
+let finish ?irefs t =
+  (* Merge the pc-indexed site counters into the per-Iref table consumers
+     read (figures, bench miss rates). *)
+  (match irefs with
+  | Some irefs ->
+    Array.iteri
+      (fun pc slot ->
+        match slot with
+        | Some s when pc < Array.length irefs ->
+          let dst = load_site t irefs.(pc) in
+          dst.accesses <- dst.accesses + s.accesses;
+          dst.l1 <- dst.l1 + s.l1;
+          dst.l2 <- dst.l2 + s.l2;
+          dst.l2_partial <- dst.l2_partial + s.l2_partial;
+          dst.l3 <- dst.l3 + s.l3;
+          dst.l3_partial <- dst.l3_partial + s.l3_partial;
+          dst.mem <- dst.mem + s.mem;
+          dst.mem_partial <- dst.mem_partial + s.mem_partial
+        | _ -> ())
+      t.sites
+  | None -> ());
+  (* Buffered outputs are in program order by construction; the legacy
+     cons path (if a caller still uses it) builds reversed. *)
+  let buffered = List.init t.out_n (fun i -> t.out_buf.(i)) in
+  t.outputs <- List.rev_append t.outputs buffered;
   t
 
 let ipc t =

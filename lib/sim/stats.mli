@@ -35,16 +35,36 @@ type t = {
   mutable prefetches : int;
   categories : int array;  (** indexed by {!category_index} *)
   loads : load_site Ssp_ir.Iref.Tbl.t;
-  mutable outputs : int64 list;  (** reversed during simulation *)
+  mutable outputs : int64 list;  (** program order; filled by {!finish} *)
+  mutable out_buf : int64 array;  (** growable output buffer, program order *)
+  mutable out_n : int;
+  mutable sites : load_site option array;
+      (** pc-indexed load-site counters (see {!Layout}); merged into
+          [loads] by {!finish} *)
 }
 
 val create : unit -> t
 val category_index : category -> int
 val add_category : t -> category -> unit
 val load_site : t -> Ssp_ir.Iref.t -> load_site
+
+val push_output : t -> int64 -> unit
+(** Append to the growable output buffer: order-correct by construction,
+    amortized allocation-free. *)
+
+val ensure_sites : t -> int -> unit
+(** Size the pc-indexed site array (once, at machine creation). *)
+
 val record_load : t -> Ssp_ir.Iref.t -> Hierarchy.level -> partial:bool -> unit
-val finish : t -> t
-(** Reverses outputs into program order. *)
+
+val record_load_pc : t -> pc:int -> Hierarchy.level -> partial:bool -> unit
+(** Allocation-light per-site recording by dense pc id; requires
+    [ensure_sites] to have covered [pc]. *)
+
+val finish : ?irefs:Ssp_ir.Iref.t array -> t -> t
+(** Publish [outputs] (buffered outputs are already in program order; any
+    legacy cons-accumulated list is reversed and prepended) and, given the
+    layout's [irefs], merge pc-indexed site counters into [loads]. *)
 
 val ipc : t -> float
 val pp : Format.formatter -> t -> unit

@@ -4,10 +4,18 @@
 
 type frame = {
   saved_stacked : int64 array;  (** r32–r127 of the caller *)
-  ret_blk : int;
-  ret_ins : int;
-  ret_fn : string;
+  mutable saved_n : int;
+      (** how many entries of [saved_stacked] the call actually saved; the
+          matching return restores exactly that many. [push_frame] sets the
+          full count; the decoded fast-forward call saves only the caller's
+          mentioned-register prefix and lowers it *)
+  mutable ret_blk : int;
+  mutable ret_ins : int;
+  mutable ret_fn : string;
 }
+(** One register-stack frame. Frames live in a per-thread pool ([frames] up
+    to [frame_n]) and are reused across calls — a call blits the stacked
+    registers into the pooled frame instead of allocating. *)
 
 type t = {
   id : int;  (** hardware context number *)
@@ -15,17 +23,29 @@ type t = {
   mutable blk : int;
   mutable ins : int;
   regs : int64 array;  (** 128 registers; r0 kept at zero *)
-  mutable frames : frame list;
+  mutable frames : frame array;
+      (** frame pool, grown by doubling; [frames.(0 .. frame_n-1)] are the
+          live frames, innermost last *)
+  mutable frame_n : int;  (** live call depth *)
   mutable live_in : int64 array;  (** snapshot received at spawn *)
   lib_out : int64 array;  (** staging area for the next spawn *)
   mutable speculative : bool;
   mutable active : bool;
   mutable instrs : int;  (** dynamic instructions executed *)
   mutable rand_state : int64;
+  cached_fns : string array;
+      (** physical-equality keys of [cached_funcs], most recent first;
+          maintained by [Exec]. Four slots so a tight loop calling through
+          a couple of helpers never thrashes back to the name table. *)
+  cached_funcs : Ssp_ir.Prog.func array;
 }
 
 val lib_slots : int
 (** Live-in buffer capacity (one register-stack spill area's worth). *)
+
+val no_func : Ssp_ir.Prog.func
+(** Placeholder function record for caches ([cached_func] before first
+    fill); never a real program function. *)
 
 val create : id:int -> t
 
@@ -36,3 +56,8 @@ val reset_for_spawn :
 
 val get : t -> Ssp_isa.Reg.t -> int64
 val set : t -> Ssp_isa.Reg.t -> int64 -> unit
+
+val push_frame : t -> ret_blk:int -> ret_ins:int -> frame
+(** The next pooled frame, fields set ([ret_fn] from the thread's current
+    [fn]) and depth bumped; the caller blits the stacked registers into
+    [saved_stacked]. Allocates only when the pool grows. *)

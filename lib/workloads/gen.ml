@@ -1,0 +1,262 @@
+(* Seeded random workload generator: pointer-chasing mini-C kernels drawn
+   from three skeleton families (list walk, tree walk, hash-table probe)
+   with tunable footprint, stride and dependence depth. Every parameter is
+   derived from the seed through splitmix64, so [gen:<seed>] names the same
+   program byte-for-byte in every process — corpus runs are replayable and
+   usable for differential testing of the adaptation pipeline. *)
+
+(* splitmix64: a tiny, well-mixed, cross-platform PRNG. Deliberately not
+   [Random] or [Hashtbl.hash] — those are not stable contracts across
+   OCaml versions, and the generated source must be. *)
+let sm64 (st : int64 ref) =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative draw in [0, bound). *)
+let draw st bound =
+  let r = Int64.to_int (Int64.shift_right_logical (sm64 st) 2) in
+  r mod bound
+
+type skeleton = List_walk | Tree_walk | Hash_walk
+
+type params = {
+  skeleton : skeleton;
+  footprint : int;  (** structure elements per scale unit *)
+  stride : int;  (** odd scramble multiplier / probe stride *)
+  depth : int;  (** dependence depth: extra pointer hops per visit *)
+  passes : int;  (** traversals of the structure *)
+}
+
+let params_of_seed seed =
+  let st = ref (Int64.of_int seed) in
+  (* A couple of warmup draws so small consecutive seeds decorrelate. *)
+  ignore (sm64 st);
+  ignore (sm64 st);
+  let skeleton =
+    match draw st 3 with 0 -> List_walk | 1 -> Tree_walk | _ -> Hash_walk
+  in
+  {
+    skeleton;
+    footprint = 512 + draw st 1536;
+    stride = 3 + (2 * draw st 16);
+    depth = 1 + draw st 3;
+    passes = 2 + draw st 2;
+  }
+
+let skeleton_name = function
+  | List_walk -> "list"
+  | Tree_walk -> "tree"
+  | Hash_walk -> "hash"
+
+let ilog2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n / 2) in
+  go 0 (max 1 n)
+
+(* List walk: nodes linked into one full-cycle random-stride permutation
+   ([gcd(stride, n) = 1] since n is even and stride odd), each visit also
+   hopping a chain of [depth] uniformly random [via] pointers. *)
+let list_source p ~seed scale =
+  let n = max 64 (2 * (p.footprint * max 1 scale / 2)) in
+  let hops =
+    String.concat "" (List.init p.depth (fun _ -> "    q = q->via;\n"))
+  in
+  Printf.sprintf
+    {|
+// gen:%d — seeded list walk (%d nodes, stride %d, depth %d, %d passes)
+struct lnode { int value; lnode* next; lnode* via; }
+
+lnode* nodes;
+int n;
+
+void build() {
+  n = %d;
+  nodes = newarray(lnode, n);
+  for (int i = 0; i < n; i = i + 1) {
+    lnode* nd = nodes + i;
+    nd->value = (rand() + %d) %% 1000;
+    nd->next = nodes + (i * %d + 1) %% n;
+    nd->via = nodes + rand() %% n;
+  }
+}
+
+int walk() {
+  int s = 0;
+  lnode* p = nodes;
+  for (int i = 0; i < n; i = i + 1) {
+    lnode* q = p;
+%s    s = s + q->value;
+    p = p->next;
+  }
+  return s;
+}
+
+int main() {
+  build();
+  int s = 0;
+  for (int pass = 0; pass < %d; pass = pass + 1) {
+    s = s + walk();
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    seed n p.stride p.depth p.passes n (seed mod 997) p.stride hops p.passes
+
+(* Tree walk: a treeadd-flavoured balanced tree with randomized heap
+   padding (footprint sets the depth, stride the padding grain). *)
+let tree_source p ~seed scale =
+  let depth =
+    min 20 (9 + ilog2 ((p.footprint * max 1 scale / 512) + 1))
+  in
+  let pad_mod = 2 + p.depth in
+  let pad_grain = 1 + (p.stride mod 5) in
+  Printf.sprintf
+    {|
+// gen:%d — seeded tree walk (depth %d, pad %% %d x %d, %d passes)
+struct tnode { int value; tnode* left; tnode* right; }
+
+int pad_sink;
+
+void pad() {
+  int k = rand() %% %d;
+  if (k > 0) {
+    int* junk = newarray(int, k * %d);
+    junk[0] = 1;
+    pad_sink = pad_sink + junk[0];
+  }
+}
+
+tnode* build(int depth) {
+  tnode* t = new tnode;
+  pad();
+  t->value = (rand() + %d) %% 100;
+  if (depth > 0) {
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+  } else {
+    t->left = null;
+    t->right = null;
+  }
+  return t;
+}
+
+int sum(tnode* t) {
+  if (t == null) { return 0; }
+  return t->value + sum(t->left) + sum(t->right);
+}
+
+int main() {
+  tnode* root = build(%d);
+  int s = 0;
+  for (int pass = 0; pass < %d; pass = pass + 1) {
+    s = s + sum(root);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    seed depth pad_mod pad_grain p.passes pad_mod pad_grain (seed mod 997)
+    depth p.passes
+
+(* Hash walk: open-addressing probes with a fixed stride over a half-full
+   table — data-dependent indices with [depth] extra strided touches per
+   lookup. *)
+let hash_source p ~seed scale =
+  let tsize = max 128 (p.footprint * max 1 scale) in
+  Printf.sprintf
+    {|
+// gen:%d — seeded hash probe (table %d, stride %d, depth %d, %d passes)
+int* table;
+int* keys;
+int tsize;
+int nkeys;
+
+void build() {
+  tsize = %d;
+  nkeys = tsize / 2;
+  table = newarray(int, tsize);
+  keys = newarray(int, nkeys);
+  for (int i = 0; i < tsize; i = i + 1) {
+    table[i] = -1;
+  }
+  for (int i = 0; i < nkeys; i = i + 1) {
+    int key = 1 + (rand() + %d) %% (tsize * 4);
+    keys[i] = key;
+    int h = key %% tsize;
+    int tries = 0;
+    while (table[h] != -1 && tries < 64) {
+      h = (h + %d) %% tsize;
+      tries = tries + 1;
+    }
+    table[h] = key;
+  }
+}
+
+int lookup(int key) {
+  int h = key %% tsize;
+  int tries = 0;
+  while (table[h] != key && table[h] != -1 && tries < 64) {
+    h = (h + %d) %% tsize;
+    tries = tries + 1;
+  }
+  int extra = 0;
+  for (int d = 0; d < %d; d = d + 1) {
+    h = (h + %d) %% tsize;
+    extra = extra + table[h];
+  }
+  if (table[h] == key) { return 1 + extra %% 2; }
+  return extra %% 2;
+}
+
+int main() {
+  build();
+  int s = 0;
+  for (int pass = 0; pass < %d; pass = pass + 1) {
+    for (int i = 0; i < nkeys; i = i + 1) {
+      s = s + lookup(keys[i]);
+    }
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    seed tsize p.stride p.depth p.passes tsize (seed mod 997) p.stride
+    p.stride p.depth p.stride p.passes
+
+let source_of_seed seed scale =
+  let p = params_of_seed seed in
+  match p.skeleton with
+  | List_walk -> list_source p ~seed scale
+  | Tree_walk -> tree_source p ~seed scale
+  | Hash_walk -> hash_source p ~seed scale
+
+let name seed = "gen:" ^ string_of_int seed
+
+let workload ~seed =
+  let p = params_of_seed seed in
+  {
+    Workload.name = name seed;
+    description =
+      Printf.sprintf
+        "generated %s walk (seed %d: footprint %d, stride %d, depth %d)"
+        (skeleton_name p.skeleton) seed p.footprint p.stride p.depth;
+    source = source_of_seed seed;
+    delinquent_hint = [];
+  }
+
+let corpus ~n ~seed = List.init n (fun i -> workload ~seed:(seed + i))
+
+let seed_of_name nm =
+  match String.index_opt nm ':' with
+  | Some i when String.length nm > 4 && String.sub nm 0 4 = "gen:" ->
+    int_of_string_opt (String.sub nm (i + 1) (String.length nm - i - 1))
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Seeded random workload generator.
+
+    [gen:<seed>] names a pointer-chasing mini-C kernel drawn from one of
+    three skeleton families — list walk, tree walk, hash-table probe —
+    with footprint, stride, dependence depth and pass count all derived
+    from the seed via splitmix64. The mapping seed → source is a stable,
+    cross-process contract (no [Random], no [Hashtbl.hash]), so corpus
+    runs are replayable from the seed alone and usable for differential
+    testing of the adaptation pipeline at scale. *)
+
+type skeleton = List_walk | Tree_walk | Hash_walk
+
+type params = {
+  skeleton : skeleton;
+  footprint : int;  (** structure elements per scale unit *)
+  stride : int;  (** odd scramble multiplier / probe stride *)
+  depth : int;  (** dependence depth: extra pointer hops per visit *)
+  passes : int;  (** traversals of the structure *)
+}
+
+val params_of_seed : int -> params
+(** The (deterministic) parameter draw behind [workload ~seed]. *)
+
+val workload : seed:int -> Workload.t
+(** The workload named ["gen:<seed>"]. *)
+
+val corpus : n:int -> seed:int -> Workload.t list
+(** [n] workloads with consecutive seeds starting at [seed]. *)
+
+val seed_of_name : string -> int option
+(** [Some seed] iff the name has the shape ["gen:<int>"]. *)

@@ -9,8 +9,14 @@ let all =
     Vpr.workload;
   ]
 
+(* [gen:<seed>] names are resolved through the generator, so any seeded
+   corpus member can be addressed like a built-in benchmark (CLI, tests,
+   chaos campaigns) without being part of [all]. *)
 let find name =
-  List.find (fun w -> String.equal w.Workload.name name) all
+  match Gen.seed_of_name name with
+  | Some seed -> Gen.workload ~seed
+  | None -> List.find (fun w -> String.equal w.Workload.name name) all
 
+let corpus = Gen.corpus
 let reference_scale = 32
 let test_scale = 2

@@ -8,7 +8,13 @@ val all : Workload.t list
     treeadd.bf, mcf, vpr. *)
 
 val find : string -> Workload.t
-(** By name; raises [Not_found]. *)
+(** By name; raises [Not_found]. Names of the shape ["gen:<seed>"] resolve
+    through the seeded workload generator ({!Gen.workload}) and need not be
+    in {!all}. *)
+
+val corpus : n:int -> seed:int -> Workload.t list
+(** [n] generated workloads with consecutive seeds starting at [seed]
+    (see {!Gen}). *)
 
 val reference_scale : int
 (** The scale used by the paper-reproduction benches (working sets beyond

@@ -9,6 +9,7 @@ let () =
       ("profiling", Test_profiling.suite);
       ("ssp", Test_ssp.suite);
       ("workloads", Test_workloads.suite);
+      ("sampling", Test_sampling.suite);
       ("telemetry", Test_telemetry.suite);
       ("attrib", Test_attrib.suite);
       ("parallel", Test_parallel.suite);

@@ -127,7 +127,7 @@ let test_funcsim_memory_program () =
 let test_funcsim_hook_counts () =
   let p = Test_ir.fact_program 5 in
   let n = ref 0 in
-  let r = Funcsim.run ~hook:(fun _ _ _ _ -> incr n) p in
+  let r = Funcsim.run ~hook:(fun _ _ _ _ _ -> incr n) p in
   Alcotest.(check int) "hook saw every instruction" r.Funcsim.instrs !n
 
 let suite =
