@@ -370,13 +370,13 @@ let serving ~json () =
 let cluster ~json () =
   let dir = Filename.temp_dir "sspc_bench_cluster" "" in
   let scale = Ssp_workloads.Suite.test_scale in
-  let start_shard i =
+  let start_shard ?(jobs = 2) i =
     let port = ref None in
     let cfg =
       {
         Ssp_server.Server.socket = None;
         tcp = Some ("127.0.0.1", 0);
-        jobs = 2;
+        jobs;
         cache =
           Some
             (Ssp_store.Store.Cache.open_dir
@@ -406,12 +406,13 @@ let cluster ~json () =
     in
     (th, wait 500)
   in
-  let start_router name shards =
+  let start_router ?(replicate = true) name shards =
     let socket = Filename.concat dir (name ^ ".sock") in
     let cfg =
       {
         (Ssp_cluster.Router.default_config ~shards) with
         Ssp_cluster.Router.socket = Some socket;
+        replicate;
       }
     in
     let up = ref false in
@@ -521,6 +522,78 @@ let cluster ~json () =
   shutdown (Ssp_server.Client.Tcp ("127.0.0.1", p1));
   shutdown (Ssp_server.Client.Tcp ("127.0.0.1", p2));
   List.iter Thread.join [ r1_th; r2_th; th1; th2 ];
+  (* Replication write-through cost on the cold path: the same cold
+     adapt through a replicating 2-shard cluster vs one with
+     replication off — fresh shards each, so both compute exactly once
+     and the delta is the synchronous Put_blob to the successor. *)
+  let cold_adapt_s ~replicate idx =
+    let tha, pa = start_shard (10 + (2 * idx)) in
+    let thb, pb = start_shard (11 + (2 * idx)) in
+    let shards = [ ("127.0.0.1", pa); ("127.0.0.1", pb) ] in
+    let r_th, r_sock =
+      start_router ~replicate (Printf.sprintf "router_repl%d" idx) shards
+    in
+    let router = Ssp_server.Client.Unix_sock r_sock in
+    let (), s = time (fun () -> ignore (adapt router "mst")) in
+    shutdown router;
+    shutdown (Ssp_server.Client.Tcp ("127.0.0.1", pa));
+    shutdown (Ssp_server.Client.Tcp ("127.0.0.1", pb));
+    List.iter Thread.join [ r_th; tha; thb ];
+    s
+  in
+  let cold_repl_s = cold_adapt_s ~replicate:true 0 in
+  let cold_norepl_s = cold_adapt_s ~replicate:false 1 in
+  (* Deadline shedding under saturation: a jobs=1 shard takes a burst of
+     already-expired budgets (shed at admission), tight budgets (shed at
+     compute once the queue eats them), and unbounded requests (served);
+     the split is read back through the snapshot plane, the same way an
+     operator would. *)
+  let module T = Ssp_telemetry.Telemetry in
+  let module Snapshot = Ssp_server.Snapshot in
+  let t_was = !T.enabled in
+  T.set_enabled true;
+  let th_d, p_d = start_shard ~jobs:1 20 in
+  let shard_d = Ssp_server.Client.Tcp ("127.0.0.1", p_d) in
+  let snapshot_counter name =
+    match Ssp_server.Client.request_addr shard_d Ssp_server.Proto.Stats_snapshot with
+    | Ssp_server.Proto.Snapshot_reply { snapshot } ->
+      Option.value ~default:0
+        (List.assoc_opt name (Snapshot.decode snapshot).Snapshot.counters)
+    | _ -> failwith "cluster bench: expected a snapshot"
+  in
+  let shed_counters =
+    [
+      "server.deadline.shed_admission"; "server.deadline.shed_compute";
+      "server.deadline.shed_serialize"; "server.tenant.anon.served";
+    ]
+  in
+  let before = List.map snapshot_counter shed_counters in
+  (* A tight budget caps the socket timeout too, so the client may give
+     up (EAGAIN) before the structured shed reply arrives — that is the
+     deadline working; the server-side counters are what we read. *)
+  let fire deadline_ms name =
+    match
+      Ssp_server.Client.request_env ~deadline_ms shard_d
+        (Ssp_server.Proto.Adapt
+           { prog = Ssp_server.Proto.Workload name; scale;
+             pipeline = "inorder"; tenant = Ssp_server.Proto.default_tenant })
+    with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+    | exception Ssp_ir.Error.Error _ -> ()
+  in
+  for _ = 1 to 5 do fire (-1.) "mcf" done;
+  for _ = 1 to 5 do fire 0.5 "health" done;
+  for _ = 1 to 5 do fire 0. "mcf" done;
+  let after = List.map snapshot_counter shed_counters in
+  let shed_admission, shed_compute, shed_serialize, served =
+    match List.map2 ( - ) after before with
+    | [ a; c; z; s ] -> (a, c, z, s)
+    | _ -> (0, 0, 0, 0)
+  in
+  shutdown shard_d;
+  Thread.join th_d;
+  T.set_enabled t_was;
   Format.fprintf ppf "%-34s %8.3f ms@." "warm hit, direct to owning shard"
     (direct_s *. 1e3);
   Format.fprintf ppf "%-34s %8.3f ms  (%.2fx direct)@."
@@ -530,6 +603,15 @@ let cluster ~json () =
   Format.fprintf ppf "%-34s %8.1f req/s  (%.2fx)@."
     "warm throughput, 2 shards" rps2
     (rps2 /. Float.max 1e-9 rps1);
+  Format.fprintf ppf "%-34s %8.3f ms@." "cold adapt, replication off"
+    (cold_norepl_s *. 1e3);
+  Format.fprintf ppf "%-34s %8.3f ms  (%.2fx)@." "cold adapt, replication on"
+    (cold_repl_s *. 1e3)
+    (cold_repl_s /. Float.max 1e-9 cold_norepl_s);
+  Format.fprintf ppf
+    "%-34s %8d admission / %d compute / %d serialize / %d served@."
+    "deadline shed (15 requests)" shed_admission shed_compute shed_serialize
+    served;
   match json with
   | None -> ()
   | Some path ->
@@ -538,11 +620,18 @@ let cluster ~json () =
       "{\"section\":\"cluster\",\"warm_hit\":{\"direct_s\":%.6f,\
        \"routed_s\":%.6f,\"router_overhead\":%.3f},\
        \"throughput\":{\"shards1_rps\":%.2f,\"shards2_rps\":%.2f,\
-       \"scaling\":%.3f}}\n"
+       \"scaling\":%.3f},\
+       \"replication\":{\"cold_repl_s\":%.6f,\"cold_norepl_s\":%.6f,\
+       \"overhead\":%.3f},\
+       \"deadline\":{\"shed_admission\":%d,\"shed_compute\":%d,\
+       \"shed_serialize\":%d,\"served\":%d}}\n"
       direct_s routed_s
       (routed_s /. Float.max 1e-9 direct_s)
       rps1 rps2
-      (rps2 /. Float.max 1e-9 rps1);
+      (rps2 /. Float.max 1e-9 rps1)
+      cold_repl_s cold_norepl_s
+      (cold_repl_s /. Float.max 1e-9 cold_norepl_s)
+      shed_admission shed_compute shed_serialize served;
     close_out oc;
     Format.fprintf ppf "@.cluster JSON written to %s@." path
 

@@ -237,6 +237,41 @@ let adapt_cmd =
       const run $ src_arg $ scale_arg $ out_arg $ trace_arg $ jobs_arg
       $ store_arg)
 
+let fsck_cmd =
+  let dir_pos =
+    let doc = "The artifact store directory to verify." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    guard @@ fun () ->
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      fail2 (Printf.sprintf "%s: not a directory" dir)
+    else begin
+      (* Open with an infinite sweep grace so fsck itself observes (and
+         reports) the orphans instead of open_dir silently eating them. *)
+      let cache =
+        Ssp_store.Store.Cache.open_dir ~sweep_grace_s:infinity dir
+      in
+      let r = Ssp_store.Store.Cache.fsck cache in
+      Printf.printf
+        "sspc fsck %s: %d scanned, %d valid (%d bytes), %d corrupt removed, \
+         %d orphaned tmp removed\n"
+        dir r.Ssp_store.Store.Cache.scanned r.Ssp_store.Store.Cache.valid
+        r.Ssp_store.Store.Cache.valid_bytes
+        r.Ssp_store.Store.Cache.corrupt_removed
+        r.Ssp_store.Store.Cache.tmp_removed
+    end
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify and GC an artifact store: check every entry's sealed \
+          envelope (magic, version, length, content hash), delete corrupt \
+          entries and orphaned tmp files left by crashed writers, and \
+          report what was found. Always exits 0 on a readable store — \
+          after one pass the store is clean by construction.")
+    Term.(const run $ dir_pos)
+
 let pipeline_arg =
   let doc = "Pipeline model: inorder or ooo." in
   Arg.(value & opt string "inorder" & info [ "pipeline" ] ~doc)
@@ -688,7 +723,8 @@ let serve_cmd =
       $ max_queue_arg $ retry_after_arg $ trace_arg)
 
 let route_cmd =
-  let run socket tcp shards vnodes quarantine shard_timeout max_frame trace =
+  let run socket tcp shards vnodes quarantine quarantine_max probe_interval
+      shard_timeout no_replicate max_frame trace =
     guard @@ fun () ->
     T.set_enabled true;
     with_trace trace @@ fun () ->
@@ -700,7 +736,11 @@ let route_cmd =
         vnodes;
         max_frame;
         quarantine_s = quarantine;
+        quarantine_max_s = quarantine_max;
+        probe_interval_s = probe_interval;
         shard_timeout_s = shard_timeout;
+        replicate = not no_replicate;
+        hints_max = 256;
       }
   in
   let shard_arg =
@@ -718,9 +758,31 @@ let route_cmd =
   in
   let quarantine_arg =
     let doc =
-      "Seconds a failed shard is skipped while live alternatives exist."
+      "Circuit-breaker backoff base: roughly how long a shard's first \
+       failure quarantines it (growing per consecutive failure, with \
+       decorrelated jitter). A quarantined shard is re-admitted only after \
+       a Ping probe succeeds."
     in
     Arg.(value & opt float 2. & info [ "quarantine" ] ~docv:"SECONDS" ~doc)
+  in
+  let quarantine_max_arg =
+    let doc = "Circuit-breaker backoff cap." in
+    Arg.(value & opt float 30. & info [ "quarantine-max" ] ~docv:"SECONDS" ~doc)
+  in
+  let probe_interval_arg =
+    let doc =
+      "How often the health prober scans for quarantined shards whose \
+       backoff expired and pings them (half-open probing)."
+    in
+    Arg.(
+      value & opt float 0.25 & info [ "probe-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let no_replicate_flag =
+    let doc =
+      "Disable replication: do not write adapt artifacts through to the \
+       ring successor (failover falls back to cold recompute)."
+    in
+    Arg.(value & flag & info [ "no-replicate" ] ~doc)
   in
   let shard_timeout_arg =
     let doc =
@@ -740,13 +802,16 @@ let route_cmd =
     (Cmd.info "route"
        ~doc:
          "Run the cluster router: place client requests on shard daemons by \
-          consistent hashing (cache affinity), fail transport errors over \
-          to the ring's next live shard, forward admission rejections \
-          untouched, and degrade to a structured error — never wrong bytes \
-          — when no shard answers")
+          consistent hashing (cache affinity), replicate adapt artifacts to \
+          the ring successor (warm failover + hinted handoff), fail \
+          transport errors over to the ring's next live shard behind \
+          probing circuit breakers, spend end-to-end deadline budgets, \
+          forward admission rejections untouched, and degrade to a \
+          structured error — never wrong bytes — when no shard answers")
     Term.(
       const run $ socket_arg $ tcp_arg $ shard_arg $ vnodes_arg
-      $ quarantine_arg $ shard_timeout_arg $ max_frame_arg $ trace_arg)
+      $ quarantine_arg $ quarantine_max_arg $ probe_interval_arg
+      $ shard_timeout_arg $ no_replicate_flag $ max_frame_arg $ trace_arg)
 
 (* Workload names travel by name (the server compiles them); anything
    else is read here and shipped as source text. *)
@@ -768,6 +833,11 @@ let server_error_to_exit2 = function
     fail2
       (Printf.sprintf "server saturated (retries exhausted; retry after %.2fs)"
          retry_after_s)
+  | Ssp_server.Proto.Deadline_exceeded { stage; budget_ms; elapsed_ms } ->
+    fail2
+      (Printf.sprintf
+         "deadline exceeded at %s (budget %.0fms, elapsed %.0fms)" stage
+         budget_ms elapsed_ms)
   | resp -> resp
 
 let tenant_arg =
@@ -787,6 +857,16 @@ let retries_arg =
   in
   Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "End-to-end deadline: the client mints a budget of $(docv) seconds \
+     covering every attempt, retry sleep, and hop; each hop spends it and \
+     sheds the request with a structured reply (exit 2) once it expires, \
+     instead of burning server time on an answer nobody is waiting for. 0 \
+     disables the deadline."
+  in
+  Arg.(value & opt float 0. & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
 (* --tcp wins when both endpoints are given: the client talks to exactly
    one peer (a daemon or a router), never both. *)
 let addr_of ~socket ~tcp =
@@ -794,12 +874,12 @@ let addr_of ~socket ~tcp =
   | Some (host, port) -> Ssp_server.Client.Tcp (host, port)
   | None -> Ssp_server.Client.Unix_sock socket
 
-let client_request ?trace ~socket ~tcp ~retries req =
+let client_request ?trace ?deadline_s ~socket ~tcp ~retries req =
   let on_wait ~reason ~delay_s =
     Printf.eprintf "sspc: %s; retrying in %.2fs\n%!" reason delay_s
   in
   Ssp_server.Client.request_retry_hops ~attempts:retries ~on_wait ?trace
-    (addr_of ~socket ~tcp) req
+    ?deadline_s (addr_of ~socket ~tcp) req
 
 let write_text out text =
   match out with
@@ -1008,15 +1088,16 @@ let with_client_trace trace label k =
     resp
 
 let client_adapt_cmd =
-  let run src scale pipeline socket tcp tenant retries out trace =
+  let run src scale pipeline socket tcp tenant retries deadline out trace =
     guard @@ fun () ->
+    let deadline_s = if deadline > 0. then Some deadline else None in
     let req =
       Ssp_server.Proto.Adapt
         { prog = prog_ref_of src scale; scale; pipeline; tenant }
     in
     let resp =
       with_client_trace trace ("adapt " ^ src) (fun ctx ->
-          client_request ?trace:ctx ~socket ~tcp ~retries req)
+          client_request ?trace:ctx ?deadline_s ~socket ~tcp ~retries req)
     in
     match server_error_to_exit2 resp with
     | Ssp_server.Proto.Adapted { report; asm; cache } ->
@@ -1033,18 +1114,19 @@ let client_adapt_cmd =
          "Adapt via the daemon or router (output matches 'sspc adapt')")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ socket_arg $ tcp_arg
-      $ tenant_arg $ retries_arg $ out_arg $ client_trace_arg)
+      $ tenant_arg $ retries_arg $ deadline_arg $ out_arg $ client_trace_arg)
 
 let client_sim_cmd =
-  let run src scale pipeline ssp socket tcp tenant retries trace =
+  let run src scale pipeline ssp socket tcp tenant retries deadline trace =
     guard @@ fun () ->
+    let deadline_s = if deadline > 0. then Some deadline else None in
     let req =
       Ssp_server.Proto.Sim
         { prog = prog_ref_of src scale; scale; pipeline; ssp; tenant }
     in
     let resp =
       with_client_trace trace ("sim " ^ src) (fun ctx ->
-          client_request ?trace:ctx ~socket ~tcp ~retries req)
+          client_request ?trace:ctx ?deadline_s ~socket ~tcp ~retries req)
     in
     match server_error_to_exit2 resp with
     | Ssp_server.Proto.Simmed { stats } -> print_string stats
@@ -1053,7 +1135,7 @@ let client_sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-simulate via the daemon or router")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ socket_arg
-      $ tcp_arg $ tenant_arg $ retries_arg $ client_trace_arg)
+      $ tcp_arg $ tenant_arg $ retries_arg $ deadline_arg $ client_trace_arg)
 
 let client_stats_cmd =
   let run socket tcp retries =
@@ -1282,6 +1364,7 @@ let () =
             run_cmd;
             profile_cmd;
             adapt_cmd;
+            fsck_cmd;
             sim_cmd;
             explain_cmd;
             stats_cmd;

@@ -35,11 +35,23 @@ let connect addr =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e)
 
-let request_hops ?max_frame ?timeout_s ?trace addr req =
+let request_env ?max_frame ?timeout_s ?trace ?(deadline_ms = 0.) ?artifacts
+    addr req =
   let fd = connect addr in
   Fun.protect ~finally:(fun () ->
       try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
+  (* When the request carries a deadline budget, the socket timeout is
+     the budget: the per-hop timeout collapses into the end-to-end
+     deadline instead of living an independent life. *)
+  let timeout_s =
+    if deadline_ms > 0. then
+      Some
+        (match timeout_s with
+        | Some t when t > 0. -> Float.min t (deadline_ms /. 1000.)
+        | _ -> deadline_ms /. 1000.)
+    else timeout_s
+  in
   (match timeout_s with
   | Some t when t > 0. -> (
     (* A peer that accepts but never replies surfaces as EAGAIN instead
@@ -49,12 +61,18 @@ let request_hops ?max_frame ?timeout_s ?trace addr req =
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
     with Unix.Unix_error _ -> ())
   | _ -> ());
-  Proto.write_frame fd (Proto.encode_request ?trace req);
+  Proto.write_frame fd (Proto.encode_request ?trace ~deadline_ms ?artifacts req);
   match Proto.read_frame ?max_frame fd with
-  | Some payload -> Proto.decode_response_hops payload
+  | Some payload -> Proto.decode_response_env payload
   | None ->
     Ssp_ir.Error.raise_error ~pass:"proto"
       "server closed the connection without replying"
+
+let request_hops ?max_frame ?timeout_s ?trace ?deadline_ms addr req =
+  let resp, hops, _ =
+    request_env ?max_frame ?timeout_s ?trace ?deadline_ms addr req
+  in
+  (resp, hops)
 
 let request_addr ?max_frame ?timeout_s addr req =
   fst (request_hops ?max_frame ?timeout_s addr req)
@@ -80,28 +98,51 @@ let transient_error = function
 let jittered d = d *. (0.5 +. Random.float 1.0)
 
 let request_retry_hops ?max_frame ?(attempts = 5) ?(base_delay_s = 0.05)
-    ?(max_delay_s = 2.0) ?on_wait ?trace addr req =
+    ?(max_delay_s = 2.0) ?on_wait ?trace ?deadline_s addr req =
+  let t_start = Unix.gettimeofday () in
+  (* The client mints the end-to-end budget; every attempt (and every
+     backoff sleep) spends it. A budget that runs out mid-retry becomes
+     a local structured shed — the server's time is not worth burning on
+     a reply nobody is waiting for. *)
+  let remaining_ms () =
+    match deadline_s with
+    | None -> None
+    | Some s -> Some ((s *. 1000.) -. ((Unix.gettimeofday () -. t_start) *. 1000.))
+  in
+  let expired stage =
+    ( Proto.Deadline_exceeded
+        {
+          stage;
+          budget_ms = Option.value ~default:0. deadline_s *. 1000.;
+          elapsed_ms = (Unix.gettimeofday () -. t_start) *. 1000.;
+        },
+      [] )
+  in
   let wait reason d =
     let d = jittered (Float.min max_delay_s (Float.max 0.001 d)) in
     (match on_wait with Some f -> f ~reason ~delay_s:d | None -> ());
     Unix.sleepf d
   in
   let rec go k =
-    match request_hops ?max_frame ?trace addr req with
-    | Proto.Busy_reply { retry_after_s }, _ when k < attempts ->
-      (* Admission backpressure: honor the server's retry-after hint. *)
-      wait "server saturated" (Float.max retry_after_s base_delay_s);
-      go (k + 1)
-    | resp -> resp
-    | exception Unix.Unix_error (e, _, _) when k < attempts && transient_error e
-      ->
-      wait (Unix.error_message e) (base_delay_s *. (2. ** float_of_int k));
-      go (k + 1)
+    match remaining_ms () with
+    | Some ms when ms <= 0. -> expired "client"
+    | rem -> (
+      let deadline_ms = Option.value ~default:0. rem in
+      match request_hops ?max_frame ?trace ~deadline_ms addr req with
+      | Proto.Busy_reply { retry_after_s }, _ when k < attempts ->
+        (* Admission backpressure: honor the server's retry-after hint. *)
+        wait "server saturated" (Float.max retry_after_s base_delay_s);
+        go (k + 1)
+      | resp -> resp
+      | exception Unix.Unix_error (e, _, _)
+        when k < attempts && transient_error e ->
+        wait (Unix.error_message e) (base_delay_s *. (2. ** float_of_int k));
+        go (k + 1))
   in
   go 0
 
-let request_retry ?max_frame ?attempts ?base_delay_s ?max_delay_s ?on_wait addr
-    req =
+let request_retry ?max_frame ?attempts ?base_delay_s ?max_delay_s ?on_wait
+    ?deadline_s addr req =
   fst
     (request_retry_hops ?max_frame ?attempts ?base_delay_s ?max_delay_s
-       ?on_wait addr req)
+       ?on_wait ?deadline_s addr req)

@@ -20,12 +20,30 @@ val request_hops :
   ?max_frame:int ->
   ?timeout_s:float ->
   ?trace:Proto.trace_ctx ->
+  ?deadline_ms:float ->
   addr ->
   Proto.request ->
   Proto.response * Proto.hop list
 (** {!request_addr} that also propagates a trace context into the v3
     request envelope and returns the per-hop latency breakdown stamped
-    into the reply (empty from untraced peers and v2 servers). *)
+    into the reply (empty from untraced peers and v2 servers).
+    [deadline_ms] (> 0) stamps the remaining end-to-end budget into the
+    v4 envelope and caps the socket timeout at the budget — with a
+    deadline in play there is no independent per-hop timeout. *)
+
+val request_env :
+  ?max_frame:int ->
+  ?timeout_s:float ->
+  ?trace:Proto.trace_ctx ->
+  ?deadline_ms:float ->
+  ?artifacts:int ->
+  addr ->
+  Proto.request ->
+  Proto.response * Proto.hop list * (string * string) list
+(** The full v4 exchange: additionally sets the envelope's artifact ask
+    ({!Proto.artifacts_on_miss} / {!Proto.artifacts_always}) and
+    returns the artifact [(key, blob)] list the shard attached — the
+    router's write-through/read-repair source. *)
 
 val request : ?max_frame:int -> socket:string -> Proto.request -> Proto.response
 (** [request_addr] over a Unix-domain socket (the pre-cluster API). *)
@@ -36,6 +54,7 @@ val request_retry :
   ?base_delay_s:float ->
   ?max_delay_s:float ->
   ?on_wait:(reason:string -> delay_s:float -> unit) ->
+  ?deadline_s:float ->
   addr ->
   Proto.request ->
   Proto.response
@@ -50,7 +69,13 @@ val request_retry :
     messages). When attempts run out the last [Busy_reply] is returned
     (or the last exception re-raised) so the caller sees the true
     outcome. Non-transient errors and structured [Error_reply]s are
-    never retried. *)
+    never retried.
+
+    [deadline_s] mints an end-to-end budget covering {e all} attempts
+    and backoff sleeps: each attempt stamps the remaining budget into
+    its envelope, and once it runs out the call returns a local
+    {!Proto.response.Deadline_exceeded} (stage ["client"]) without
+    touching the wire. *)
 
 val request_retry_hops :
   ?max_frame:int ->
@@ -59,6 +84,7 @@ val request_retry_hops :
   ?max_delay_s:float ->
   ?on_wait:(reason:string -> delay_s:float -> unit) ->
   ?trace:Proto.trace_ctx ->
+  ?deadline_s:float ->
   addr ->
   Proto.request ->
   Proto.response * Proto.hop list

@@ -4,7 +4,7 @@
 
 module Bin = Ssp_store.Store.Bin
 
-let proto_version = 3
+let proto_version = 4
 let min_proto_version = 2
 let default_max_frame = 8 * 1024 * 1024
 let req_magic = "SSPQ"
@@ -24,6 +24,32 @@ type trace_ctx = { trace_id : string; span_id : int }
    process a traced request crosses. *)
 type hop = { hop_node : string; hop_stage : string; hop_ms : float }
 
+(* v4 request envelope, riding after the trace fields.
+
+   [re_deadline_ms] is the client-minted end-to-end budget *remaining*
+   at send time: 0. means no deadline, negative means already expired
+   (senders may stamp an expired budget rather than suppress the
+   request so the receiver can account the shed). Each hop re-stamps
+   the remainder before forwarding, which is what replaces independent
+   per-hop timeouts.
+
+   [re_artifacts] is the router's replication ask: [artifacts_none]
+   for plain clients, [artifacts_on_miss] when the primary should
+   attach freshly-computed artifacts for write-through,
+   [artifacts_always] when a failover target should attach them even
+   on a hit so the router can read-repair the primary. *)
+type req_env = {
+  re_trace : trace_ctx option;
+  re_deadline_ms : float;
+  re_artifacts : int;
+}
+
+let artifacts_none = 0
+let artifacts_on_miss = 1
+let artifacts_always = 2
+
+let no_env = { re_trace = None; re_deadline_ms = 0.; re_artifacts = 0 }
+
 type request =
   | Adapt of {
       prog : program_ref;
@@ -41,10 +67,12 @@ type request =
   | Stats
   | Shutdown
   | Stats_snapshot
+  | Put_blob of { key : string; blob : string }
+  | Ping
 
 let tenant_of = function
   | Adapt { tenant; _ } | Sim { tenant; _ } -> tenant
-  | Stats | Shutdown | Stats_snapshot -> "-"
+  | Stats | Shutdown | Stats_snapshot | Put_blob _ | Ping -> "-"
 
 type error_info = { pass : string; what : string; injected : bool }
 
@@ -55,6 +83,7 @@ type response =
   | Ok_reply
   | Busy_reply of { retry_after_s : float }
   | Snapshot_reply of { snapshot : string }
+  | Deadline_exceeded of { stage : string; budget_ms : float; elapsed_ms : float }
   | Error_reply of error_info
 
 (* ---- body codecs ---- *)
@@ -74,8 +103,10 @@ let r_program_ref r =
   | t -> malformed (Printf.sprintf "unknown program-ref tag %d" t)
 
 (* Envelopes. v3 inserts trace fields (requests) / a hop list
-   (responses) between the version byte and the body tag; v2 payloads
-   decode exactly as before, so old peers interoperate. *)
+   (responses) between the version byte and the body tag; v4 appends
+   the deadline budget + artifact ask (requests) / the replicated
+   artifact list (responses) after them. v2 and v3 payloads decode
+   exactly as before, so old peers interoperate. *)
 
 let encode magic envelope emit =
   let b = Bin.writer () in
@@ -135,8 +166,34 @@ let r_hops r v =
         { hop_node; hop_stage; hop_ms })
   end
 
-let encode_request ?trace req =
-  encode req_magic (fun b -> w_trace b trace) (fun b ->
+let w_artifacts b artifacts =
+  Bin.w_int b (List.length artifacts);
+  List.iter
+    (fun (key, blob) ->
+      Bin.w_str b key;
+      Bin.w_str b blob)
+    artifacts
+
+let r_artifacts r v =
+  if v < 4 then []
+  else begin
+    let n = Bin.r_int r in
+    if n < 0 || n > 64 then
+      malformed (Printf.sprintf "implausible artifact count %d" n);
+    List.init n (fun _ ->
+        let key = Bin.r_str r in
+        let blob = Bin.r_str r in
+        (key, blob))
+  end
+
+let encode_request ?trace ?(deadline_ms = 0.) ?(artifacts = artifacts_none) req
+    =
+  encode req_magic
+    (fun b ->
+      w_trace b trace;
+      Bin.w_float b deadline_ms;
+      Bin.w_u8 b artifacts)
+    (fun b ->
       match req with
       | Adapt { prog; scale; pipeline; tenant } ->
         Bin.w_u8 b 1;
@@ -153,10 +210,26 @@ let encode_request ?trace req =
         Bin.w_str b tenant
       | Stats -> Bin.w_u8 b 3
       | Shutdown -> Bin.w_u8 b 4
-      | Stats_snapshot -> Bin.w_u8 b 5)
+      | Stats_snapshot -> Bin.w_u8 b 5
+      | Put_blob { key; blob } ->
+        Bin.w_u8 b 6;
+        Bin.w_str b key;
+        Bin.w_str b blob
+      | Ping -> Bin.w_u8 b 7)
 
-let decode_request_traced payload =
-  decode req_magic payload r_trace (fun r ->
+let r_req_env r v =
+  let re_trace = r_trace r v in
+  if v < 4 then { no_env with re_trace }
+  else begin
+    let re_deadline_ms = Bin.r_float r in
+    let re_artifacts = Bin.r_u8 r in
+    if re_artifacts > artifacts_always then
+      malformed (Printf.sprintf "unknown artifact ask %d" re_artifacts);
+    { re_trace; re_deadline_ms; re_artifacts }
+  end
+
+let decode_request_env payload =
+  decode req_magic payload r_req_env (fun r ->
       match Bin.r_u8 r with
       | 1 ->
         let prog = r_program_ref r in
@@ -174,12 +247,25 @@ let decode_request_traced payload =
       | 3 -> Stats
       | 4 -> Shutdown
       | 5 -> Stats_snapshot
+      | 6 ->
+        let key = Bin.r_str r in
+        let blob = Bin.r_str r in
+        Put_blob { key; blob }
+      | 7 -> Ping
       | t -> malformed (Printf.sprintf "unknown request tag %d" t))
 
-let decode_request payload = fst (decode_request_traced payload)
+let decode_request_traced payload =
+  let req, env = decode_request_env payload in
+  (req, env.re_trace)
 
-let encode_response ?(hops = []) resp =
-  encode resp_magic (fun b -> w_hops b hops) (fun b ->
+let decode_request payload = fst (decode_request_env payload)
+
+let encode_response ?(hops = []) ?(artifacts = []) resp =
+  encode resp_magic
+    (fun b ->
+      w_hops b hops;
+      w_artifacts b artifacts)
+    (fun b ->
       match resp with
       | Adapted { report; asm; cache } ->
         Bin.w_u8 b 1;
@@ -199,15 +285,26 @@ let encode_response ?(hops = []) resp =
       | Snapshot_reply { snapshot } ->
         Bin.w_u8 b 6;
         Bin.w_str b snapshot
+      | Deadline_exceeded { stage; budget_ms; elapsed_ms } ->
+        Bin.w_u8 b 7;
+        Bin.w_str b stage;
+        Bin.w_float b budget_ms;
+        Bin.w_float b elapsed_ms
       | Error_reply { pass; what; injected } ->
         Bin.w_u8 b 255;
         Bin.w_str b pass;
         Bin.w_str b what;
         Bin.w_bool b injected)
 
-let decode_response_hops payload =
-  decode resp_magic payload r_hops (fun r ->
-      match Bin.r_u8 r with
+let decode_response_env payload =
+  let resp, (hops, artifacts) =
+    decode resp_magic payload
+      (fun r v ->
+        let hops = r_hops r v in
+        let artifacts = r_artifacts r v in
+        (hops, artifacts))
+      (fun r ->
+          match Bin.r_u8 r with
       | 1 ->
         let report = Bin.r_str r in
         let asm = Bin.r_str r in
@@ -218,14 +315,27 @@ let decode_response_hops payload =
       | 4 -> Ok_reply
       | 5 -> Busy_reply { retry_after_s = Bin.r_float r }
       | 6 -> Snapshot_reply { snapshot = Bin.r_str r }
+      | 7 ->
+        let stage = Bin.r_str r in
+        let budget_ms = Bin.r_float r in
+        let elapsed_ms = Bin.r_float r in
+        Deadline_exceeded { stage; budget_ms; elapsed_ms }
       | 255 ->
         let pass = Bin.r_str r in
         let what = Bin.r_str r in
         let injected = Bin.r_bool r in
         Error_reply { pass; what; injected }
       | t -> malformed (Printf.sprintf "unknown response tag %d" t))
+  in
+  (resp, hops, artifacts)
 
-let decode_response payload = fst (decode_response_hops payload)
+let decode_response_hops payload =
+  let resp, hops, _ = decode_response_env payload in
+  (resp, hops)
+
+let decode_response payload =
+  let resp, _, _ = decode_response_env payload in
+  resp
 
 (* ---- framing ---- *)
 

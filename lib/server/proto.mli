@@ -9,12 +9,14 @@
     connection or a crash. *)
 
 val proto_version : int
-(** Version written by this build (3). *)
+(** Version written by this build (4): v4 adds the deadline budget and
+    artifact ask to request envelopes and the replicated-artifact list
+    to response envelopes. *)
 
 val min_proto_version : int
 (** Oldest version still accepted by decoders (2): v2 payloads carry no
     trace envelope and decode to an untraced request / hop-less
-    response. *)
+    response; v3 payloads carry no deadline or artifacts. *)
 
 val default_max_frame : int
 (** Frames larger than this are rejected (8 MiB). *)
@@ -36,6 +38,28 @@ type hop = { hop_node : string; hop_stage : string; hop_ms : float }
 (** One entry of the per-hop latency breakdown stamped into a v3
     response envelope ([hop_node] e.g. ["shard 127.0.0.1:7301"],
     [hop_stage] e.g. ["queue"], ["store.lookup"], ["serialize"]). *)
+
+type req_env = {
+  re_trace : trace_ctx option;
+  re_deadline_ms : float;
+      (** the end-to-end budget *remaining* at send time: [0.] means no
+          deadline, negative means already expired (stamped rather than
+          suppressed so the receiver accounts the shed). Each hop
+          re-stamps the remainder before forwarding. *)
+  re_artifacts : int;
+      (** replication ask: {!artifacts_none}, {!artifacts_on_miss}
+          (attach freshly-computed artifacts for write-through) or
+          {!artifacts_always} (attach even on a hit, for read-repair) *)
+}
+(** The v4 request envelope. v2/v3 payloads decode to {!no_env} plus
+    whatever trace they carried. *)
+
+val artifacts_none : int
+val artifacts_on_miss : int
+val artifacts_always : int
+
+val no_env : req_env
+(** No trace, no deadline, no artifact ask. *)
 
 type request =
   | Adapt of {
@@ -59,6 +83,16 @@ type request =
   | Stats_snapshot
       (** a versioned binary telemetry snapshot (see {!Snapshot}); the
           router fans this out to every live shard and merges *)
+  | Put_blob of { key : string; blob : string }
+      (** replica write: store a sealed artifact blob under [key]. The
+          receiver verifies the envelope ({!Ssp_store.Store.blob_ok})
+          and the key's shape before touching its cache; answered
+          inline (no admission) with [Ok_reply] or a structured
+          error. *)
+  | Ping
+      (** cheap liveness probe ([Ok_reply]), used by the router's
+          circuit breaker to half-open a quarantined shard without
+          risking real traffic *)
 
 val tenant_of : request -> string
 (** The declaring tenant of a work request; ["-"] for control requests
@@ -77,21 +111,49 @@ type response =
           (roughly) this many seconds — clients add jitter *)
   | Snapshot_reply of { snapshot : string }
       (** {!Snapshot.encode}d binary telemetry snapshot *)
+  | Deadline_exceeded of {
+      stage : string;
+          (** where the budget ran out: ["client"], ["router"],
+              ["admission"], ["compute"] or ["serialize"] *)
+      budget_ms : float;  (** the budget as stamped on arrival *)
+      elapsed_ms : float;  (** time burned at that node before the shed *)
+    }
+      (** structured deadline shed: the request's end-to-end budget
+          expired before (or while) serving it. Never retried — the
+          client's time is gone either way. *)
   | Error_reply of error_info
 
-val encode_request : ?trace:trace_ctx -> request -> string
+val encode_request :
+  ?trace:trace_ctx -> ?deadline_ms:float -> ?artifacts:int -> request -> string
+(** [deadline_ms] (default 0 = none) and [artifacts] (default
+    {!artifacts_none}) populate the v4 envelope; see {!req_env}. *)
+
 val decode_request : string -> request
 
 val decode_request_traced : string -> request * trace_ctx option
 (** Like {!decode_request} but also returns the trace envelope ([None]
-    for v2 payloads and untraced v3 requests). *)
+    for v2 payloads and untraced v3+ requests). *)
 
-val encode_response : ?hops:hop list -> response -> string
+val decode_request_env : string -> request * req_env
+(** Like {!decode_request} but returns the whole v4 envelope
+    ({!no_env}-filled for older payloads). *)
+
+val encode_response : ?hops:hop list -> ?artifacts:(string * string) list ->
+  response -> string
+(** [artifacts] is the replicated-artifact list a shard attaches when
+    the request's {!req_env.re_artifacts} asked for it: the cache
+    [(key, sealed blob)] pairs the reply was built from, which the
+    router writes through to the replica. *)
+
 val decode_response : string -> response
 
 val decode_response_hops : string -> response * hop list
 (** Like {!decode_response} but also returns the per-hop latency
     breakdown ([[]] for v2 payloads and untraced replies). *)
+
+val decode_response_env :
+  string -> response * hop list * (string * string) list
+(** Hops plus the attached artifact list ([[]] below v4). *)
 
 val frame : string -> string
 (** Prefix a payload with its 4-byte big-endian length. *)

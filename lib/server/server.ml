@@ -1,5 +1,12 @@
 module T = Ssp_telemetry.Telemetry
 module Store = Ssp_store.Store
+module F = Ssp_fault.Fault
+
+(* Deadline stamp skew: the budget is minted on the client's clock and
+   spent on ours. This site simulates a skewed stamp (the budget reads
+   as already expired on arrival) so tests and chaos campaigns can drive
+   the admission shed path deterministically. *)
+let deadline_skew = F.site "server.deadline_skew"
 
 type config = {
   socket : string option;
@@ -54,11 +61,30 @@ let cache_status = function `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
 
 (* Profile + adapt through the store. The reported status is the adapt
    lookup's: that is the expensive artifact, and the one whose hit makes
-   the reply byte-identical-but-fast. *)
+   the reply byte-identical-but-fast. The profile rides back so the
+   caller can re-derive the artifact cache keys for replication. *)
 let adapted_for cache ~config prog =
   let profile, _ = Store.cached_profile ?cache ~config prog in
   let result, status = Store.run_cached ?cache ~config prog profile in
-  (result, cache_status status)
+  (result, cache_status status, profile)
+
+(* The (key, sealed blob) pairs an adapt reply was built from, read
+   straight back off the cache — what the router writes through to the
+   replica shard. Missing entries (no cache, eviction racing us) just
+   drop out: replication is best-effort by design. *)
+let artifacts_of cache ~config ~status ~ask prog profile =
+  match cache with
+  | Some cache
+    when ask = Proto.artifacts_always
+         || (ask = Proto.artifacts_on_miss && String.equal status "miss") ->
+    List.filter_map
+      (fun key ->
+        Option.map (fun blob -> (key, blob)) (Store.Cache.find cache key))
+      [
+        Store.profile_key ~config prog;
+        Store.adapted_key ~config prog profile;
+      ]
+  | _ -> []
 
 let error_reply (e : Ssp_ir.Error.info) =
   T.count "server.errors" 1;
@@ -71,26 +97,29 @@ let plain_error pass what =
   T.count "server.errors" 1;
   Proto.Error_reply { pass; what; injected = false }
 
-let handle cfg req =
+let handle_env cfg ~ask req =
   try
     match req with
     | Proto.Adapt { prog; scale; pipeline; tenant = _ } ->
       let config = config_of_pipeline pipeline in
       let prog = compile_ref prog scale in
-      let result, status = adapted_for cfg.cache ~config prog in
+      let result, status, profile = adapted_for cfg.cache ~config prog in
       if String.equal status "hit" then T.count "server.cache_hit" 1;
-      Proto.Adapted
-        {
-          report = Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report;
-          asm = Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog;
-          cache = status;
-        }
+      let artifacts = artifacts_of cfg.cache ~config ~status ~ask prog profile in
+      ( Proto.Adapted
+          {
+            report =
+              Format.asprintf "%a@." Ssp.Report.pp result.Ssp.Adapt.report;
+            asm = Format.asprintf "%a@." Ssp_ir.Asm.print result.Ssp.Adapt.prog;
+            cache = status;
+          },
+        artifacts )
     | Proto.Sim { prog; scale; pipeline; ssp; tenant = _ } ->
       let config = config_of_pipeline pipeline in
       let prog = compile_ref prog scale in
       let prog =
         if ssp then
-          let result, _ = adapted_for cfg.cache ~config prog in
+          let result, _, _ = adapted_for cfg.cache ~config prog in
           result.Ssp.Adapt.prog
         else prog
       in
@@ -99,18 +128,31 @@ let handle cfg req =
         | Ssp_machine.Config.In_order -> Ssp_sim.Inorder.run config prog
         | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
       in
-      Proto.Simmed { stats = Format.asprintf "%a@." Ssp_sim.Stats.pp stats }
-    | Proto.Stats | Proto.Shutdown | Proto.Stats_snapshot ->
+      (Proto.Simmed { stats = Format.asprintf "%a@." Ssp_sim.Stats.pp stats }, [])
+    | Proto.Stats | Proto.Shutdown | Proto.Stats_snapshot | Proto.Put_blob _
+    | Proto.Ping ->
       (* Control requests are answered inline by the loop. *)
-      plain_error "server" "control request routed to a worker"
+      (plain_error "server" "control request routed to a worker", [])
   with
-  | Ssp_ir.Error.Error e -> error_reply e
-  | Ssp_minic.Frontend.Error msg -> plain_error "frontend" msg
+  | Ssp_ir.Error.Error e -> (error_reply e, [])
+  | Ssp_minic.Frontend.Error msg -> (plain_error "frontend" msg, [])
   | Ssp_ir.Asm.Error (msg, line) ->
-    plain_error "asm" (Printf.sprintf "%s (line %d)" msg line)
-  | Failure msg | Invalid_argument msg -> plain_error "server" msg
-  | Stack_overflow -> plain_error "server" "stack overflow"
-  | e -> plain_error "server" (Printexc.to_string e)
+    (plain_error "asm" (Printf.sprintf "%s (line %d)" msg line), [])
+  | Failure msg | Invalid_argument msg -> (plain_error "server" msg, [])
+  | Stack_overflow -> (plain_error "server" "stack overflow", [])
+  | e -> (plain_error "server" (Printexc.to_string e), [])
+
+let handle cfg req = fst (handle_env cfg ~ask:Proto.artifacts_none req)
+let _ = handle
+
+(* Replica-write keys index the filesystem; only the digest shape the
+   cache itself mints is allowed through. *)
+let valid_blob_key key =
+  let n = String.length key in
+  n > 0 && n <= 64
+  && String.for_all
+       (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+       key
 
 (* ---- connection state ---- *)
 
@@ -245,8 +287,7 @@ let serve ?ready cfg =
   (match ready with Some f -> f ~tcp_port | None -> ());
   let pool = Ssp_parallel.Pool.create ~jobs:(max 1 cfg.jobs) in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
-  let adm :
-      (conn * Proto.request * Proto.trace_ctx option * float) Admission.t =
+  let adm : (conn * Proto.request * Proto.req_env * float) Admission.t =
     Admission.create ()
   in
   let running = ref true in
@@ -261,10 +302,10 @@ let serve ?ready cfg =
      a peer that stops draining parks its bytes in [c.out] (drained via
      select's write set, dropped after the timeout) — it can lose its
      own connection, but never stall the loop. *)
-  let send ?(hops = []) c resp =
+  let send ?(hops = []) ?(artifacts = []) c resp =
     if c.dead then ()
     else
-      match Proto.frame (Proto.encode_response ~hops resp) with
+      match Proto.frame (Proto.encode_response ~hops ~artifacts resp) with
       | framed ->
       if out_pending c = 0 then begin
         c.out <- framed;
@@ -382,8 +423,8 @@ let serve ?ready cfg =
                   (* Anything a hostile payload makes the decoder raise —
                      structured or not — is an error reply, never a dead
                      connection or a dead loop. *)
-                  match Proto.decode_request_traced payload with
-                  | req, trace -> batch := (c, req, trace, now) :: !batch
+                  match Proto.decode_request_env payload with
+                  | req, env -> batch := (c, req, env, now) :: !batch
                   | exception Ssp_ir.Error.Error e ->
                     send c (error_reply e);
                     c.closing <- true
@@ -424,7 +465,7 @@ let serve ?ready cfg =
        through admission: reject with retry-after when the queue is
        saturated, otherwise queue under the declaring tenant. *)
     List.iter
-      (fun (c, req, trace, t0) ->
+      (fun (c, req, env, t0) ->
         match req with
         | Proto.Stats ->
           T.count "server.requests" 1;
@@ -453,16 +494,59 @@ let serve ?ready cfg =
           T.count "server.requests" 1;
           send c Proto.Ok_reply;
           running := false
+        | Proto.Ping ->
+          T.count "server.requests" 1;
+          send c Proto.Ok_reply
+        | Proto.Put_blob { key; blob } -> (
+          (* Replica write-through from the router: cheap disk I/O,
+             answered inline like the other control requests so it can
+             never queue behind (or be shed by) the work plane. The
+             blob's sealed envelope and the key's digest shape are both
+             verified before anything touches the cache — a replica can
+             only ever store bytes that decode clean. *)
+          T.count "server.requests" 1;
+          match cfg.cache with
+          | None ->
+            send c (plain_error "server" "replica write without a cache")
+          | Some cache ->
+            if not (valid_blob_key key) then begin
+              T.count "server.replica.rejected" 1;
+              send c (plain_error "store" "replica key is not a cache digest")
+            end
+            else if not (Store.blob_ok blob) then begin
+              T.count "server.replica.rejected" 1;
+              send c
+                (plain_error "store" "replica blob failed integrity check")
+            end
+            else begin
+              Store.Cache.put cache key blob;
+              T.count "server.replica.puts" 1;
+              send c Proto.Ok_reply
+            end)
         | Proto.Adapt _ | Proto.Sim _ ->
           let tenant = Proto.tenant_of req in
-          if Admission.backlog adm >= cfg.max_queue then begin
+          let d = env.Proto.re_deadline_ms in
+          (* Admission shed: a budget that arrives expired (or reads as
+             expired under injected stamp skew) is refused before it
+             can burn queue slots or compute — the structured reply
+             tells the client where its time went. *)
+          let dl_expired = d < 0. || (d <> 0. && F.fire deadline_skew) in
+          if dl_expired then begin
+            T.count "server.deadline.shed_admission" 1;
+            T.count ("server.tenant." ^ tenant ^ ".deadline_shed") 1;
+            send c
+              (Proto.Deadline_exceeded
+                 { stage = "admission"; budget_ms = d; elapsed_ms = 0. })
+          end
+          else if Admission.backlog adm >= cfg.max_queue then begin
             T.count "server.rejected" 1;
             T.count ("server.tenant." ^ tenant ^ ".rejected") 1;
             send c (Proto.Busy_reply { retry_after_s = cfg.retry_after_s })
           end
           else begin
             T.count ("server.tenant." ^ tenant ^ ".requests") 1;
-            Admission.enqueue adm ~tenant (c, req, trace, t0)
+            if d > 0. then T.record_hist "server.deadline.slack_ms" d;
+            Admission.enqueue adm ~tenant (c, req, env, t0)
           end)
       (List.rev !batch);
     (* On shutdown, every still-queued request gets a structured error
@@ -482,10 +566,39 @@ let serve ?ready cfg =
       let round_t0 = Unix.gettimeofday () in
       let replies =
         Ssp_parallel.Pool.map pool
-          (fun (tenant, (c, req, trace, t0)) ->
-            if c.dead then (plain_error "server" "client went away", [])
-            else if Unix.gettimeofday () -. t0 > cfg.timeout_s then
-              (plain_error "server" "request timed out in queue", [])
+          (fun (tenant, (c, req, env, t0)) ->
+            let trace = env.Proto.re_trace in
+            (* With a deadline in play the end-to-end budget *is* the
+               queue/compute bound; the legacy per-hop [timeout_s] only
+               governs budget-less requests. *)
+            let deadline_at =
+              if env.Proto.re_deadline_ms > 0. then
+                Some (t0 +. (env.Proto.re_deadline_ms /. 1000.))
+              else None
+            in
+            let deadline_reply stage =
+              T.count ("server.deadline.shed_" ^ stage) 1;
+              ( Proto.Deadline_exceeded
+                  {
+                    stage;
+                    budget_ms = env.Proto.re_deadline_ms;
+                    elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+                  },
+                [],
+                [] )
+            in
+            if c.dead then (plain_error "server" "client went away", [], [])
+            else if
+              match deadline_at with
+              | Some dl -> Unix.gettimeofday () > dl
+              | None -> false
+            then
+              (* Re-check before compute: the budget died in the queue;
+                 shedding here is what keeps doomed work off the pool. *)
+              deadline_reply "compute"
+            else if
+              deadline_at = None && Unix.gettimeofday () -. t0 > cfg.timeout_s
+            then (plain_error "server" "request timed out in queue", [], [])
             else begin
               (* Timings are taken whenever the request is traced, even
                  with local telemetry off: the client paid for the trace
@@ -498,9 +611,10 @@ let serve ?ready cfg =
                 ignore (Store.take_lookup_ms ())
               end;
               let run () =
-                T.with_span "server.request" (fun () -> handle cfg req)
+                T.with_span "server.request" (fun () ->
+                    handle_env cfg ~ask:env.Proto.re_artifacts req)
               in
-              let resp, spans =
+              let (resp, artifacts), spans =
                 match trace with
                 | Some tc ->
                   T.count ("trace." ^ tc.Proto.trace_id) 1;
@@ -517,8 +631,17 @@ let serve ?ready cfg =
                   ("server.tenant." ^ tenant ^ ".service_ms")
                   service_ms
               end;
+              (* Re-check before serialize: the compute is sunk cost,
+                 but shipping a reply (and its artifacts) to a client
+                 that stopped waiting only burns wire and framing. *)
+              if
+                match deadline_at with
+                | Some dl -> Unix.gettimeofday () > dl
+                | None -> false
+              then deadline_reply "serialize"
+              else
               match trace with
-              | None -> (resp, [])
+              | None -> (resp, [], artifacts)
               | Some _ ->
                 (* The reply is encoded once more when sent; measuring a
                    throwaway encode here is the only way to get the
@@ -552,15 +675,21 @@ let serve ?ready cfg =
                   :: hop "serialize" serialize_ms
                   :: span_hops
                 in
-                (resp, hops)
+                (resp, hops, artifacts)
             end)
           work
       in
       List.iter2
-        (fun (tenant, (c, _, _, _)) (resp, hops) ->
+        (fun (tenant, (c, _, _, _)) (resp, hops, artifacts) ->
           T.count "server.requests" 1;
-          T.count ("server.tenant." ^ tenant ^ ".served") 1;
-          send ~hops c resp)
+          (* A worker-stage deadline shed is an answered request, but
+             not a served one: the per-tenant split must let an operator
+             tell useful work from doomed work. *)
+          (match resp with
+          | Proto.Deadline_exceeded _ ->
+            T.count ("server.tenant." ^ tenant ^ ".deadline_shed") 1
+          | _ -> T.count ("server.tenant." ^ tenant ^ ".served") 1);
+          send ~hops ~artifacts c resp)
         work replies;
       T.record_hist "server.round_ms"
         ((Unix.gettimeofday () -. round_t0) *. 1000.)

@@ -11,6 +11,7 @@
 module Iref = Ssp_ir.Iref
 module Profile = Ssp_profiling.Profile
 module T = Ssp_telemetry.Telemetry
+module F = Ssp_fault.Fault
 
 let format_version = 1
 let magic = "SSPA"
@@ -102,7 +103,10 @@ let seal ~kind payload =
   let body = Buffer.contents b in
   body ^ Digest.string body
 
-let unseal ~kind blob =
+(* Validate the whole envelope (magic, version, length, digest) without
+   committing to an artifact kind — the shared core of [unseal] and of
+   kind-agnostic integrity checks ([fsck], replica-write validation). *)
+let unseal_any blob =
   let len = String.length blob in
   if len < header_len + digest_len then corrupt "blob truncated";
   if not (String.equal (String.sub blob 0 4) magic) then corrupt "bad magic";
@@ -110,10 +114,6 @@ let unseal ~kind blob =
   if ver <> format_version then
     corrupt (Printf.sprintf "format version %d (want %d)" ver format_version);
   let k = Char.code blob.[6] in
-  if k <> kind then
-    corrupt
-      (Printf.sprintf "artifact kind %s (want %s)" (kind_name k)
-         (kind_name kind));
   let plen = Int64.to_int (String.get_int64_be blob 7) in
   if plen < 0 || plen <> len - header_len - digest_len then
     corrupt "payload length mismatch";
@@ -121,7 +121,22 @@ let unseal ~kind blob =
   let dig = String.sub blob (len - digest_len) digest_len in
   if not (String.equal (Digest.string body) dig) then
     corrupt "content hash mismatch";
-  String.sub blob header_len plen
+  (k, String.sub blob header_len plen)
+
+let unseal ~kind blob =
+  let k, payload = unseal_any blob in
+  if k <> kind then
+    corrupt
+      (Printf.sprintf "artifact kind %s (want %s)" (kind_name k)
+         (kind_name kind));
+  payload
+
+let blob_kind blob =
+  match unseal_any blob with
+  | k, _ -> Some k
+  | exception Ssp_ir.Error.Error _ -> None
+
+let blob_ok blob = blob_kind blob <> None
 
 (* ---- iref / common sub-codecs ---- *)
 
@@ -424,6 +439,16 @@ let take_lookup_ms () =
   r := 0.;
   v
 
+(* Crash-injection sites simulating kill -9 at each step of [Cache.put]:
+   the writer stops dead (tmp just created / half written / fully
+   written but unrenamed) and the orphan stays behind, exactly as a
+   killed process would leave it. The crash-recovery tests assert the
+   published invariant: an unrenamed tmp is invisible to [find], the
+   sweep reclaims it, and no reader ever sees partial bytes. *)
+let crash_tmp_open = F.site "store.put.crash_tmp_open"
+let crash_partial_write = F.site "store.put.crash_partial_write"
+let crash_pre_rename = F.site "store.put.crash_pre_rename"
+
 module Cache = struct
   (* [evictions] is atomic because [put] (and so [evict]) runs on pool
      domains when the server fans a batch out. *)
@@ -445,9 +470,48 @@ module Cache = struct
       try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
-  let open_dir ?(max_bytes = 256 * 1024 * 1024) dir =
+  let tmp_prefix = ".tmp."
+
+  let is_tmp name =
+    String.length name >= String.length tmp_prefix
+    && String.equal (String.sub name 0 (String.length tmp_prefix)) tmp_prefix
+
+  let default_sweep_grace_s = 600.
+
+  (* Reclaim orphaned [.tmp.*] files left by crashed writers. The grace
+     period protects in-flight writes from other processes: a live
+     writer's tmp file is younger than any reasonable grace, a crashed
+     one only gets older. *)
+  let sweep ?(grace_s = default_sweep_grace_s) t =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> 0
+    | names ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun acc name ->
+          if is_tmp name then begin
+            let p = Filename.concat t.dir name in
+            match Unix.stat p with
+            | st
+              when st.Unix.st_kind = Unix.S_REG
+                   && now -. st.Unix.st_mtime >= grace_s -> (
+              match Sys.remove p with
+              | () ->
+                T.count "store.sweep" 1;
+                acc + 1
+              | exception Sys_error _ -> acc)
+            | _ -> acc
+            | exception Unix.Unix_error _ -> acc
+          end
+          else acc)
+        0 names
+
+  let open_dir ?(max_bytes = 256 * 1024 * 1024)
+      ?(sweep_grace_s = default_sweep_grace_s) dir =
     mkdir_p dir;
-    { dir; max_bytes = max 0 max_bytes; evictions = Atomic.make 0 }
+    let t = { dir; max_bytes = max 0 max_bytes; evictions = Atomic.make 0 } in
+    ignore (sweep ~grace_s:sweep_grace_s t);
+    t
 
   let dir t = t.dir
   let evictions t = Atomic.get t.evictions
@@ -523,16 +587,32 @@ module Cache = struct
     let tput = if !T.enabled then Unix.gettimeofday () else 0. in
     let tmp =
       Filename.concat t.dir
-        (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+        (Printf.sprintf "%s%d.%d.%s" tmp_prefix (Unix.getpid ())
            (Atomic.fetch_and_add tmp_seq 1) key)
     in
     (try
        let oc = open_out_bin tmp in
-       Fun.protect
-         ~finally:(fun () -> close_out_noerr oc)
-         (fun () -> output_string oc blob);
-       Unix.rename tmp (path t key);
-       T.count "store.put" 1
+       if F.fire crash_tmp_open then close_out_noerr oc
+       else begin
+         let crashed =
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () ->
+               if F.fire crash_partial_write then begin
+                 output_string oc
+                   (String.sub blob 0 (String.length blob / 2));
+                 true
+               end
+               else begin
+                 output_string oc blob;
+                 F.fire crash_pre_rename
+               end)
+         in
+         if not crashed then begin
+           Unix.rename tmp (path t key);
+           T.count "store.put" 1
+         end
+       end
      with Sys_error _ | Unix.Unix_error _ ->
        (try Sys.remove tmp with Sys_error _ -> ()));
     evict t;
@@ -562,23 +642,90 @@ module Cache = struct
       add_lookup_ms ms
     end;
     r
+
+  type fsck_report = {
+    scanned : int;
+    valid : int;
+    corrupt_removed : int;
+    tmp_removed : int;
+    valid_bytes : int;
+  }
+
+  (* Offline verify/GC: every [.blob] must be a whole, digest-clean
+     envelope (of any artifact kind); anything else is deleted — the
+     same corrupt-entry-is-a-miss policy [get] applies lazily, applied
+     eagerly to the whole directory. Orphaned tmp files are swept with
+     the caller's grace (default 0: fsck is explicit, nothing in flight
+     deserves protection). *)
+  let fsck ?(grace_s = 0.) t =
+    let tmp_removed = sweep ~grace_s t in
+    let scanned = ref 0 in
+    let valid = ref 0 in
+    let corrupt_removed = ref 0 in
+    let valid_bytes = ref 0 in
+    List.iter
+      (fun (p, sz, _) ->
+        incr scanned;
+        let ok =
+          match open_in_bin p with
+          | exception Sys_error _ -> false
+          | ic -> (
+            match
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with
+            | blob -> blob_ok blob
+            | exception (End_of_file | Sys_error _) -> false)
+        in
+        if ok then begin
+          incr valid;
+          valid_bytes := !valid_bytes + sz
+        end
+        else begin
+          (try Sys.remove p with Sys_error _ -> ());
+          incr corrupt_removed;
+          T.count "store.fsck.corrupt" 1
+        end)
+      (entries t);
+    {
+      scanned = !scanned;
+      valid = !valid;
+      corrupt_removed = !corrupt_removed;
+      tmp_removed;
+      valid_bytes = !valid_bytes;
+    }
 end
 
 (* ---- cache-aware pipeline fast paths ---- *)
+
+(* The two cache-key recipes, exported so the serving layer can name the
+   artifacts a request produced (replication ships them by key). *)
+let profile_key ~config prog =
+  cache_key
+    [
+      "profile";
+      string_of_int format_version;
+      hash_program prog;
+      Ssp_machine.Config.fingerprint config;
+    ]
+
+let adapted_key ?(knobs = Ssp.Adapt.default_knobs) ~config prog profile =
+  cache_key
+    [
+      "adapted";
+      string_of_int format_version;
+      hash_program prog;
+      hash_profile profile;
+      Ssp_machine.Config.fingerprint config;
+      Ssp.Adapt.knobs_string knobs;
+    ]
 
 let cached_profile ?cache ?(config = Ssp_machine.Config.in_order) prog =
   match cache with
   | None -> (Ssp_profiling.Collect.collect ~config prog, `Off)
   | Some c -> (
-    let key =
-      cache_key
-        [
-          "profile";
-          string_of_int format_version;
-          hash_program prog;
-          Ssp_machine.Config.fingerprint config;
-        ]
-    in
+    let key = profile_key ~config prog in
     match Cache.get c key ~decode:decode_profile with
     | Some p -> (p, `Hit)
     | None ->
@@ -591,17 +738,7 @@ let run_cached ?cache ?(jobs = 1) ?(knobs = Ssp.Adapt.default_knobs) ~config
   match cache with
   | None -> (Ssp.Adapt.run_knobs ~jobs ~knobs ~config prog profile, `Off)
   | Some c -> (
-    let key =
-      cache_key
-        [
-          "adapted";
-          string_of_int format_version;
-          hash_program prog;
-          hash_profile profile;
-          Ssp_machine.Config.fingerprint config;
-          Ssp.Adapt.knobs_string knobs;
-        ]
-    in
+    let key = adapted_key ~knobs ~config prog profile in
     match
       T.with_span "store.lookup" (fun () ->
           Cache.get c key ~decode:decode_adapted)

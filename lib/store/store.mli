@@ -87,6 +87,29 @@ val hash_profile : Ssp_profiling.Profile.t -> string
 val cache_key : string list -> string
 (** Hex digest of the joined key parts (order-sensitive). *)
 
+val profile_key : config:Ssp_machine.Config.t -> Ssp_ir.Prog.t -> string
+(** The cache key {!cached_profile} stores a profile under
+    ([hash(program) x fingerprint(config)] plus the format version).
+    Exported so the serving layer can name the artifact a request
+    produced — cluster replication ships blobs by key. *)
+
+val adapted_key :
+  ?knobs:Ssp.Adapt.knobs ->
+  config:Ssp_machine.Config.t ->
+  Ssp_ir.Prog.t ->
+  Ssp_profiling.Profile.t ->
+  string
+(** The cache key {!run_cached} stores an adaptation result under. *)
+
+val blob_kind : string -> int option
+(** Artifact kind of a sealed blob after verifying the whole envelope
+    (magic, format version, payload length, content hash) — [None] if
+    any check fails. Kind-agnostic: accepts every artifact kind. *)
+
+val blob_ok : string -> bool
+(** [blob_kind blob <> None]: whole-envelope integrity, used to vet
+    replica writes before they touch the cache. *)
+
 (** {1 On-disk content-addressed cache} *)
 
 val take_lookup_ms : unit -> float
@@ -102,13 +125,22 @@ module Cache : sig
   (** [$SSPC_CACHE_DIR], else [$XDG_CACHE_HOME/sspc], else
       [~/.cache/sspc]. *)
 
-  val open_dir : ?max_bytes:int -> string -> t
+  val open_dir : ?max_bytes:int -> ?sweep_grace_s:float -> string -> t
   (** Creates the directory (and parents) if missing. [max_bytes]
       (default 256 MiB) caps the total size of cached blobs; the
       least-recently-used entries (by mtime; hits touch) are evicted
-      after each [put]. *)
+      after each [put]. Opening also runs {!sweep} with
+      [sweep_grace_s] (default 600 s), so orphans left by crashed
+      writers stop leaking into the byte budget at the next startup. *)
 
   val dir : t -> string
+
+  val sweep : ?grace_s:float -> t -> int
+  (** Delete orphaned [.tmp.*] files older than [grace_s] (default
+      600 s) and return how many were removed. The grace period keeps
+      the sweep from racing a live writer in another process: an
+      in-flight tmp file is always younger than the grace, a crashed
+      writer's only ever gets older. Counted under [store.sweep]. *)
 
   val find : t -> string -> string option
   (** Raw blob by key; touches the entry's mtime on hit. No integrity
@@ -138,6 +170,25 @@ module Cache : sig
       counter, visible in 'sspc stats' / 'sspc client stats' next to
       [store.corrupt] so cache pressure is observable even when a run
       did not ask for a trace. *)
+
+  type fsck_report = {
+    scanned : int;  (** [.blob] entries examined *)
+    valid : int;  (** entries whose envelope verified clean *)
+    corrupt_removed : int;  (** truncated/bit-flipped entries deleted *)
+    tmp_removed : int;  (** orphaned [.tmp.*] files deleted *)
+    valid_bytes : int;  (** total size of the surviving entries *)
+  }
+
+  val fsck : ?grace_s:float -> t -> fsck_report
+  (** Offline verify/GC (the engine behind [sspc fsck]): checks every
+      entry's sealed envelope — magic, format version, payload length,
+      content hash — deletes anything that fails (eagerly applying the
+      corrupt-entry-is-a-miss policy {!get} applies lazily), and sweeps
+      orphaned tmp files with [grace_s] (default 0: fsck is explicit).
+      A store that a writer was kill -9'd into is clean after one fsck:
+      unrenamed tmp files go away and no partial entry survives,
+      because publication is atomic-rename. Corrupt deletions are
+      counted under [store.fsck.corrupt]. *)
 end
 
 (** {1 Cache-aware pipeline fast paths} *)

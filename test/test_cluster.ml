@@ -461,6 +461,185 @@ let test_cluster_snapshot_merge =
   Thread.join th1;
   Thread.join th2
 
+(* ---- replication, breakers, deadlines ---- *)
+
+(* Decorrelated-jitter backoff: bounded by [base, cap], geometric growth
+   across consecutive failures, and the jitter draw actually spreads. *)
+let test_next_backoff () =
+  let base = 2. and cap = 30. in
+  List.iter
+    (fun (prev, u) ->
+      let d = Router.next_backoff ~base ~cap ~prev u in
+      Alcotest.(check bool)
+        (Printf.sprintf "backoff(prev=%.1f, u=%.2f) = %.2f within [base, cap]"
+           prev u d)
+        true
+        (d >= base && d <= cap))
+    [ (0., 0.); (0., 0.99); (2., 0.5); (10., 0.99); (30., 0.99); (1e9, 0.5) ];
+  (* u=0 pins the draw at base; u->1 approaches min cap (3*prev). *)
+  Alcotest.(check (float 1e-9)) "low draw is the base" base
+    (Router.next_backoff ~base ~cap ~prev:5. 0.);
+  Alcotest.(check bool) "high draw grows toward 3x prev" true
+    (Router.next_backoff ~base ~cap ~prev:5. 0.99 > 12.);
+  Alcotest.(check bool) "growth is capped" true
+    (Router.next_backoff ~base ~cap ~prev:100. 0.99 <= cap)
+
+(* The replica set of a key on a 2-shard ring: (primary, successor) —
+   the same placement rule the router applies. *)
+let replica_set_of ports req =
+  let nodes = List.map (fun p -> Printf.sprintf "127.0.0.1:%d" p) ports in
+  let ring = Ring.create nodes in
+  let key = Option.get (Router.affinity_key req) in
+  let port_of node =
+    int_of_string (List.nth (String.split_on_char ':' node) 1)
+  in
+  match Ring.successors ring key with
+  | primary :: replica :: _ -> (port_of primary, port_of replica)
+  | _ -> Alcotest.fail "2-node ring must yield 2 successors"
+
+let counter_of name =
+  Option.value ~default:0 (List.assoc_opt name (T.report ()).T.r_counters)
+
+(* The tentpole acceptance scenario: a cold adapt through the router is
+   written through to the ring successor, so killing the primary
+   mid-campaign degrades to a *warm* hit on the replica — same bytes,
+   no recompute. *)
+let test_replication_warm_failover =
+  with_telemetry @@ fun () ->
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let primary, _replica = replica_set_of [ p1; p2 ] (adapt_req "em3d") in
+  let r, a, c = expect_adapted (Client.request_addr router (adapt_req "em3d")) in
+  Alcotest.(check string) "cold miss on the primary" "miss" c;
+  Alcotest.(check bool) "cold bytes identical" true
+    (String.equal exp_report r && String.equal exp_asm a);
+  (* The write-through happened before the reply was forwarded. *)
+  Alcotest.(check bool) "replication counted" true
+    (counter_of "router.replicate.ok" >= 1);
+  (* Kill the primary; the failover read must be a warm (replica) hit. *)
+  shutdown (Client.Tcp ("127.0.0.1", primary));
+  Thread.join (if primary = p1 then th1 else th2);
+  let r2, a2, c2 =
+    expect_adapted (Client.request_retry ~attempts:6 router (adapt_req "em3d"))
+  in
+  Alcotest.(check string) "failover read is a warm hit, not a recompute"
+    "hit" c2;
+  Alcotest.(check bool) "failover bytes identical" true
+    (String.equal exp_report r2 && String.equal exp_asm a2);
+  Alcotest.(check bool) "failover counted" true
+    (counter_of "router.failover" >= 1);
+  (* The dead primary's read-repair blobs parked as hints. *)
+  Alcotest.(check bool) "read-repair blobs parked for the dead primary" true
+    (counter_of "router.hinted_handoff.stored" >= 1);
+  shutdown router;
+  Thread.join r_th;
+  let survivor = if primary = p1 then p2 else p1 in
+  shutdown (Client.Tcp ("127.0.0.1", survivor));
+  Thread.join (if primary = p1 then th2 else th1)
+
+(* A shard restarted on its old port is probed, re-admitted, and handed
+   its parked hints — after which it serves the campaign's keys warm
+   from a cache it never computed into. *)
+let test_breaker_probe_and_hint_flush =
+  with_telemetry @@ fun () ->
+  let th1, p1 = start_shard () in
+  let th2, p2 = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p1); ("127.0.0.1", p2) ] in
+  let router = Client.Unix_sock r_sock in
+  let exp_report, exp_asm = offline_adapt "mst" in
+  let primary, _ = replica_set_of [ p1; p2 ] (adapt_req "mst") in
+  (* Kill the primary first: the survivor computes, and the write-through
+     aimed at the dead primary parks in the hinted-handoff buffer. *)
+  shutdown (Client.Tcp ("127.0.0.1", primary));
+  Thread.join (if primary = p1 then th1 else th2);
+  let _, _, c =
+    expect_adapted (Client.request_retry ~attempts:6 router (adapt_req "mst"))
+  in
+  Alcotest.(check string) "survivor computes cold" "miss" c;
+  Alcotest.(check bool) "hints parked for the dead primary" true
+    (counter_of "router.hinted_handoff.stored" >= 2);
+  (* Restart a shard on the same port with an empty cache. *)
+  let port = ref None in
+  let cfg =
+    { (shard_config ~cache_dir:(fresh "cache") ()) with
+      Server.tcp = Some ("127.0.0.1", primary) }
+  in
+  let th_new =
+    Thread.create
+      (fun () -> Server.serve ~ready:(fun ~tcp_port -> port := tcp_port) cfg)
+      ()
+  in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "restarted shard never came up";
+    if !port = None then begin
+      Thread.delay 0.01;
+      wait (tries - 1)
+    end
+  in
+  wait 500;
+  (* The prober re-admits it (breaker close) and flushes the hints. *)
+  let rec poll tries =
+    if tries = 0 then
+      Alcotest.fail "breaker never closed / hints never flushed";
+    if
+      counter_of "router.breaker.close" >= 1
+      && counter_of "router.hinted_handoff.flushed" >= 2
+    then ()
+    else begin
+      Thread.delay 0.1;
+      poll (tries - 1)
+    end
+  in
+  poll 200;
+  Alcotest.(check bool) "the probe was what re-admitted it" true
+    (counter_of "router.breaker.probe_ok" >= 1);
+  (* The restarted shard now owns the key again and serves it warm from
+     the flushed hints — a cache it never computed into. *)
+  let r, a, c2 =
+    expect_adapted (Client.request_retry ~attempts:6 router (adapt_req "mst"))
+  in
+  Alcotest.(check string) "restarted primary serves warm from hints" "hit" c2;
+  Alcotest.(check bool) "hint-served bytes identical" true
+    (String.equal exp_report r && String.equal exp_asm a);
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", primary));
+  Thread.join th_new;
+  let survivor = if primary = p1 then p2 else p1 in
+  shutdown (Client.Tcp ("127.0.0.1", survivor));
+  Thread.join (if primary = p1 then th2 else th1)
+
+(* End-to-end deadlines across the router: an expired budget is shed at
+   the router (structured, stage "router") without burning a shard; a
+   live budget is decremented per hop and the request still serves. *)
+let test_deadline_through_router =
+  with_telemetry @@ fun () ->
+  let th, p = start_shard () in
+  let r_th, r_sock = start_router [ ("127.0.0.1", p) ] in
+  let router = Client.Unix_sock r_sock in
+  let before = counter_of "server.batches" in
+  (match
+     Client.request_env ~deadline_ms:(-5.) router (adapt_req "em3d")
+   with
+  | Proto.Deadline_exceeded { stage; _ }, _, _ ->
+    Alcotest.(check string) "shed at the router" "router" stage
+  | _ -> Alcotest.fail "expected a router-side deadline shed");
+  Alcotest.(check int) "router counted the shed" 1
+    (counter_of "router.deadline.shed");
+  Alcotest.(check int) "the shed request never reached a shard batch"
+    before (counter_of "server.batches");
+  let resp, _, _ =
+    Client.request_env ~deadline_ms:60_000. router (adapt_req "em3d")
+  in
+  ignore (expect_adapted resp);
+  shutdown router;
+  Thread.join r_th;
+  shutdown (Client.Tcp ("127.0.0.1", p));
+  Thread.join th
+
 (* ---- client retry/backoff ---- *)
 
 let test_client_retries_connect () =
@@ -577,6 +756,14 @@ let suite =
       test_traced_through_router;
     Alcotest.test_case "stats plane: merged cluster snapshot" `Quick
       test_cluster_snapshot_merge;
+    Alcotest.test_case "breaker: decorrelated-jitter backoff bounds" `Quick
+      test_next_backoff;
+    Alcotest.test_case "replication: kill primary, replica serves warm"
+      `Quick test_replication_warm_failover;
+    Alcotest.test_case "breaker: probe re-admits, hints flush" `Quick
+      test_breaker_probe_and_hint_flush;
+    Alcotest.test_case "deadline: shed at router, live budget serves" `Quick
+      test_deadline_through_router;
     Alcotest.test_case "client: backoff until daemon appears" `Quick
       test_client_retries_connect;
     Alcotest.test_case "client: honors retry-after, bounded waits" `Quick

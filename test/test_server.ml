@@ -521,6 +521,118 @@ let test_snapshot_eviction_counter =
   Alcotest.(check bool) "queue depth gauge present" true
     (List.mem_assoc "server.queue_depth" snap.Snapshot.gauges)
 
+(* ---- v4: end-to-end deadlines + the replica write plane ---- *)
+
+(* A request whose budget arrives already spent must be shed at
+   admission with a structured reply — and, the acceptance criterion,
+   never reach compute: the shed counter shows up in the snapshot and
+   the batch/served counters stay at zero. *)
+let test_deadline_shed_at_admission =
+  with_telemetry @@ fun () ->
+  with_server @@ fun socket ->
+  let addr = Client.Unix_sock socket in
+  (match
+     Client.request_env ~deadline_ms:(-5.) addr (adapt_req ~tenant:"late" "em3d")
+   with
+  | Proto.Deadline_exceeded { stage; budget_ms; elapsed_ms = _ }, _, _ ->
+    Alcotest.(check string) "shed at admission" "admission" stage;
+    Alcotest.(check bool) "budget echoed as stamped" true (budget_ms < 0.)
+  | _ -> Alcotest.fail "expected a Deadline_exceeded reply");
+  let snap = fetch_snapshot socket in
+  Alcotest.(check int) "shed counted through the snapshot plane" 1
+    (counter snap "server.deadline.shed_admission");
+  Alcotest.(check int) "per-tenant shed counted" 1
+    (counter snap "server.tenant.late.deadline_shed");
+  Alcotest.(check int) "the shed request never reached compute" 0
+    (counter snap "server.batches");
+  Alcotest.(check int) "nothing served" 0
+    (counter snap "server.tenant.late.served")
+
+let test_deadline_generous_serves () =
+  (* A live budget changes nothing about the bytes. *)
+  with_server @@ fun socket ->
+  let exp_report, exp_asm = offline_adapt "em3d" in
+  let resp, _, _ =
+    Client.request_env ~deadline_ms:60_000.
+      (Client.Unix_sock socket) (adapt_req "em3d")
+  in
+  let report, asm, _ = expect_adapted resp in
+  Alcotest.(check bool) "deadline-stamped reply byte-identical" true
+    (String.equal exp_report report && String.equal exp_asm asm)
+
+let test_ping () =
+  with_server ~with_cache:false @@ fun socket ->
+  match Client.request ~socket Proto.Ping with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "expected Ok_reply to Ping"
+
+(* The artifact ask: a cold adapt with [artifacts_on_miss] returns the
+   cache entries the reply was built from (the router's write-through
+   source); a warm one returns none (nothing new to replicate); a warm
+   [artifacts_always] returns them anyway (the read-repair source). *)
+let test_artifact_attachment () =
+  with_server @@ fun socket ->
+  let addr = Client.Unix_sock socket in
+  let ask a = Client.request_env ~artifacts:a addr (adapt_req "em3d") in
+  let resp, _, cold_arts = ask Proto.artifacts_on_miss in
+  let _, _, c1 = expect_adapted resp in
+  Alcotest.(check string) "cold misses" "miss" c1;
+  Alcotest.(check int) "cold miss attaches profile + adapted" 2
+    (List.length cold_arts);
+  List.iter
+    (fun (key, blob) ->
+      Alcotest.(check bool) "artifact key is a cache digest" true
+        (String.length key = 32);
+      Alcotest.(check bool) "artifact blob is a sealed envelope" true
+        (Store.blob_ok blob))
+    cold_arts;
+  let resp, _, warm_arts = ask Proto.artifacts_on_miss in
+  let _, _, c2 = expect_adapted resp in
+  Alcotest.(check string) "warm hits" "hit" c2;
+  Alcotest.(check int) "warm on_miss attaches nothing" 0
+    (List.length warm_arts);
+  let resp, _, repair_arts = ask Proto.artifacts_always in
+  ignore (expect_adapted resp);
+  Alcotest.(check int) "warm always attaches for read-repair" 2
+    (List.length repair_arts);
+  (* And the write side: replaying an attached artifact through
+     Put_blob is accepted (idempotent replica write)... *)
+  (match
+     Client.request ~socket
+       (Proto.Put_blob
+          { key = fst (List.hd repair_arts); blob = snd (List.hd repair_arts) })
+   with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "valid replica write rejected");
+  (* ...while a hostile key (would escape the cache directory) and a
+     garbage blob (fails the sealed-envelope check) are rejected before
+     touching the store. *)
+  (match
+     Client.request ~socket
+       (Proto.Put_blob { key = "../../etc/passwd"; blob = snd (List.hd repair_arts) })
+   with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "hostile key is a store error" "store" pass
+  | _ -> Alcotest.fail "hostile replica key accepted");
+  match
+    Client.request ~socket
+      (Proto.Put_blob { key = String.make 32 'f'; blob = "not a sealed blob" })
+  with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "garbage blob is a store error" "store" pass
+  | _ -> Alcotest.fail "garbage replica blob accepted"
+
+let test_put_blob_without_cache () =
+  with_server ~with_cache:false @@ fun socket ->
+  match
+    Client.request ~socket
+      (Proto.Put_blob { key = String.make 32 'a'; blob = "x" })
+  with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "cacheless replica write is a server error"
+      "server" pass
+  | _ -> Alcotest.fail "expected an error from a cacheless shard"
+
 let test_shutdown () =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
@@ -575,5 +687,14 @@ let suite =
       test_snapshot_admission_counters;
     Alcotest.test_case "snapshot: eviction counter reaches the plane" `Quick
       test_snapshot_eviction_counter;
+    Alcotest.test_case "deadline: expired budget shed at admission" `Quick
+      test_deadline_shed_at_admission;
+    Alcotest.test_case "deadline: live budget serves identically" `Quick
+      test_deadline_generous_serves;
+    Alcotest.test_case "ping answers ok" `Quick test_ping;
+    Alcotest.test_case "artifacts: attach, replay, reject hostile" `Quick
+      test_artifact_attachment;
+    Alcotest.test_case "replica write without a cache" `Quick
+      test_put_blob_without_cache;
     Alcotest.test_case "clean shutdown" `Quick test_shutdown;
   ]

@@ -229,6 +229,122 @@ let test_lru_eviction () =
     "oldest entry evicted" true
     (Store.Cache.find cache (Printf.sprintf "%032x" 0) = None)
 
+(* ---- crash safety: kill -9 at every step of [put] ---- *)
+
+module F = Ssp_fault.Fault
+
+let tmp_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n ->
+         String.length n >= 5 && String.equal (String.sub n 0 5) ".tmp.")
+
+(* A writer dying at [site] mid-[put] must leave the store readable:
+   the key is a clean miss (no partial bytes ever visible), the orphan
+   tmp is on disk but invisible, the sweep reclaims it, and a retried
+   put publishes normally. This is the same guarantee a real kill -9
+   gets, because the sites stop the writer exactly where the kernel
+   would. *)
+let test_crash_during_put site () =
+  with_temp_cache @@ fun cache ->
+  let dir = Store.Cache.dir cache in
+  let key = String.make 32 'a' in
+  let prog = program_of (Suite.find "em3d") in
+  let blob = Store.encode_program prog in
+  F.with_plan (F.make ~seed:7 [ (site, F.spec ~limit:1 1.0) ]) (fun () ->
+      Store.Cache.put cache key blob);
+  Alcotest.(check bool)
+    (site ^ ": crashed put is a clean miss")
+    true
+    (Store.Cache.find cache key = None);
+  (* A concurrent reader racing the corpse sees a miss, never an error
+     or partial bytes. *)
+  Alcotest.(check bool)
+    (site ^ ": get through decode never errors")
+    true
+    (Store.Cache.get cache key ~decode:Store.decode_program = None);
+  Alcotest.(check int)
+    (site ^ ": exactly one orphaned tmp left behind")
+    1
+    (List.length (tmp_files dir));
+  Alcotest.(check int)
+    (site ^ ": sweep reclaims the orphan")
+    1
+    (Store.Cache.sweep ~grace_s:0. cache);
+  Alcotest.(check int)
+    (site ^ ": no tmp survives the sweep")
+    0
+    (List.length (tmp_files dir));
+  (* The writer restarts: the same put now publishes, byte-identical. *)
+  Store.Cache.put cache key blob;
+  Alcotest.(check bool)
+    (site ^ ": retried put publishes the full blob")
+    true
+    (match Store.Cache.find cache key with
+    | Some b -> String.equal b blob
+    | None -> false)
+
+(* open_dir's startup sweep: stale orphans (older than the grace) are
+   reclaimed, an in-flight writer's young tmp is left alone. *)
+let test_startup_sweep () =
+  let dir = Filename.temp_dir "sspc_store_test" "" in
+  let write name =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc "orphan";
+    close_out oc
+  in
+  write ".tmp.1.0.stale";
+  (let old = Unix.gettimeofday () -. 3600. in
+   Unix.utimes (Filename.concat dir ".tmp.1.0.stale") old old);
+  write ".tmp.2.0.young";
+  let cache = Store.Cache.open_dir dir in
+  let left = tmp_files dir in
+  Alcotest.(check (list string))
+    "startup sweep removes the stale orphan, spares the live writer"
+    [ ".tmp.2.0.young" ] left;
+  Alcotest.(check int) "explicit zero-grace sweep takes the rest" 1
+    (Store.Cache.sweep ~grace_s:0. cache)
+
+let test_fsck () =
+  with_temp_cache @@ fun cache ->
+  let dir = Store.Cache.dir cache in
+  let prog = program_of (Suite.find "em3d") in
+  let good1 = Store.encode_program prog in
+  let good2 = Store.encode_profile (Ssp_profiling.Collect.collect prog) in
+  Store.Cache.put cache (String.make 32 'a') good1;
+  Store.Cache.put cache (String.make 32 'b') good2;
+  (* A truncated entry (crash between rename and a torn disk, or plain
+     bit rot): published under a real name but failing its envelope. *)
+  let oc = open_out_bin (Filename.concat dir (String.make 32 'c' ^ ".blob")) in
+  output_string oc (String.sub good1 0 (String.length good1 / 2));
+  close_out oc;
+  let oc = open_out_bin (Filename.concat dir ".tmp.9.9.orphan") in
+  output_string oc "dead writer";
+  close_out oc;
+  let r = Store.Cache.fsck cache in
+  Alcotest.(check int) "fsck scanned all entries" 3 r.Store.Cache.scanned;
+  Alcotest.(check int) "fsck kept the valid entries" 2 r.Store.Cache.valid;
+  Alcotest.(check int) "fsck removed the corrupt entry" 1
+    r.Store.Cache.corrupt_removed;
+  Alcotest.(check int) "fsck swept the orphan" 1 r.Store.Cache.tmp_removed;
+  Alcotest.(check int)
+    "fsck accounted the surviving bytes"
+    (String.length good1 + String.length good2)
+    r.Store.Cache.valid_bytes;
+  (* Idempotence: a clean store fscks clean. *)
+  let r2 = Store.Cache.fsck cache in
+  Alcotest.(check int) "second fsck finds nothing corrupt" 0
+    r2.Store.Cache.corrupt_removed;
+  Alcotest.(check int) "second fsck finds no orphans" 0
+    r2.Store.Cache.tmp_removed;
+  Alcotest.(check int) "second fsck still sees both entries" 2
+    r2.Store.Cache.valid;
+  (* The valid entries still read back whole. *)
+  Alcotest.(check bool)
+    "valid entry unharmed by fsck" true
+    (match Store.Cache.find cache (String.make 32 'a') with
+    | Some b -> String.equal b good1
+    | None -> false)
+
 let per_workload name f =
   List.map
     (fun (w : Workload.t) ->
@@ -251,4 +367,14 @@ let suite =
         test_corrupt_entry_recomputes;
       Alcotest.test_case "cached_profile" `Quick test_cached_profile;
       Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "crash at tmp open leaves store clean" `Quick
+        (test_crash_during_put "store.put.crash_tmp_open");
+      Alcotest.test_case "crash mid-write leaves store clean" `Quick
+        (test_crash_during_put "store.put.crash_partial_write");
+      Alcotest.test_case "crash before rename leaves store clean" `Quick
+        (test_crash_during_put "store.put.crash_pre_rename");
+      Alcotest.test_case "startup sweep honors the grace period" `Quick
+        test_startup_sweep;
+      Alcotest.test_case "fsck verifies, GCs, and is idempotent" `Quick
+        test_fsck;
     ]
