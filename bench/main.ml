@@ -5,9 +5,9 @@
                    [--check-perf] [--update-baseline] [--baseline PATH]
                    [table1] [fig2] [table2] [fig8] [fig9] [fig10]
                    [hand] [ablate] [perf] [scaling] [serving] [cluster]
-                   [telemetry] [simspeed] [micro]
+                   [telemetry] [simspeed] [feedback] [micro]
    With no selection, everything except [scaling], [serving], [cluster],
-   [telemetry] and [simspeed] runs in paper order.
+   [telemetry], [simspeed] and [feedback] runs in paper order.
    [--quick] switches to small working sets and scaled-down caches (same
    shapes, seconds instead of minutes). [--jobs N] runs the heavy
    simulation/adaptation work across N domains (outputs are identical to
@@ -26,7 +26,10 @@
    (the BENCH_7 artifact) — and the [simspeed] section its raw simulator
    throughput vs. the committed bench/simspeed_baseline.json, its
    allocation probe, and its sampled-vs-full speedup/accuracy table (the
-   BENCH_8 artifact; [--update-simspeed] re-records that baseline).
+   BENCH_8 artifact; [--update-simspeed] re-records that baseline) — and
+   the [feedback] section its report-upload overhead on the warm serving
+   path plus tuned-vs-untuned simulated cycles on mcf/em3d after the
+   closed loop reaches its fixed point (the BENCH_9 artifact).
    [--check-perf] is a regression gate: it times the jobs=1 pipeline and
    sim phases under --quick (median of 3 runs after a discarded warmup)
    and fails (exit 1) if either regressed more than 25% against the
@@ -288,6 +291,7 @@ let serving ~json () =
       max_batch = 32;
       max_queue = 256;
       retry_after_s = 0.2;
+      tune = false;
     }
   in
   let th = Thread.create Ssp_server.Server.serve cfg in
@@ -360,6 +364,200 @@ let serving ~json () =
     close_out oc;
     Format.fprintf ppf "@.serving JSON written to %s@." path
 
+(* ---- feedback: upload overhead and tuned-vs-untuned cycles ---- *)
+
+(* Two questions about the closed loop (BENCH_9): what does uploading an
+   attribution report add to a warm serving path, and what does a tuning
+   round buy in simulated cycles once the tuner reaches its fixed point
+   on mcf and em3d. *)
+let feedback_bench ~json () =
+  let module Fb = Ssp_feedback.Feedback in
+  (* Upload overhead: warm daemon, tune off; time warm adapts alone,
+     then adapt+upload pairs. *)
+  let dir = Filename.temp_dir "sspc_bench_feedback" "" in
+  let socket = Filename.concat dir "d.sock" in
+  let cfg =
+    {
+      Ssp_server.Server.socket = Some socket;
+      tcp = None;
+      jobs = 2;
+      cache =
+        Some (Ssp_store.Store.Cache.open_dir (Filename.concat dir "cache"));
+      max_frame = Ssp_server.Proto.default_max_frame;
+      timeout_s = 300.;
+      max_batch = 32;
+      max_queue = 256;
+      retry_after_s = 0.2;
+      tune = false;
+    }
+  in
+  let th = Thread.create Ssp_server.Server.serve cfg in
+  let rec wait tries =
+    if tries = 0 then failwith "feedback bench: daemon never came up";
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      Thread.delay 0.05;
+      wait (tries - 1)
+  in
+  wait 100;
+  let scale = Ssp_workloads.Suite.test_scale in
+  let adapt () =
+    match
+      Ssp_server.Client.request ~socket
+        (Ssp_server.Proto.Adapt
+           { prog = Ssp_server.Proto.Workload "em3d"; scale;
+             pipeline = "inorder";
+             tenant = Ssp_server.Proto.default_tenant })
+    with
+    | Ssp_server.Proto.Adapted _ -> ()
+    | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+      failwith
+        (Printf.sprintf "feedback bench: server error [%s]: %s" pass what)
+    | _ -> failwith "feedback bench: unexpected reply"
+  in
+  let report i =
+    (* A realistic small report; distinct cycles defeat the store's
+       content-addressed dedup so every upload pays the full path. *)
+    {
+      Fb.fr_prog = Fb.Named "em3d";
+      fr_scale = scale;
+      fr_pipeline = "inorder";
+      fr_version = 0;
+      fr_cycles = 100_000 + i;
+      fr_loads =
+        [
+          {
+            Fb.fl_load = Ssp_ir.Iref.make "bench" 0 0;
+            fl_issued = 900;
+            fl_useful = 700;
+            fl_late = 100;
+            fl_early_evicted = 40;
+            fl_redundant = 60;
+            fl_dropped = 0;
+            fl_unused = 100;
+            fl_demand_accesses = 2000;
+            fl_demand_hits = 1200;
+            fl_lead_hist = Ssp_telemetry.Telemetry.empty_hist_summary ();
+          };
+        ];
+    }
+  in
+  let upload i =
+    match
+      Ssp_server.Client.request ~socket
+        (Ssp_server.Proto.Feedback
+           { prog = Ssp_server.Proto.Workload "em3d"; scale;
+             pipeline = "inorder";
+             tenant = Ssp_server.Proto.default_tenant;
+             blob = Fb.encode_report (report i) })
+    with
+    | Ssp_server.Proto.Ok_reply -> ()
+    | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+      failwith
+        (Printf.sprintf "feedback bench: upload error [%s]: %s" pass what)
+    | _ -> failwith "feedback bench: unexpected upload reply"
+  in
+  adapt ();
+  (* warm the store *)
+  upload 0;
+  (* warm the profile/compile path the ingest takes *)
+  let n = 30 in
+  let (), plain_s = time (fun () -> for _ = 1 to n do adapt () done) in
+  let (), paired_s =
+    time (fun () ->
+        for i = 1 to n do
+          adapt ();
+          upload i
+        done)
+  in
+  (match Ssp_server.Client.request ~socket Ssp_server.Proto.Shutdown with
+  | Ssp_server.Proto.Ok_reply -> ()
+  | _ -> failwith "feedback bench: shutdown not acknowledged");
+  Thread.join th;
+  let per_upload_ms = (paired_s -. plain_s) /. float_of_int n *. 1e3 in
+  let overhead = (paired_s -. plain_s) /. Float.max 1e-9 plain_s in
+  Format.fprintf ppf "%-34s %8.3fs  (%d warm adapts)@." "warm path, no uploads"
+    plain_s n;
+  Format.fprintf ppf "%-34s %8.3fs  (+%.2f ms/upload, %+.1f%%)@."
+    "warm path + report uploads" paired_s per_upload_ms (100. *. overhead);
+  (* Tuned vs untuned: run the offline loop to its fixed point, then
+     compare simulated cycles and redundant prefetches. *)
+  let tuned_vs_untuned name =
+    let config = Ssp_machine.Config.in_order in
+    let prog =
+      Ssp_workloads.Workload.program (Ssp_workloads.Suite.find name) ~scale:2
+    in
+    let profile = Ssp_profiling.Collect.collect ~config prog in
+    let simulate (result : Ssp.Adapt.result) =
+      let attrib =
+        Ssp_sim.Attrib.create ~prefetch_map:result.Ssp.Adapt.prefetch_map ()
+      in
+      let stats = Ssp_sim.Inorder.run ~attrib config result.Ssp.Adapt.prog in
+      let summary = Ssp_sim.Attrib.summary attrib in
+      let redundant =
+        List.fold_left
+          (fun acc (l : Ssp_sim.Attrib.load_summary) -> acc + l.ls_redundant)
+          0 summary.Ssp_sim.Attrib.loads
+      in
+      (stats.Ssp_sim.Stats.cycles, redundant, summary)
+    in
+    let cache =
+      Ssp_store.Store.Cache.open_dir
+        (Filename.concat dir ("tune-" ^ name))
+    in
+    let r0, _ = Ssp_store.Store.run_cached ~cache ~config prog profile in
+    let cycles0, red0, sum0 = simulate r0 in
+    let mk version cycles summary =
+      Fb.report_of_attrib ~prog:(Fb.Named name) ~scale:2 ~pipeline:"inorder"
+        ~version ~cycles summary
+    in
+    let rec converge reports best n =
+      if n > 6 then best
+      else
+        match
+          Fb.tune_reports ~cache ~now:50. ~min_reports:1 ~config prog profile
+            reports
+        with
+        | None -> best
+        | Some t ->
+          let v = t.Fb.td_aggregate.Fb.ag_version in
+          let cycles, red, summary = simulate t.Fb.td_result in
+          converge (mk v cycles summary :: reports) (v, cycles, red) (n + 1)
+    in
+    let versions, cycles_t, red_t =
+      converge [ mk 0 cycles0 sum0 ] (0, cycles0, red0) 0
+    in
+    Format.fprintf ppf
+      "%-34s %8d -> %d cycles  (redundant %d -> %d, %d round%s)@."
+      (name ^ " tuned vs untuned") cycles0 cycles_t red0 red_t versions
+      (if versions = 1 then "" else "s");
+    (name, cycles0, cycles_t, red0, red_t, versions)
+  in
+  let rows = List.map tuned_vs_untuned [ "mcf"; "em3d" ] in
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"section\":\"feedback\",\"upload\":{\"warm_requests\":%d,\
+       \"plain_s\":%.4f,\"paired_s\":%.4f,\"per_upload_ms\":%.4f,\
+       \"overhead\":%.4f},\"workloads\":[%s]}\n"
+      n plain_s paired_s per_upload_ms overhead
+      (String.concat ","
+         (List.map
+            (fun (name, c0, ct, r0, rt, v) ->
+              Printf.sprintf
+                "{\"name\":\"%s\",\"untuned_cycles\":%d,\"tuned_cycles\":%d,\
+                 \"untuned_redundant\":%d,\"tuned_redundant\":%d,\
+                 \"versions\":%d}"
+                name c0 ct r0 rt v)
+            rows));
+    close_out oc;
+    Format.fprintf ppf "@.feedback JSON written to %s@." path
+
 (* ---- cluster: router overhead and 1-vs-2-shard throughput ---- *)
 
 (* Host 1- and 2-shard TCP clusters fully in-process: shard daemons on
@@ -386,6 +584,7 @@ let cluster ~json () =
         max_batch = 32;
         max_queue = 256;
         retry_after_s = 0.2;
+        tune = false;
       }
     in
     let th =
@@ -1193,6 +1392,12 @@ let () =
   if List.mem "simspeed" wanted then begin
     section "simspeed";
     wall (simspeed_bench ~json)
+  end;
+  (* Closed-loop feedback bench (BENCH_9): explicit-only, it hosts a
+     daemon and runs tuning loops to their fixed points. *)
+  if List.mem "feedback" wanted then begin
+    section "feedback";
+    wall (feedback_bench ~json)
   end;
   run "micro" micro;
   (match trace with

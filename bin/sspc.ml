@@ -21,6 +21,7 @@
 
 open Cmdliner
 module T = Ssp_telemetry.Telemetry
+module Fb = Ssp_feedback.Feedback
 
 (* Robustness contract: anything wrong with the *input* — a missing or
    unreadable file, source that doesn't compile, a corrupt assembly
@@ -327,15 +328,49 @@ let explain_flag =
   in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
+(* --cluster (and --upload-feedback) accept either a router/shard TCP
+   endpoint or a Unix socket path, so they compose with every topology
+   the repo can start. *)
+let cluster_addr_of s =
+  match String.rindex_opt s ':' with
+  | Some i
+    when int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+         <> None ->
+    Ssp_server.Client.Tcp
+      ( String.sub s 0 i,
+        int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+  | _ -> Ssp_server.Client.Unix_sock s
+
+(* The feedback plane identifies a run's program the same way requests
+   do: suite workloads by name, anything else by its full source text
+   (so an offline tuner can recompile exactly what was measured). *)
+let prog_id_of src scale =
+  match Ssp_workloads.Suite.find src with
+  | _ -> Fb.Named src
+  | exception Not_found -> Fb.Inline (read_source src scale)
+
+let knob_string (k : Ssp.Adapt.load_knob) =
+  String.concat ","
+    ((if k.Ssp.Adapt.lk_skip then [ "skip" ] else [])
+    @ (match k.Ssp.Adapt.lk_model with
+      | `Keep -> []
+      | `Basic -> [ "model=basic" ]
+      | `Chaining -> [ "model=chaining" ])
+    @
+    if k.Ssp.Adapt.lk_unroll > 0 then
+      [ Printf.sprintf "unroll=%d" k.Ssp.Adapt.lk_unroll ]
+    else [])
+
 let sim_cmd =
-  let run src scale pipeline ssp explain trace trace_events jobs sample =
+  let run src scale pipeline ssp explain trace trace_events jobs sample upload
+      fb_version =
     guard @@ fun () ->
     with_trace trace @@ fun () ->
     with_trace_events trace_events @@ fun () ->
     let sampling = parse_sampling sample in
     let config = config_of_pipeline pipeline in
     let prog = Ssp_minic.Frontend.compile (read_source src scale) in
-    let ssp = ssp || explain in
+    let ssp = ssp || explain || upload <> None in
     let result =
       if ssp then begin
         let profile = Ssp_profiling.Collect.collect prog in
@@ -348,7 +383,7 @@ let sim_cmd =
     in
     let attrib =
       match result with
-      | Some a when explain ->
+      | Some a when explain || upload <> None ->
         Some
           (Ssp_sim.Attrib.create ~prefetch_map:a.Ssp.Adapt.prefetch_map ())
       | _ -> None
@@ -359,22 +394,77 @@ let sim_cmd =
     Format.printf "%a@." Ssp_sim.Stats.pp r;
     Format.printf "; simulated in %.2fs (%.2f Mcycle/s)@." dt
       (float_of_int r.Ssp_sim.Stats.cycles /. dt /. 1e6);
-    match (attrib, result) with
-    | Some a, Some res ->
+    (match (attrib, result) with
+    | Some a, Some res when explain ->
       let ex =
         Ssp.Explain.build ~result:res ~stats:r
-          ~attrib:(Ssp_sim.Attrib.summary a)
+          ~attrib:(Ssp_sim.Attrib.summary a) ()
       in
       Format.printf "@.%a@." Ssp.Explain.pp ex
+    | _ -> ());
+    match (upload, attrib) with
+    | Some addr, Some a ->
+      let rep =
+        Fb.report_of_attrib
+          ~prog:(prog_id_of src scale)
+          ~scale ~pipeline ~version:fb_version
+          ~cycles:r.Ssp_sim.Stats.cycles (Ssp_sim.Attrib.summary a)
+      in
+      let req =
+        Ssp_server.Proto.Feedback
+          {
+            prog =
+              (match rep.Fb.fr_prog with
+              | Fb.Named n -> Ssp_server.Proto.Workload n
+              | Fb.Inline text -> Ssp_server.Proto.Source text);
+            scale;
+            pipeline;
+            tenant = Ssp_server.Proto.default_tenant;
+            blob = Fb.encode_report rep;
+          }
+      in
+      (match
+         Ssp_server.Client.request_addr ~timeout_s:60. (cluster_addr_of addr)
+           req
+       with
+      | Ssp_server.Proto.Ok_reply ->
+        Printf.eprintf
+          "sspc: feedback uploaded (%d loads, artifact version %d)\n%!"
+          (List.length rep.Fb.fr_loads)
+          fb_version
+      | Ssp_server.Proto.Error_reply { pass; what; _ } ->
+        fail2 (Printf.sprintf "feedback upload failed [%s]: %s" pass what)
+      | _ -> fail2 "unexpected reply to feedback upload")
     | _ -> ()
+  in
+  let upload_arg =
+    let doc =
+      "After the simulation, upload the per-delinquent-load attribution \
+       report to the daemon or router at $(docv) (HOST:PORT or a Unix \
+       socket path), feeding the cluster's closed-loop tuner. Implies the \
+       attributed SSP pipeline."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "upload-feedback" ] ~docv:"ADDR" ~doc)
+  in
+  let fb_version_arg =
+    let doc =
+      "Tuning version of the adapted artifact this run measured (0 = \
+       untuned); stamped into the uploaded report so the aggregator can \
+       tell fresh reports from stale ones."
+    in
+    Arg.(value & opt int 0 & info [ "feedback-version" ] ~docv:"N" ~doc)
   in
   Cmd.v (Cmd.info "sim" ~doc:"Cycle-level simulation")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ ssp_flag $ explain_flag
-      $ trace_arg $ trace_events_arg $ jobs_arg $ sample_arg)
+      $ trace_arg $ trace_events_arg $ jobs_arg $ sample_arg $ upload_arg
+      $ fb_version_arg)
 
 let explain_cmd =
-  let run src scale pipeline json trace_events jobs =
+  let run src scale pipeline json trace_events jobs feedback store =
     guard @@ fun () ->
     with_trace_events trace_events @@ fun () ->
     let config = config_of_pipeline pipeline in
@@ -385,9 +475,63 @@ let explain_cmd =
       Ssp_sim.Attrib.create ~prefetch_map:result.Ssp.Adapt.prefetch_map ()
     in
     let stats = simulate ~attrib config result.Ssp.Adapt.prog in
-    let ex =
-      Ssp.Explain.build ~result ~stats ~attrib:(Ssp_sim.Attrib.summary attrib)
+    (* --feedback joins the fleet's decayed aggregate (uploaded by
+       'sim --upload-feedback' runs cluster-wide) into the local table:
+       what this machine observes next to what the whole fleet did, and
+       the tuner's current per-load decision. *)
+    let fb_lookup, fb_header =
+      if not feedback then ((fun _ -> None), None)
+      else begin
+        let dir =
+          match store with
+          | Some d -> d
+          | None -> Ssp_store.Store.Cache.default_dir ()
+        in
+        let cache = Ssp_store.Store.Cache.open_dir dir in
+        let key =
+          Fb.aggregate_key ~config ~knobs:Ssp.Adapt.default_knobs prog profile
+        in
+        match
+          Ssp_store.Store.Cache.get cache key ~decode:Fb.decode_aggregate
+        with
+        | None ->
+          ( (fun _ -> None),
+            Some "feedback: no fleet aggregate for this workload/config" )
+        | Some agg ->
+          let lookup iref =
+            let tuned =
+              match Ssp_ir.Iref.Map.find_opt iref agg.Fb.ag_overrides with
+              | Some k when k <> Ssp.Adapt.keep_knob ->
+                "  tuned[" ^ knob_string k ^ "]"
+              | _ -> ""
+            in
+            match Ssp_ir.Iref.Map.find_opt iref agg.Fb.ag_loads with
+            | Some al ->
+              Some
+                (Printf.sprintf
+                   "fleet cov %.1f%%  acc %.1f%%  timely %.1f%%  (%.0f \
+                    issues)%s"
+                   (100. *. Fb.coverage_frac al)
+                   (100. *. Fb.accuracy al)
+                   (100. *. Fb.timeliness al)
+                   (Fb.attempts al) tuned)
+            | None ->
+              if tuned <> "" then Some ("no fresh fleet samples" ^ tuned)
+              else None
+          in
+          ( lookup,
+            Some
+              (Printf.sprintf "feedback: v%d  %d reports (%d stale)%s"
+                 agg.Fb.ag_version agg.Fb.ag_reports agg.Fb.ag_stale
+                 (if agg.Fb.ag_last_action = "" then ""
+                  else "  last action " ^ agg.Fb.ag_last_action)) )
+      end
     in
+    let ex =
+      Ssp.Explain.build ~feedback:fb_lookup ~result ~stats
+        ~attrib:(Ssp_sim.Attrib.summary attrib) ()
+    in
+    (match fb_header with Some h -> Format.printf "%s@." h | None -> ());
     Format.printf "%a@." Ssp.Explain.pp ex;
     match json with
     | Some path ->
@@ -401,6 +545,21 @@ let explain_cmd =
     let doc = "Also write the attribution report as JSON to this file." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT.JSON" ~doc)
   in
+  let feedback_flag =
+    let doc =
+      "Join the fleet's feedback aggregate (per-load coverage, accuracy, \
+       timeliness across uploaded reports, and the tuner's current \
+       decision) into the table."
+    in
+    Arg.(value & flag & info [ "feedback" ] ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Artifact-store directory holding the feedback aggregate (default: \
+       the usual cache directory)."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
@@ -410,17 +569,167 @@ let explain_cmd =
           dropped classification with coverage, accuracy and timeliness")
     Term.(
       const run $ src_arg $ scale_arg $ pipeline_arg $ json_arg
-      $ trace_events_arg $ jobs_arg)
+      $ trace_events_arg $ jobs_arg $ feedback_flag $ store_arg)
 
-(* --cluster accepts either a router/shard TCP endpoint or a Unix socket
-   path, so it composes with every topology the repo can start. *)
-let cluster_addr_of s =
-  match String.rindex_opt s ':' with
-  | Some i when int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) <> None ->
-    Ssp_server.Client.Tcp
-      ( String.sub s 0 i,
-        int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
-  | _ -> Ssp_server.Client.Unix_sock s
+(* ---- sspc tune: offline closed-loop tuning over a store ---- *)
+
+let tune_cmd =
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let name_of = function
+    | Fb.Named n -> n
+    | Fb.Inline src ->
+      "inline-" ^ String.sub (Digest.to_hex (Digest.string src)) 0 12
+  in
+  let run store explain asm_dir json min_reports min_samples =
+    guard @@ fun () ->
+    let dir =
+      match store with
+      | Some d -> d
+      | None -> Ssp_store.Store.Cache.default_dir ()
+    in
+    let cache = Ssp_store.Store.Cache.open_dir dir in
+    let results = Fb.tune_store ~min_reports ~min_samples cache in
+    if results = [] then
+      print_endline "no feedback reports in the store; nothing to tune";
+    List.iter
+      (fun st ->
+        let name = name_of st.Fb.st_prog in
+        let agg = st.Fb.st_aggregate in
+        match st.Fb.st_tuned with
+        | None ->
+          Printf.printf
+            "%s scale %d %s: %d reports, no action (v%d holds)\n" name
+            st.Fb.st_scale st.Fb.st_pipeline st.Fb.st_reports
+            agg.Fb.ag_version
+        | Some t ->
+          Printf.printf "%s scale %d %s: %d reports -> published v%d (%d %s)\n"
+            name st.Fb.st_scale st.Fb.st_pipeline st.Fb.st_reports
+            agg.Fb.ag_version
+            (List.length t.Fb.td_actions)
+            (if List.length t.Fb.td_actions = 1 then "action" else "actions");
+          if explain then
+            List.iter
+              (fun a -> Printf.printf "  %s\n" (Fb.action_to_string a))
+              t.Fb.td_actions;
+          (match asm_dir with
+          | Some d ->
+            let path =
+              Filename.concat d
+                (Printf.sprintf "%s-s%d-%s-v%d.s" name st.Fb.st_scale
+                   st.Fb.st_pipeline agg.Fb.ag_version)
+            in
+            let oc = open_out path in
+            output_string oc
+              (Format.asprintf "%a@." Ssp_ir.Asm.print
+                 t.Fb.td_result.Ssp.Adapt.prog);
+            close_out oc;
+            Printf.printf "  wrote %s\n" path
+          | None -> ()))
+      results;
+    match json with
+    | None -> ()
+    | Some path ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i st ->
+          if i > 0 then Buffer.add_string b ",";
+          let agg = st.Fb.st_aggregate in
+          Printf.bprintf b
+            "{\"workload\":\"%s\",\"scale\":%d,\"pipeline\":\"%s\",\"reports\":%d,\"version\":%d,\"actions\":["
+            (json_escape (name_of st.Fb.st_prog))
+            st.Fb.st_scale
+            (json_escape st.Fb.st_pipeline)
+            st.Fb.st_reports agg.Fb.ag_version;
+          (match st.Fb.st_tuned with
+          | None -> ()
+          | Some t ->
+            List.iteri
+              (fun j a ->
+                if j > 0 then Buffer.add_string b ",";
+                Printf.bprintf b
+                  "{\"load\":\"%s\",\"what\":\"%s\",\"why\":\"%s\"}"
+                  (json_escape (Ssp_ir.Iref.to_string a.Fb.act_load))
+                  (json_escape a.Fb.act_what)
+                  (json_escape a.Fb.act_why))
+              t.Fb.td_actions);
+          Buffer.add_string b "]}")
+        results;
+      Buffer.add_string b "]\n";
+      let oc = open_out path in
+      Buffer.output_buffer oc b;
+      close_out oc
+  in
+  let store_pos =
+    let doc =
+      "Artifact-store directory to tune (default: the usual cache \
+       directory)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"STORE" ~doc)
+  in
+  let explain_flag =
+    let doc =
+      "Print the structured tuning diff: every per-load action with the \
+       aggregate signal that triggered it."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let asm_dir_arg =
+    let doc =
+      "Write each newly published tuned artifact's assembly to \
+       $(docv)/<workload>-s<scale>-<pipeline>-v<version>.s (byte-identical \
+       to what a daemon serving the same store returns)."
+    in
+    Arg.(value & opt (some string) None & info [ "asm-dir" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the tuning diff as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"OUT.JSON" ~doc)
+  in
+  let min_reports_arg =
+    let doc = "Confidence floor: tune only on at least $(docv) reports." in
+    Arg.(
+      value
+      & opt int Fb.default_min_reports
+      & info [ "min-reports" ] ~docv:"N" ~doc)
+  in
+  let min_samples_arg =
+    let doc =
+      "Per-load confidence floor: decide only about loads with at least \
+       $(docv) (decayed) attempted prefetches."
+    in
+    Arg.(
+      value
+      & opt float Fb.default_min_samples
+      & info [ "min-samples" ] ~docv:"X" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Run one offline closed-loop tuning round over a store: rebuild \
+          each workload's aggregate from its persisted attribution \
+          reports, derive per-load knob overrides (demote \
+          mostly-redundant loads toward skip, promote chronically-late \
+          ones toward chaining and wider lookahead), and publish the \
+          re-adapted artifact under the next immutable version. \
+          Deterministic: a daemon tuning the same store publishes \
+          byte-identical artifacts")
+    Term.(
+      const run $ store_pos $ explain_flag $ asm_dir_arg $ json_arg
+      $ min_reports_arg $ min_samples_arg)
 
 let fetch_snapshot addr =
   match
@@ -638,7 +947,7 @@ let tcp_arg =
 
 let serve_cmd =
   let run socket tcp jobs store no_cache max_frame timeout max_batch max_queue
-      retry_after trace =
+      retry_after tune trace =
     guard @@ fun () ->
     (* The daemon always counts: its telemetry is the cluster's
        observability surface ('sspc client stats'), trace or not. *)
@@ -666,6 +975,7 @@ let serve_cmd =
         max_batch;
         max_queue;
         retry_after_s = retry_after;
+        tune;
       }
   in
   let store_dir_arg =
@@ -709,6 +1019,16 @@ let serve_cmd =
     let doc = "Retry-after hint (seconds) carried by rejection replies." in
     Arg.(value & opt float 0.2 & info [ "retry-after" ] ~docv:"SECONDS" ~doc)
   in
+  let tune_flag =
+    let doc =
+      "Closed-loop tuning: when an uploaded attribution report pushes its \
+       workload's aggregate past the confidence thresholds, run a \
+       deterministic tuning round and publish the next artifact version. \
+       Without this flag the daemon only persists and aggregates reports \
+       (run 'sspc tune' offline)."
+    in
+    Arg.(value & flag & info [ "tune" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -720,7 +1040,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ store_dir_arg
       $ no_cache_flag $ max_frame_arg $ timeout_arg $ max_batch_arg
-      $ max_queue_arg $ retry_after_arg $ trace_arg)
+      $ max_queue_arg $ retry_after_arg $ tune_flag $ trace_arg)
 
 let route_cmd =
   let run socket tcp shards vnodes quarantine quarantine_max probe_interval
@@ -1211,7 +1531,8 @@ let top_cmd =
        (host:port), so split by matching known metric suffixes. *)
     let shard_metrics =
       [ "up"; "server.queue_depth"; "store.entries"; "store.bytes";
-        "store.evictions" ]
+        "store.evictions"; "feedback.last_report_age_s";
+        "feedback.version_max"; "feedback.rounds" ]
     in
     let shards =
       List.filter_map
@@ -1256,7 +1577,21 @@ let top_cmd =
             | Some v -> Printf.sprintf "%5.0f" v
             | None -> "    -"
           in
-          addf "  %-28s %-5s queue %s\n" node health depth)
+          let feedback =
+            (* Liveness of the closed loop: highest published tuned
+               version on this shard and seconds since the last
+               attribution report landed. *)
+            match (find "feedback.version_max", find "feedback.last_report_age_s")
+            with
+            | (Some v, age) when v > 0. ->
+              Printf.sprintf "  tuned v%.0f%s" v
+                (match age with
+                | Some a when a >= 0. -> Printf.sprintf " (fb %.0fs ago)" a
+                | _ -> "")
+            | (_, Some a) when a >= 0. -> Printf.sprintf "  fb %.0fs ago" a
+            | _ -> ""
+          in
+          addf "  %-28s %-5s queue %s%s\n" node health depth feedback)
         nodes
     end;
     (* Per-tenant req/s from served-counter deltas against the previous
@@ -1367,6 +1702,7 @@ let () =
             fsck_cmd;
             sim_cmd;
             explain_cmd;
+            tune_cmd;
             stats_cmd;
             top_cmd;
             chaos_cmd;

@@ -104,7 +104,8 @@ let next_backoff ~base ~cap ~prev u =
    are answered by the router itself. *)
 let affinity_key = function
   | Proto.Adapt { prog; scale; pipeline; tenant = _ }
-  | Proto.Sim { prog; scale; pipeline; ssp = _; tenant = _ } ->
+  | Proto.Sim { prog; scale; pipeline; ssp = _; tenant = _ }
+  | Proto.Feedback { prog; scale; pipeline; tenant = _; blob = _ } ->
     let prog_part =
       match prog with
       | Proto.Workload name -> "workload\x00" ^ name
@@ -549,7 +550,10 @@ let serve ?ready cfg =
     | Proto.Shutdown ->
       T.count "router.requests" 1;
       `Shutdown
-    | Proto.Adapt _ | Proto.Sim _ ->
+    | Proto.Adapt _ | Proto.Sim _ | Proto.Feedback _ ->
+      (* Feedback rides the same affinity hash as the adapt/sim pair, so
+         a workload's attribution reports land on the shard whose cache
+         holds (and re-tunes) that workload's artifacts. *)
       T.count "router.requests" 1;
       (match env.Proto.re_trace with
       | Some tc -> T.count ("trace." ^ tc.Proto.trace_id) 1

@@ -208,6 +208,45 @@ let apply_choices ?(diags = []) prog ~config choices delinquent =
     prefetch_map = gen.Codegen.prefetch_map;
   }
 
+(* ---- per-load overrides (the feedback tuner's lever) ----
+
+   Global knobs steer the whole pipeline; a [load_knob] adjusts one
+   delinquent load. Skips are applied after selection but before
+   combining (a skipped load never contributes to a merged slice);
+   model/unroll adjustments apply after combining, to the choice whose
+   primary load matches. Forcing chaining respects the degradation
+   ladder: a load whose rung already refused chaining stays basic. *)
+
+type load_knob = {
+  lk_skip : bool;
+  lk_model : [ `Keep | `Basic | `Chaining ];
+  lk_unroll : int; (* 0 = keep the globally selected unroll *)
+}
+
+let keep_knob = { lk_skip = false; lk_model = `Keep; lk_unroll = 0 }
+
+type overrides = load_knob Ssp_ir.Iref.Map.t
+
+let no_overrides : overrides = Ssp_ir.Iref.Map.empty
+
+(* Canonical, injective rendering — a cache-key component, like
+   [knobs_string]. Map bindings iterate in key order, so the string is
+   independent of insertion order; loads bound to the identity knob are
+   dropped so "no effective override" renders as "". *)
+let overrides_string (o : overrides) =
+  Ssp_ir.Iref.Map.bindings o
+  |> List.filter (fun (_, lk) -> lk <> keep_knob)
+  |> List.map (fun (iref, lk) ->
+         Printf.sprintf "%s:skip=%b,model=%s,unroll=%d"
+           (Ssp_ir.Iref.to_string iref)
+           lk.lk_skip
+           (match lk.lk_model with
+           | `Keep -> "keep"
+           | `Basic -> "basic"
+           | `Chaining -> "chaining")
+           lk.lk_unroll)
+  |> String.concat ";"
+
 type knobs = {
   coverage : float;
   combining : bool;
@@ -233,7 +272,8 @@ let knobs_string k =
     k.coverage k.combining k.force_basic k.force_predict k.unroll
 
 let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
-    ?(force_predict = false) ?(unroll = 1) ?(jobs = 1) ~config prog profile =
+    ?(force_predict = false) ?(unroll = 1) ?(overrides = no_overrides)
+    ?(jobs = 1) ~config prog profile =
   T.with_span "adapt" @@ fun () ->
   let delinquent = Delinquent.identify ~coverage prog profile in
   let regions = T.with_span "adapt.regions" (fun () -> Regions.compute prog) in
@@ -259,6 +299,32 @@ let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
   in
   let choices = List.filter_map fst selected in
   let diags = ref (List.concat_map snd selected) in
+  (* Feedback demotions to skip come off before combining, so a skipped
+     load never contributes to a merged slice. *)
+  let choices =
+    if Ssp_ir.Iref.Map.is_empty overrides then choices
+    else
+      List.filter
+        (fun (c : Select.choice) ->
+          match
+            Ssp_ir.Iref.Map.find_opt c.Select.load.Delinquent.iref overrides
+          with
+          | Some lk when lk.lk_skip ->
+            diags :=
+              !diags
+              @ [
+                  {
+                    Report.load =
+                      Ssp_ir.Iref.to_string c.Select.load.Delinquent.iref;
+                    stage = "feedback";
+                    action = "skip";
+                    detail = "demoted: prefetches mostly redundant";
+                  };
+                ];
+            false
+          | _ -> true)
+        choices
+  in
   let choices =
     T.with_span "adapt.combine" (fun () ->
         if combining then begin
@@ -310,9 +376,42 @@ let run ?(coverage = 0.9) ?(combining = true) ?(force_basic = false)
         { c with Select.unroll = max 1 unroll })
       choices
   in
+  (* Per-load model/unroll overrides, applied last so they win over the
+     global ablation knobs for the loads they name. Promotion to
+     chaining is clamped by the degradation ladder ([allow_chaining]):
+     the tuner can restore a model the ladder allows, never one a rung
+     already refused. *)
+  let choices =
+    if Ssp_ir.Iref.Map.is_empty overrides then choices
+    else
+      List.map
+        (fun (c : Select.choice) ->
+          match
+            Ssp_ir.Iref.Map.find_opt c.Select.load.Delinquent.iref overrides
+          with
+          | None -> c
+          | Some lk ->
+            let c =
+              match lk.lk_model with
+              | `Basic when c.Select.model = Select.Chaining ->
+                let slice = c.Select.schedule.Schedule.slice in
+                { c with Select.model = Select.Basic;
+                  triggers = Trigger.for_basic regions slice }
+              | `Chaining
+                when c.Select.model = Select.Basic && c.Select.allow_chaining
+                ->
+                let slice = c.Select.schedule.Schedule.slice in
+                { c with Select.model = Select.Chaining;
+                  triggers = Trigger.for_chaining regions slice }
+              | _ -> c
+            in
+            if lk.lk_unroll > 0 then { c with Select.unroll = lk.lk_unroll }
+            else c)
+        choices
+  in
   apply_choices ~diags:!diags prog ~config choices delinquent
 
-let run_knobs ?(jobs = 1) ~knobs ~config prog profile =
+let run_knobs ?(jobs = 1) ?overrides ~knobs ~config prog profile =
   run ~coverage:knobs.coverage ~combining:knobs.combining
     ~force_basic:knobs.force_basic ~force_predict:knobs.force_predict
-    ~unroll:knobs.unroll ~jobs ~config prog profile
+    ~unroll:knobs.unroll ?overrides ~jobs ~config prog profile

@@ -18,12 +18,36 @@ type result = {
           [Ssp_sim.Attrib.create] for prefetch-lifecycle attribution *)
 }
 
+type load_knob = {
+  lk_skip : bool;  (** drop this load's precomputation entirely *)
+  lk_model : [ `Keep | `Basic | `Chaining ];
+      (** flip the SP model; promotion to chaining is clamped by the
+          load's degradation-ladder ceiling ([Select.allow_chaining]) *)
+  lk_unroll : int;  (** per-thread lookahead; 0 keeps the global value *)
+}
+(** A per-load adjustment, as computed by the feedback tuner
+    ([Ssp_feedback]). Skips are applied before slice combining; model
+    and unroll adjustments after, to the choice whose primary load
+    matches. *)
+
+val keep_knob : load_knob
+(** The identity override (no skip, keep model, keep unroll). *)
+
+type overrides = load_knob Ssp_ir.Iref.Map.t
+
+val no_overrides : overrides
+
+val overrides_string : overrides -> string
+(** Canonical injective rendering (loads in key order, identity knobs
+    dropped) — a cache-key component, like {!knobs_string}. *)
+
 val run :
   ?coverage:float ->
   ?combining:bool ->
   ?force_basic:bool ->
   ?force_predict:bool ->
   ?unroll:int ->
+  ?overrides:overrides ->
   ?jobs:int ->
   config:Ssp_machine.Config.t ->
   Ssp_ir.Prog.t ->
@@ -67,6 +91,7 @@ val knobs_string : knobs -> string
 
 val run_knobs :
   ?jobs:int ->
+  ?overrides:overrides ->
   knobs:knobs ->
   config:Ssp_machine.Config.t ->
   Ssp_ir.Prog.t ->

@@ -26,6 +26,7 @@ type row = {
   miss_share : float; (* of all profiled miss cycles *)
   scheme : scheme option; (* None: no slice covers this load *)
   attrib : Attrib.load_summary option;
+  feedback : string option; (* cluster-aggregate cell, caller-supplied *)
 }
 
 type t = {
@@ -70,8 +71,8 @@ let choice_for (choices : Select.choice list) (load : Delinquent.load) =
         c.Select.schedule.Schedule.slice.Slice.targets)
     choices
 
-let build ~(result : Adapt.result) ~(stats : Ssp_sim.Stats.t)
-    ~(attrib : Attrib.summary) =
+let build ?(feedback = fun _ -> None) ~(result : Adapt.result)
+    ~(stats : Ssp_sim.Stats.t) ~(attrib : Attrib.summary) () =
   let d = result.Adapt.delinquent in
   let total = max 1 d.Delinquent.total_miss_cycles in
   let rows =
@@ -84,6 +85,7 @@ let build ~(result : Adapt.result) ~(stats : Ssp_sim.Stats.t)
           scheme =
             Option.map scheme_of (choice_for result.Adapt.choices load);
           attrib = Attrib.find_load attrib load.Delinquent.iref;
+          feedback = feedback load.Delinquent.iref;
         })
       d.Delinquent.loads
   in
@@ -132,7 +134,7 @@ let pp ppf t =
           s.slack1_csp s.slack1_bsp s.trips;
         Format.fprintf ppf "  triggers  %s@,"
           (String.concat "  " (List.map trigger_string s.triggers)));
-      match r.attrib with
+      (match r.attrib with
       | None -> Format.fprintf ppf "  sim       (no attributed prefetches)@,"
       | Some a ->
         Format.fprintf ppf
@@ -148,7 +150,10 @@ let pp ppf t =
           (pct a.Attrib.ls_timeliness) a.Attrib.ls_mean_lead
           a.Attrib.ls_mean_late_wait;
         Format.fprintf ppf "  demand    %d accesses, %d hits@,"
-          a.Attrib.ls_demand_accesses a.Attrib.ls_demand_hits)
+          a.Attrib.ls_demand_accesses a.Attrib.ls_demand_hits);
+      match r.feedback with
+      | Some cell -> Format.fprintf ppf "  feedback  %s@," cell
+      | None -> ())
     t.rows;
   let th = t.threads in
   Format.fprintf ppf
@@ -290,9 +295,12 @@ let to_json t =
                 @ (match r.scheme with
                   | Some s -> [ ("scheme", scheme_json s) ]
                   | None -> [])
+                @ (match r.attrib with
+                  | Some a -> [ ("attribution", attrib_json a) ]
+                  | None -> [])
                 @
-                match r.attrib with
-                | Some a -> [ ("attribution", attrib_json a) ]
+                match r.feedback with
+                | Some cell -> [ ("feedback", str cell) ]
                 | None -> [])) );
       ( "threads",
         fun () ->

@@ -29,6 +29,11 @@ type row = {
   miss_share : float;  (** of all profiled miss cycles *)
   scheme : scheme option;  (** [None]: no slice covers this load *)
   attrib : Ssp_sim.Attrib.load_summary option;
+  feedback : string option;
+      (** pre-rendered cluster-aggregate cell ([sspc explain
+          --feedback]): fleet coverage/accuracy/timeliness and the last
+          tuning action for this load, supplied by the caller so this
+          module stays independent of the feedback plane *)
 }
 
 type t = {
@@ -45,10 +50,14 @@ type t = {
 }
 
 val build :
+  ?feedback:(Ssp_ir.Iref.t -> string option) ->
   result:Adapt.result ->
   stats:Ssp_sim.Stats.t ->
   attrib:Ssp_sim.Attrib.summary ->
+  unit ->
   t
+(** [feedback] looks up the cluster-aggregate cell for a delinquent
+    load (default: none). *)
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> string

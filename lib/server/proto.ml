@@ -4,7 +4,7 @@
 
 module Bin = Ssp_store.Store.Bin
 
-let proto_version = 4
+let proto_version = 5
 let min_proto_version = 2
 let default_max_frame = 8 * 1024 * 1024
 let req_magic = "SSPQ"
@@ -69,9 +69,16 @@ type request =
   | Stats_snapshot
   | Put_blob of { key : string; blob : string }
   | Ping
+  | Feedback of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      tenant : string;
+      blob : string; (* sealed attribution report (Ssp_feedback) *)
+    }
 
 let tenant_of = function
-  | Adapt { tenant; _ } | Sim { tenant; _ } -> tenant
+  | Adapt { tenant; _ } | Sim { tenant; _ } | Feedback { tenant; _ } -> tenant
   | Stats | Shutdown | Stats_snapshot | Put_blob _ | Ping -> "-"
 
 type error_info = { pass : string; what : string; injected : bool }
@@ -215,7 +222,17 @@ let encode_request ?trace ?(deadline_ms = 0.) ?(artifacts = artifacts_none) req
         Bin.w_u8 b 6;
         Bin.w_str b key;
         Bin.w_str b blob
-      | Ping -> Bin.w_u8 b 7)
+      | Ping -> Bin.w_u8 b 7
+      | Feedback { prog; scale; pipeline; tenant; blob } ->
+        (* New in v5. The workload identity rides beside the blob so the
+           router can place the report on the key's primary shard with
+           the same affinity hash Adapt/Sim use. *)
+        Bin.w_u8 b 8;
+        w_program_ref b prog;
+        Bin.w_int b scale;
+        Bin.w_str b pipeline;
+        Bin.w_str b tenant;
+        Bin.w_str b blob)
 
 let r_req_env r v =
   let re_trace = r_trace r v in
@@ -252,6 +269,13 @@ let decode_request_env payload =
         let blob = Bin.r_str r in
         Put_blob { key; blob }
       | 7 -> Ping
+      | 8 ->
+        let prog = r_program_ref r in
+        let scale = Bin.r_int r in
+        let pipeline = Bin.r_str r in
+        let tenant = Bin.r_str r in
+        let blob = Bin.r_str r in
+        Feedback { prog; scale; pipeline; tenant; blob }
       | t -> malformed (Printf.sprintf "unknown request tag %d" t))
 
 let decode_request_traced payload =

@@ -9,9 +9,11 @@
     connection or a crash. *)
 
 val proto_version : int
-(** Version written by this build (4): v4 adds the deadline budget and
+(** Version written by this build (5): v4 adds the deadline budget and
     artifact ask to request envelopes and the replicated-artifact list
-    to response envelopes. *)
+    to response envelopes; v5 adds the {!request.Feedback} request
+    (attribution-report upload). Envelopes are unchanged from v4, so v4
+    payloads decode exactly as before. *)
 
 val min_proto_version : int
 (** Oldest version still accepted by decoders (2): v2 payloads carry no
@@ -93,6 +95,20 @@ type request =
       (** cheap liveness probe ([Ok_reply]), used by the router's
           circuit breaker to half-open a quarantined shard without
           risking real traffic *)
+  | Feedback of {
+      prog : program_ref;
+      scale : int;
+      pipeline : string;
+      tenant : string;
+      blob : string;
+    }
+      (** new in v5: upload a sealed attribution report
+          ([Ssp_feedback.encode_report]) from a client's simulated run.
+          The workload identity rides beside the blob so the router can
+          forward the report to the key's primary shard with the same
+          affinity hash Adapt/Sim use. The server verifies the blob's
+          envelope and kind (a wrong-kind blob is a structured error),
+          persists it, and folds it into the workload's aggregate. *)
 
 val tenant_of : request -> string
 (** The declaring tenant of a work request; ["-"] for control requests

@@ -1,5 +1,6 @@
 module T = Ssp_telemetry.Telemetry
 module Store = Ssp_store.Store
+module Feedback = Ssp_feedback.Feedback
 module F = Ssp_fault.Fault
 
 (* Deadline stamp skew: the budget is minted on the client's clock and
@@ -18,6 +19,7 @@ type config = {
   max_batch : int;
   max_queue : int;
   retry_after_s : float;
+  tune : bool;
 }
 
 let default_config ~socket =
@@ -31,6 +33,7 @@ let default_config ~socket =
     max_batch = 32;
     max_queue = 256;
     retry_after_s = 0.2;
+    tune = false;
   }
 
 let resolve_host host =
@@ -59,30 +62,63 @@ let compile_ref prog_ref scale =
 
 let cache_status = function `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
 
+(* Feedback-plane shared state: pool workers ingest and tune
+   concurrently, so the aggregate read-modify-write is serialized here.
+   The refs are cheap process-local gauges for telemetry snapshots —
+   walking the store to recount them on every snapshot would make
+   [stats --cluster] O(cache). *)
+let feedback_mu = Mutex.create ()
+let feedback_last_report_s = ref 0.
+let feedback_version_max = ref 0
+let feedback_rounds = ref 0
+
+(* The published tuning state for a workload, if any: version 0 (or no
+   aggregate at all) serves the untuned artifact under the original
+   cache key; any later version serves the immutable version-stamped
+   artifact the tuner published. *)
+let tuning_of cache ~config prog profile =
+  match cache with
+  | None -> None
+  | Some cache -> (
+    let key =
+      Feedback.aggregate_key ~config ~knobs:Ssp.Adapt.default_knobs prog
+        profile
+    in
+    match Store.Cache.get cache key ~decode:Feedback.decode_aggregate with
+    | Some agg when agg.Feedback.ag_version > 0 ->
+      Some (agg.Feedback.ag_version, agg.Feedback.ag_overrides)
+    | Some _ | None -> None)
+
 (* Profile + adapt through the store. The reported status is the adapt
    lookup's: that is the expensive artifact, and the one whose hit makes
    the reply byte-identical-but-fast. The profile rides back so the
    caller can re-derive the artifact cache keys for replication. *)
 let adapted_for cache ~config prog =
   let profile, _ = Store.cached_profile ?cache ~config prog in
-  let result, status = Store.run_cached ?cache ~config prog profile in
-  (result, cache_status status, profile)
+  let tuning = tuning_of cache ~config prog profile in
+  let result, status = Store.run_cached ?cache ?tuning ~config prog profile in
+  (result, cache_status status, profile, tuning)
 
 (* The (key, sealed blob) pairs an adapt reply was built from, read
    straight back off the cache — what the router writes through to the
    replica shard. Missing entries (no cache, eviction racing us) just
    drop out: replication is best-effort by design. *)
-let artifacts_of cache ~config ~status ~ask prog profile =
+let artifacts_of cache ~config ~status ~ask ~tuning prog profile =
   match cache with
   | Some cache
     when ask = Proto.artifacts_always
          || (ask = Proto.artifacts_on_miss && String.equal status "miss") ->
+    let tuning_key =
+      Option.map
+        (fun (v, ov) -> (v, Ssp.Adapt.overrides_string ov))
+        tuning
+    in
     List.filter_map
       (fun key ->
         Option.map (fun blob -> (key, blob)) (Store.Cache.find cache key))
       [
         Store.profile_key ~config prog;
-        Store.adapted_key ~config prog profile;
+        Store.adapted_key ?tuning:tuning_key ~config prog profile;
       ]
   | _ -> []
 
@@ -103,9 +139,11 @@ let handle_env cfg ~ask req =
     | Proto.Adapt { prog; scale; pipeline; tenant = _ } ->
       let config = config_of_pipeline pipeline in
       let prog = compile_ref prog scale in
-      let result, status, profile = adapted_for cfg.cache ~config prog in
+      let result, status, profile, tuning = adapted_for cfg.cache ~config prog in
       if String.equal status "hit" then T.count "server.cache_hit" 1;
-      let artifacts = artifacts_of cfg.cache ~config ~status ~ask prog profile in
+      let artifacts =
+        artifacts_of cfg.cache ~config ~status ~ask ~tuning prog profile
+      in
       ( Proto.Adapted
           {
             report =
@@ -119,7 +157,7 @@ let handle_env cfg ~ask req =
       let prog = compile_ref prog scale in
       let prog =
         if ssp then
-          let result, _, _ = adapted_for cfg.cache ~config prog in
+          let result, _, _, _ = adapted_for cfg.cache ~config prog in
           result.Ssp.Adapt.prog
         else prog
       in
@@ -129,6 +167,82 @@ let handle_env cfg ~ask req =
         | Ssp_machine.Config.Out_of_order -> Ssp_sim.Ooo.run config prog
       in
       (Proto.Simmed { stats = Format.asprintf "%a@." Ssp_sim.Stats.pp stats }, [])
+    | Proto.Feedback { prog = _; scale = _; pipeline = _; tenant = _; blob }
+      -> (
+      (* Attribution upload. The sealed blob carries its own workload
+         identity (the request's copy exists for router affinity); a
+         blob of any other kind — or one that fails the envelope — is a
+         structured error, never a crash. *)
+      match Store.blob_kind blob with
+      | None -> (plain_error "feedback" "blob failed its envelope check", [])
+      | Some k when k <> Store.kind_feedback_report ->
+        ( plain_error "feedback"
+            (Printf.sprintf "expected a %s blob, got %s"
+               (Store.kind_name Store.kind_feedback_report)
+               (Store.kind_name k)),
+          [] )
+      | Some _ -> (
+        let rep = Feedback.decode_report blob in
+        T.count "server.feedback.reports" 1;
+        match cfg.cache with
+        | None ->
+          (* Cache-off deployment: nothing to persist or tune against;
+             acknowledge so fire-and-forget uploaders stay happy. *)
+          (Proto.Ok_reply, [])
+        | Some cache ->
+          let config = config_of_pipeline rep.Feedback.fr_pipeline in
+          let prog =
+            Feedback.compile_id rep.Feedback.fr_prog
+              ~scale:rep.Feedback.fr_scale
+          in
+          Store.Cache.put cache (Feedback.report_store_key blob) blob;
+          let profile, _ = Store.cached_profile ~cache ~config prog in
+          let knobs = Ssp.Adapt.default_knobs in
+          let key = Feedback.aggregate_key ~config ~knobs prog profile in
+          Mutex.protect feedback_mu (fun () ->
+              let live =
+                match
+                  Store.Cache.get cache key
+                    ~decode:Feedback.decode_aggregate
+                with
+                | Some a -> a
+                | None -> Feedback.empty_aggregate
+              in
+              let was_stale = live.Feedback.ag_stale in
+              let live = Feedback.ingest live rep in
+              if live.Feedback.ag_stale > was_stale then
+                T.count "server.feedback.stale" 1;
+              Store.Cache.put cache key (Feedback.encode_aggregate live);
+              feedback_last_report_s := live.Feedback.ag_last_report_s;
+              if
+                cfg.tune
+                && live.Feedback.ag_reports >= Feedback.default_min_reports
+              then begin
+                let reports =
+                  Feedback.reports_in_store cache
+                  |> List.filter_map (fun (_, r) ->
+                         if
+                           r.Feedback.fr_prog = rep.Feedback.fr_prog
+                           && r.Feedback.fr_scale = rep.Feedback.fr_scale
+                           && String.equal r.Feedback.fr_pipeline
+                                rep.Feedback.fr_pipeline
+                         then Some r
+                         else None)
+                in
+                match
+                  Feedback.tune_reports ~cache ~config prog profile reports
+                with
+                | Some t ->
+                  T.count "server.feedback.tuned" 1;
+                  incr feedback_rounds;
+                  if t.Feedback.td_aggregate.Feedback.ag_version
+                     > !feedback_version_max
+                  then
+                    feedback_version_max :=
+                      t.Feedback.td_aggregate.Feedback.ag_version
+                | None -> ()
+              end);
+          (Proto.Ok_reply, [])))
     | Proto.Stats | Proto.Shutdown | Proto.Stats_snapshot | Proto.Put_blob _
     | Proto.Ping ->
       (* Control requests are answered inline by the loop. *)
@@ -476,6 +590,12 @@ let serve ?ready cfg =
           T.count "server.requests" 1;
           let gauges =
             ("server.queue_depth", float_of_int (Admission.backlog adm))
+            :: ( "feedback.last_report_age_s",
+                 if !feedback_last_report_s > 0. then
+                   now -. !feedback_last_report_s
+                 else -1. )
+            :: ("feedback.version_max", float_of_int !feedback_version_max)
+            :: ("feedback.rounds", float_of_int !feedback_rounds)
             ::
             (match cfg.cache with
             | None -> []
@@ -523,7 +643,7 @@ let serve ?ready cfg =
               T.count "server.replica.puts" 1;
               send c Proto.Ok_reply
             end)
-        | Proto.Adapt _ | Proto.Sim _ ->
+        | Proto.Adapt _ | Proto.Sim _ | Proto.Feedback _ ->
           let tenant = Proto.tenant_of req in
           let d = env.Proto.re_deadline_ms in
           (* Admission shed: a budget that arrives expired (or reads as

@@ -50,13 +50,20 @@ type config = {
           drain or to exercise the retry path) *)
   retry_after_s : float;
       (** the retry-after hint carried by [Busy_reply] *)
+  tune : bool;
+      (** closed-loop tuning: when set, an uploaded attribution report
+          that pushes its workload's aggregate past the confidence
+          thresholds triggers a deterministic {!Ssp_feedback.Feedback}
+          tuning round and publishes the next artifact version; when
+          unset the daemon only persists and aggregates (an operator
+          runs [sspc tune] offline) *)
 }
 
 val default_config : socket:string -> config
 (** Unix socket only, [jobs = 2], a cache in
     {!Ssp_store.Store.Cache.default_dir}, [max_frame =
     Proto.default_max_frame], [timeout_s = 60.], [max_batch = 32],
-    [max_queue = 256], [retry_after_s = 0.2]. *)
+    [max_queue = 256], [retry_after_s = 0.2], [tune = false]. *)
 
 val serve : ?ready:(tcp_port:int option -> unit) -> config -> unit
 (** Bind, listen and serve until a [Shutdown] request (blocking).

@@ -70,6 +70,9 @@ type acct = {
   mutable late_wait_sum : int; (* residual latency the main thread ate (late) *)
   mutable demand_accesses : int; (* main-thread accesses of the target load *)
   mutable demand_hits : int;
+  lead_counts : int array; (* lead-time distribution, telemetry hist layout *)
+  mutable lead_min : int;
+  mutable lead_max : int;
 }
 
 let acct_create () =
@@ -85,6 +88,9 @@ let acct_create () =
     late_wait_sum = 0;
     demand_accesses = 0;
     demand_hits = 0;
+    lead_counts = Array.make T.hist_bucket_count 0;
+    lead_min = max_int;
+    lead_max = 0;
   }
 
 type site = { mutable s_spawns : int; mutable s_denied : int }
@@ -208,7 +214,14 @@ let demand_use t ?iref ~main ~line ~hit ~partial ~now ~ready () =
         if hit then begin
           classify t pf.tag Useful;
           let a = acct t pf.tag.target in
-          a.lead_sum <- a.lead_sum + max 0 (now - pf.filled_at)
+          let lead = max 0 (now - pf.filled_at) in
+          a.lead_sum <- a.lead_sum + lead;
+          (* The distribution uses the telemetry histograms' fixed bucket
+             layout, so reports from different clients merge exactly. *)
+          let i = T.hist_index (float_of_int lead) in
+          a.lead_counts.(i) <- a.lead_counts.(i) + 1;
+          if lead < a.lead_min then a.lead_min <- lead;
+          if lead > a.lead_max then a.lead_max <- lead
         end
         else
           (* The prefetched line is gone (evicted) — whether the demand
@@ -268,6 +281,7 @@ type load_summary = {
   ls_timeliness : float;
   ls_mean_lead : float; (* cycles a useful line waited before its use *)
   ls_mean_late_wait : float; (* residual cycles the main thread still paid *)
+  ls_lead_hist : T.hist_summary; (* lead-time distribution of useful fills *)
 }
 
 type site_summary = { ss_site : Iref.t; ss_spawns : int; ss_denied : int }
@@ -310,6 +324,15 @@ let load_summary_of load (a : acct) =
     ls_timeliness = fdiv a.useful (a.useful + a.late);
     ls_mean_lead = fdiv a.lead_sum a.useful;
     ls_mean_late_wait = fdiv a.late_wait_sum a.late;
+    ls_lead_hist =
+      {
+        T.hs_n = a.useful;
+        hs_sum = float_of_int a.lead_sum;
+        hs_min = (if a.useful = 0 then infinity else float_of_int a.lead_min);
+        hs_max =
+          (if a.useful = 0 then neg_infinity else float_of_int a.lead_max);
+        hs_counts = Array.copy a.lead_counts;
+      };
   }
 
 let summary t =

@@ -91,6 +91,9 @@ type load_summary = {
   ls_timeliness : float;  (** useful / (useful + late) *)
   ls_mean_lead : float;  (** cycles a useful line waited before its use *)
   ls_mean_late_wait : float;  (** residual cycles late prefetches cost *)
+  ls_lead_hist : Ssp_telemetry.Telemetry.hist_summary;
+      (** lead-time distribution of useful fills, in the telemetry
+          histograms' fixed bucket layout (merges exactly across runs) *)
 }
 
 type site_summary = {

@@ -86,11 +86,16 @@ end
 let header_len = 4 + 2 + 1 + 8
 let digest_len = 16
 
+let kind_feedback_report = 5
+let kind_feedback_aggregate = 6
+
 let kind_name = function
   | 1 -> "program"
   | 2 -> "profile"
   | 3 -> "report"
   | 4 -> "adapted"
+  | 5 -> "feedback report"
+  | 6 -> "feedback aggregate"
   | _ -> "unknown"
 
 let seal ~kind payload =
@@ -137,6 +142,12 @@ let blob_kind blob =
   | exception Ssp_ir.Error.Error _ -> None
 
 let blob_ok blob = blob_kind blob <> None
+
+(* Generic sealing for payloads whose codecs live outside this module
+   (the feedback plane's reports and aggregates): same envelope, same
+   integrity guarantees, caller-owned payload format. *)
+let seal_kind ~kind payload = seal ~kind payload
+let unseal_kind ~kind blob = unseal ~kind blob
 
 (* ---- iref / common sub-codecs ---- *)
 
@@ -534,6 +545,13 @@ module Cache = struct
   let size_bytes t = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 (entries t)
   let entry_count t = List.length (entries t)
 
+  (* Every cached key, for offline scans (the feedback tuner walks the
+     store for persisted reports). Order is unspecified. *)
+  let keys t =
+    List.map
+      (fun (p, _, _) -> Filename.chop_suffix (Filename.basename p) ".blob")
+      (entries t)
+
   let touch p =
     try Unix.utimes p 0.0 0.0 (* both zero: set atime/mtime to now *)
     with Unix.Unix_error _ -> ()
@@ -710,8 +728,9 @@ let profile_key ~config prog =
       Ssp_machine.Config.fingerprint config;
     ]
 
-let adapted_key ?(knobs = Ssp.Adapt.default_knobs) ~config prog profile =
-  cache_key
+let adapted_key ?(knobs = Ssp.Adapt.default_knobs) ?tuning ~config prog
+    profile =
+  let parts =
     [
       "adapted";
       string_of_int format_version;
@@ -720,6 +739,18 @@ let adapted_key ?(knobs = Ssp.Adapt.default_knobs) ~config prog profile =
       Ssp_machine.Config.fingerprint config;
       Ssp.Adapt.knobs_string knobs;
     ]
+  in
+  (* Tuned artifacts live under their own version-stamped keys: version
+     0 (untuned) keeps the historical key unchanged, and every published
+     version keeps its key forever — the tuner only ever writes under a
+     fresh version, never over an old one. *)
+  let parts =
+    match tuning with
+    | Some (version, overrides) when version > 0 ->
+      parts @ [ "tuned"; string_of_int version; overrides ]
+    | _ -> parts
+  in
+  cache_key parts
 
 let cached_profile ?cache ?(config = Ssp_machine.Config.in_order) prog =
   match cache with
@@ -733,12 +764,21 @@ let cached_profile ?cache ?(config = Ssp_machine.Config.in_order) prog =
       Cache.put c key (encode_profile p);
       (p, `Miss))
 
-let run_cached ?cache ?(jobs = 1) ?(knobs = Ssp.Adapt.default_knobs) ~config
-    prog profile =
+let run_cached ?cache ?(jobs = 1) ?(knobs = Ssp.Adapt.default_knobs) ?tuning
+    ~config prog profile =
+  let overrides =
+    match tuning with
+    | Some (_, o) -> Some o
+    | None -> None
+  in
+  let tuning_key =
+    Option.map (fun (v, o) -> (v, Ssp.Adapt.overrides_string o)) tuning
+  in
   match cache with
-  | None -> (Ssp.Adapt.run_knobs ~jobs ~knobs ~config prog profile, `Off)
+  | None ->
+    (Ssp.Adapt.run_knobs ~jobs ?overrides ~knobs ~config prog profile, `Off)
   | Some c -> (
-    let key = adapted_key ~knobs ~config prog profile in
+    let key = adapted_key ~knobs ?tuning:tuning_key ~config prog profile in
     match
       T.with_span "store.lookup" (fun () ->
           Cache.get c key ~decode:decode_adapted)
@@ -756,7 +796,9 @@ let run_cached ?cache ?(jobs = 1) ?(knobs = Ssp.Adapt.default_knobs) ~config
         },
         `Hit )
     | None ->
-      let r = Ssp.Adapt.run_knobs ~jobs ~knobs ~config prog profile in
+      let r =
+        Ssp.Adapt.run_knobs ~jobs ?overrides ~knobs ~config prog profile
+      in
       Cache.put c key
         (encode_adapted
            {

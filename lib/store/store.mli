@@ -95,11 +95,16 @@ val profile_key : config:Ssp_machine.Config.t -> Ssp_ir.Prog.t -> string
 
 val adapted_key :
   ?knobs:Ssp.Adapt.knobs ->
+  ?tuning:int * string ->
   config:Ssp_machine.Config.t ->
   Ssp_ir.Prog.t ->
   Ssp_profiling.Profile.t ->
   string
-(** The cache key {!run_cached} stores an adaptation result under. *)
+(** The cache key {!run_cached} stores an adaptation result under.
+    [tuning] is [(version, Adapt.overrides_string overrides)] for a
+    feedback-tuned artifact: version 0 is the untuned key (unchanged
+    from before tuning existed), and each published version keys its
+    own immutable entry — the tuner never overwrites an old version. *)
 
 val blob_kind : string -> int option
 (** Artifact kind of a sealed blob after verifying the whole envelope
@@ -109,6 +114,23 @@ val blob_kind : string -> int option
 val blob_ok : string -> bool
 (** [blob_kind blob <> None]: whole-envelope integrity, used to vet
     replica writes before they touch the cache. *)
+
+val kind_name : int -> string
+(** Human name of an artifact kind (["unknown"] for unassigned codes). *)
+
+val kind_feedback_report : int
+(** Envelope kind of a feedback attribution report ([Ssp_feedback]). *)
+
+val kind_feedback_aggregate : int
+(** Envelope kind of a per-workload feedback aggregate. *)
+
+val seal_kind : kind:int -> string -> string
+(** Seal a payload whose codec lives outside this module (the feedback
+    plane) in the standard envelope. *)
+
+val unseal_kind : kind:int -> string -> string
+(** Verify the whole envelope and the expected kind; raises the usual
+    structured [store] error otherwise. *)
 
 (** {1 On-disk content-addressed cache} *)
 
@@ -164,6 +186,10 @@ module Cache : sig
 
   val entry_count : t -> int
 
+  val keys : t -> string list
+  (** Every cached key (unspecified order) — offline scans, e.g. the
+      feedback tuner walking a store for persisted reports. *)
+
   val evictions : t -> int
   (** Entries this handle has evicted under cache pressure since
       [open_dir] — the in-process view of the [store.evict] telemetry
@@ -207,6 +233,7 @@ val run_cached :
   ?cache:Cache.t ->
   ?jobs:int ->
   ?knobs:Ssp.Adapt.knobs ->
+  ?tuning:int * Ssp.Adapt.overrides ->
   config:Ssp_machine.Config.t ->
   Ssp_ir.Prog.t ->
   Ssp_profiling.Profile.t ->
@@ -217,4 +244,10 @@ val run_cached :
     the store ([result.choices] is empty; the delinquent-load set is
     re-identified, which is cheap); the adapted program is byte-identical
     to what the cold run produced. On a miss the result is computed and
-    published. [`Off] means no cache was supplied. *)
+    published. [`Off] means no cache was supplied.
+
+    [tuning:(version, overrides)] computes/serves the feedback-tuned
+    artifact for that version: the overrides are passed to
+    {!Ssp.Adapt.run} and the entry is keyed under the version-stamped
+    {!adapted_key}, so tuned and untuned artifacts coexist and old
+    versions stay immutable. *)

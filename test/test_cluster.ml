@@ -163,6 +163,7 @@ let shard_config ?(max_queue = 256) ~cache_dir () =
     max_batch = 8;
     max_queue;
     retry_after_s = 0.05;
+    tune = false;
   }
 
 let start_shard ?max_queue () =
@@ -662,6 +663,7 @@ let test_client_retries_connect () =
             max_batch = 8;
             max_queue = 256;
             retry_after_s = 0.05;
+            tune = false;
           })
       ()
   in

@@ -15,6 +15,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
       ("store", Test_store.suite);
+      ("feedback", Test_feedback.suite);
       ("server", Test_server.suite);
       ("cluster", Test_cluster.suite);
       ("integration", Test_integration.suite);

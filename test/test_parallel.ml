@@ -140,6 +140,7 @@ let check_workload name =
     let stats = Ssp_sim.Inorder.run ~attrib cfg result.Ssp.Adapt.prog in
     let explain =
       Ssp.Explain.build ~result ~stats ~attrib:(Ssp_sim.Attrib.summary attrib)
+        ()
     in
     (result, stats, explain)
   in

@@ -28,7 +28,7 @@ let wait_for_socket socket =
   go 100
 
 let with_server ?(jobs = 2) ?(with_cache = true) ?cache_max_bytes
-    ?(timeout_s = 60.) ?(max_batch = 32) ?(max_queue = 256) f =
+    ?(timeout_s = 60.) ?(max_batch = 32) ?(max_queue = 256) ?(tune = false) f =
   let dir = Filename.temp_dir "sspc_server_test" "" in
   let socket = Filename.concat dir "d.sock" in
   let cache =
@@ -49,6 +49,7 @@ let with_server ?(jobs = 2) ?(with_cache = true) ?cache_max_bytes
       max_batch;
       max_queue;
       retry_after_s = 0.05;
+      tune;
     }
   in
   let th = Thread.create Server.serve cfg in
@@ -346,6 +347,7 @@ let test_reject_all_when_queue_zero () =
 module T = Ssp_telemetry.Telemetry
 module Snapshot = Ssp_server.Snapshot
 module Bin = Store.Bin
+module Fb = Ssp_feedback.Feedback
 
 (* Telemetry is process-global; scope it tightly so the other suites in
    this binary keep seeing it off. *)
@@ -424,6 +426,119 @@ let test_proto_v2_compat () =
       Alcotest.(check (float 1e-9)) "ms" a.Proto.hop_ms b.Proto.hop_ms)
     hops hops'
 
+(* A v4 peer (deadline/artifact envelope, no Feedback tag) must keep
+   working against a v5 decoder: the v5 bump added a request kind, not
+   an envelope change. *)
+let test_proto_v4_compat () =
+  let b = Bin.writer () in
+  Bin.w_str b "SSPQ";
+  Bin.w_u8 b 4;
+  (* v4 envelope: trace, deadline, artifact ask *)
+  Bin.w_str b "";
+  Bin.w_int b 0;
+  Bin.w_float b 125.;
+  Bin.w_u8 b Proto.artifacts_on_miss;
+  Bin.w_u8 b 3;
+  (* Stats *)
+  let req, env = Proto.decode_request_env (Bin.contents b) in
+  (match req with
+  | Proto.Stats -> ()
+  | _ -> Alcotest.fail "v4 Stats body misdecoded");
+  Alcotest.(check (float 1e-9)) "v4 deadline survives" 125. env.Proto.re_deadline_ms;
+  Alcotest.(check int) "v4 artifact ask survives" Proto.artifacts_on_miss
+    env.Proto.re_artifacts;
+  let b = Bin.writer () in
+  Bin.w_str b "SSPR";
+  Bin.w_u8 b 4;
+  Bin.w_int b 0;
+  (* no hops *)
+  Bin.w_int b 0;
+  (* no artifacts *)
+  Bin.w_u8 b 4;
+  (* Ok *)
+  (match Proto.decode_response_hops (Bin.contents b) with
+  | Proto.Ok_reply, [] -> ()
+  | _ -> Alcotest.fail "v4 Ok body misdecoded");
+  (* The new v5 request round-trips with its workload identity intact
+     (the router hashes it for shard affinity). *)
+  let req =
+    Proto.Feedback
+      {
+        prog = Proto.Workload "em3d";
+        scale = 3;
+        pipeline = "inorder";
+        tenant = "fleet";
+        blob = "sealed-bytes";
+      }
+  in
+  match Proto.decode_request_env (Proto.encode_request req) with
+  | Proto.Feedback { prog = Proto.Workload w; scale; pipeline; tenant; blob }, _
+    ->
+    Alcotest.(check string) "workload" "em3d" w;
+    Alcotest.(check int) "scale" 3 scale;
+    Alcotest.(check string) "pipeline" "inorder" pipeline;
+    Alcotest.(check string) "tenant" "fleet" tenant;
+    Alcotest.(check string) "blob" "sealed-bytes" blob
+  | _ -> Alcotest.fail "Feedback request misdecoded"
+
+let feedback_req blob =
+  Proto.Feedback
+    {
+      prog = Proto.Workload "em3d";
+      scale;
+      pipeline = "inorder";
+      tenant = Proto.default_tenant;
+      blob;
+    }
+
+let synthetic_report i =
+  {
+    Fb.fr_prog = Fb.Named "em3d";
+    fr_scale = scale;
+    fr_pipeline = "inorder";
+    fr_version = 0;
+    fr_cycles = 1000 + i;
+    fr_loads =
+      [
+        {
+          Fb.fl_load = Ssp_ir.Iref.make "walk" 0 0;
+          fl_issued = 0;
+          fl_useful = 0;
+          fl_late = 0;
+          fl_early_evicted = 0;
+          fl_redundant = 1000;
+          fl_dropped = 0;
+          fl_unused = 0;
+          fl_demand_accesses = 1000;
+          fl_demand_hits = 1000;
+          fl_lead_hist = T.empty_hist_summary ();
+        };
+      ];
+  }
+
+(* An upload whose blob is not a sealed feedback report is a structured
+   error — never a crash — and the daemon keeps serving. *)
+let test_feedback_bad_blob () =
+  with_server @@ fun socket ->
+  (match Client.request ~socket (feedback_req "garbage") with
+  | Proto.Error_reply { pass; _ } ->
+    Alcotest.(check string) "unsealed blob rejected by pass" "feedback" pass
+  | _ -> Alcotest.fail "garbage blob must be a structured error");
+  (* A valid blob of the wrong kind (an aggregate) is rejected too. *)
+  (match
+     Client.request ~socket
+       (feedback_req (Fb.encode_aggregate Fb.empty_aggregate))
+   with
+  | Proto.Error_reply { pass; what; _ } ->
+    Alcotest.(check string) "wrong kind rejected by pass" "feedback" pass;
+    Alcotest.(check bool)
+      "error names the expected kind" true
+      (String.length what > 0)
+  | _ -> Alcotest.fail "wrong-kind blob must be a structured error");
+  match Client.request ~socket Proto.Ping with
+  | Proto.Ok_reply -> ()
+  | _ -> Alcotest.fail "daemon must survive hostile uploads"
+
 let test_traced_hops () =
   (* A traced request comes back with a per-hop latency breakdown even
      when the shard's own telemetry is off; untraced requests don't pay
@@ -477,6 +592,46 @@ let counter snap name =
 
 (* Satellite: the per-tenant admission counters are visible through the
    stats plane and line up with the Busy replies the client saw. *)
+(* The daemon-side loop: three distinct reports cross the confidence
+   floor, the tuner publishes a version, and the liveness gauges reach
+   the stats plane. *)
+let test_feedback_upload_and_tune =
+  with_telemetry @@ fun () ->
+  with_server ~tune:true @@ fun socket ->
+  List.iter
+    (fun i ->
+      match
+        Client.request ~socket
+          (feedback_req (Fb.encode_report (synthetic_report i)))
+      with
+      | Proto.Ok_reply -> ()
+      | Proto.Error_reply { pass; what; _ } ->
+        Alcotest.fail (Printf.sprintf "upload failed [%s]: %s" pass what)
+      | _ -> Alcotest.fail "expected Ok for a report upload")
+    [ 0; 1; 2 ];
+  let snap = fetch_snapshot socket in
+  Alcotest.(check int) "uploads counted" 3
+    (counter snap "server.feedback.reports");
+  let gauge name =
+    match List.assoc_opt name snap.Snapshot.gauges with
+    | Some v -> v
+    | None -> Alcotest.failf "gauge %s missing from the snapshot" name
+  in
+  Alcotest.(check bool) "a tuning round ran" true (gauge "feedback.rounds" >= 1.);
+  Alcotest.(check bool)
+    "a tuned version was published" true
+    (gauge "feedback.version_max" >= 1.);
+  Alcotest.(check bool)
+    "report liveness age is fresh" true
+    (let age = gauge "feedback.last_report_age_s" in
+     age >= 0. && age < 60.);
+  (* Serving still works on the tuned store (the synthetic overrides
+     name no real load, so the served artifact equals the offline one —
+     published under the bumped version key). *)
+  let _, asm = offline_adapt "em3d" in
+  let _, asm', _ = expect_adapted (Client.request ~socket (adapt_req "em3d")) in
+  Alcotest.(check string) "tuned serving stays byte-identical" asm asm'
+
 let test_snapshot_admission_counters =
   with_telemetry @@ fun () ->
   with_server ~max_queue:0 @@ fun socket ->
@@ -680,6 +835,12 @@ let suite =
       test_reject_all_when_queue_zero;
     Alcotest.test_case "proto: v2 compat + v3 trace roundtrip" `Quick
       test_proto_v2_compat;
+    Alcotest.test_case "proto: v4 compat under v5 + Feedback roundtrip" `Quick
+      test_proto_v4_compat;
+    Alcotest.test_case "feedback: hostile blobs get structured errors" `Quick
+      test_feedback_bad_blob;
+    Alcotest.test_case "feedback: upload, aggregate, daemon tuning round"
+      `Quick test_feedback_upload_and_tune;
     Alcotest.test_case "trace: per-hop breakdown" `Quick test_traced_hops;
     Alcotest.test_case "trace: span hops + trace counter" `Quick
       test_traced_hops_spans;
